@@ -1,0 +1,52 @@
+package ccsp
+
+// Top-level benchmarks: one per reproduction experiment of DESIGN.md §4.
+// Each benchmark regenerates its experiment's table once per iteration and
+// reports the headline metric (total rounds of the largest configuration)
+// through b.ReportMetric, so `go test -bench=.` reproduces every "table and
+// figure" of the evaluation. cmd/ccbench prints the full tables.
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Run(id, bench.Quick)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+		// Report the rounds column of the last row as the headline metric.
+		for ci, col := range tab.Columns {
+			if col == "rounds" {
+				if v, err := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][ci], 64); err == nil {
+					b.ReportMetric(v, "rounds")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkE1SparseMM(b *testing.B)        { runExperiment(b, "E1") }
+func BenchmarkE2FilteredMM(b *testing.B)      { runExperiment(b, "E2") }
+func BenchmarkE3KNearest(b *testing.B)        { runExperiment(b, "E3") }
+func BenchmarkE4SourceDetect(b *testing.B)    { runExperiment(b, "E4") }
+func BenchmarkE5DistThrough(b *testing.B)     { runExperiment(b, "E5") }
+func BenchmarkE6Hopset(b *testing.B)          { runExperiment(b, "E6") }
+func BenchmarkE7MSSP(b *testing.B)            { runExperiment(b, "E7") }
+func BenchmarkE8WeightedAPSP(b *testing.B)    { runExperiment(b, "E8") }
+func BenchmarkE9UnweightedAPSP(b *testing.B)  { runExperiment(b, "E9") }
+func BenchmarkE10ExactSSSP(b *testing.B)      { runExperiment(b, "E10") }
+func BenchmarkE11Diameter(b *testing.B)       { runExperiment(b, "E11") }
+func BenchmarkE12Comparison(b *testing.B)     { runExperiment(b, "E12") }
+func BenchmarkA1HittingSets(b *testing.B)     { runExperiment(b, "A1") }
+func BenchmarkA2HopsetConstants(b *testing.B) { runExperiment(b, "A2") }
+func BenchmarkA3FilteredVsDense(b *testing.B) { runExperiment(b, "A3") }
+func BenchmarkA4PhaseBreakdown(b *testing.B)  { runExperiment(b, "A4") }

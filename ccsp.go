@@ -1,0 +1,384 @@
+package ccsp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/congestedclique/ccsp/internal/apsp"
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/diameter"
+	"github.com/congestedclique/ccsp/internal/disttools"
+	"github.com/congestedclique/ccsp/internal/hitting"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/mssp"
+	"github.com/congestedclique/ccsp/internal/semiring"
+	"github.com/congestedclique/ccsp/internal/sssp"
+)
+
+// APSPResult holds all-pairs distance estimates.
+type APSPResult struct {
+	// Dist[u][v] is the estimate for the pair (u, v); Unreachable for
+	// disconnected pairs. Estimates never underestimate true distances.
+	Dist [][]int64
+	// Stats is the communication cost of the run.
+	Stats Stats
+}
+
+// Distance returns the estimate for (u, v).
+func (r *APSPResult) Distance(u, v int) int64 { return r.Dist[u][v] }
+
+// APSPUnweighted computes (2+ε)-approximate APSP on an unweighted graph
+// (Theorem 31) in O(log²n/ε) rounds. The guarantee requires unit weights;
+// on weighted inputs the estimates are still sound upper bounds but only
+// the weighted guarantee of APSPWeighted applies.
+func APSPUnweighted(gr *Graph, opts Options) (*APSPResult, error) {
+	return runAPSP(gr, opts, "unweighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq) ([]int64, error) {
+		return apsp.TwoPlusEpsUnweighted(nd, sr, wrow, eps, boards, opts.hopsetParams())
+	})
+}
+
+// APSPWeighted computes (2+ε, (1+ε)W)-approximate APSP on a weighted graph
+// (Theorem 28): each estimate is at most (2+ε)·d(u,v) + (1+ε)·W, where W
+// is the heaviest edge on a shortest u-v path.
+func APSPWeighted(gr *Graph, opts Options) (*APSPResult, error) {
+	return runAPSP(gr, opts, "weighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq) ([]int64, error) {
+		return apsp.TwoPlusEpsWeighted(nd, sr, wrow, eps, boards, opts.hopsetParams())
+	})
+}
+
+// APSPWeighted3 computes the simpler (3+ε)-approximate weighted APSP of
+// §6.1 (fewer phases; kept for ablation against APSPWeighted).
+func APSPWeighted3(gr *Graph, opts Options) (*APSPResult, error) {
+	return runAPSP(gr, opts, "3+eps", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq) ([]int64, error) {
+		return apsp.ThreePlusEps(nd, sr, wrow, eps, boards, opts.hopsetParams())
+	})
+}
+
+type apspAlgo func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq) ([]int64, error)
+
+func runAPSP(gr *Graph, opts Options, name string, algo apspAlgo) (*APSPResult, error) {
+	if err := gr.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := gr.N()
+	sr := gr.g.AugSemiring()
+	boards := hitting.NewBoardSeq(n)
+	dist := make([][]int64, n)
+	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
+		row, err := algo(nd, sr, gr.g.WeightRow(nd.ID), opts.Epsilon, boards)
+		if err != nil {
+			return err
+		}
+		dist[nd.ID] = row
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccsp: %s APSP: %w", name, err)
+	}
+	return &APSPResult{Dist: dist, Stats: statsFrom(stats)}, nil
+}
+
+// MSSPResult holds multi-source distance estimates.
+type MSSPResult struct {
+	// Sources lists the source nodes, ascending.
+	Sources []int
+	// Dist[v][i] is the (1+ε)-approximate distance from node v to
+	// Sources[i]; Unreachable for disconnected pairs.
+	Dist [][]int64
+	// Stats is the communication cost of the run.
+	Stats Stats
+}
+
+// Distance returns the estimate from node v to source s (which must be in
+// Sources).
+func (r *MSSPResult) Distance(v, s int) (int64, error) {
+	i := sort.SearchInts(r.Sources, s)
+	if i >= len(r.Sources) || r.Sources[i] != s {
+		return 0, fmt.Errorf("ccsp: %d is not a source", s)
+	}
+	return r.Dist[v][i], nil
+}
+
+// MSSP computes (1+ε)-approximate distances from every node to every
+// source (Theorem 3): polylogarithmic rounds for |sources| up to ~√n.
+func MSSP(gr *Graph, sources []int, opts Options) (*MSSPResult, error) {
+	if err := gr.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := gr.N()
+	inS := make([]bool, n)
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("ccsp: source %d out of range", s)
+		}
+		inS[s] = true
+	}
+	srcList := make([]int, 0, len(sources))
+	for v := 0; v < n; v++ {
+		if inS[v] {
+			srcList = append(srcList, v)
+		}
+	}
+	if len(srcList) == 0 {
+		return nil, fmt.Errorf("ccsp: no sources")
+	}
+	srcIdx := make(map[int32]int, len(srcList))
+	for i, s := range srcList {
+		srcIdx[int32(s)] = i
+	}
+
+	sr := gr.g.AugSemiring()
+	boards := hitting.NewBoardSeq(n)
+	dist := make([][]int64, n)
+	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
+		res, err := mssp.Run(nd, sr, gr.g.WeightRow(nd.ID), inS, boards.Next(nd.ID), opts.hopsetParams())
+		if err != nil {
+			return err
+		}
+		row := make([]int64, len(srcList))
+		for i := range row {
+			row[i] = Unreachable
+		}
+		for _, e := range res.Dist {
+			if i, ok := srcIdx[e.Col]; ok {
+				row[i] = e.Val.W
+			}
+		}
+		dist[nd.ID] = row
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccsp: MSSP: %w", err)
+	}
+	return &MSSPResult{Sources: srcList, Dist: dist, Stats: statsFrom(stats)}, nil
+}
+
+// SSSPResult holds exact single-source distances.
+type SSSPResult struct {
+	// Source is the source node.
+	Source int
+	// Dist[v] is the exact distance from Source to v.
+	Dist []int64
+	// Iterations is the number of Bellman-Ford iterations on the shortcut
+	// graph (bounded by 4·n/k + O(1), Lemma 32).
+	Iterations int
+	// Stats is the communication cost of the run.
+	Stats Stats
+}
+
+// PathTo reconstructs a shortest path from the result's source to v on the
+// original graph by predecessor descent over the exact distances. It
+// returns nil if v is unreachable.
+func (r *SSSPResult) PathTo(gr *Graph, v int) []int {
+	if r.Dist[v] >= Unreachable {
+		return nil
+	}
+	path := []int{v}
+	cur := v
+	for cur != r.Source {
+		next := -1
+		var nextW int64
+		gr.Neighbors(cur, func(u int, w int64) {
+			if r.Dist[u]+w == r.Dist[cur] && (next < 0 || u < next) {
+				next, nextW = u, w
+			}
+		})
+		_ = nextW
+		if next < 0 {
+			return nil // inconsistent distances; cannot happen for exact results
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// SSSP computes exact single-source shortest paths (Theorem 33) in
+// O~(n^{1/6}) rounds via the n^{5/6}-shortcut graph and Bellman-Ford.
+func SSSP(gr *Graph, source int, opts Options) (*SSSPResult, error) {
+	if err := gr.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := gr.N()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("ccsp: source %d out of range", source)
+	}
+	sr := gr.g.AugSemiring()
+	var dist []int64
+	var iters int
+	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
+		d, it := sssp.Exact(nd, sr, gr.g.WeightRow(nd.ID), source, 0)
+		if nd.ID == 0 {
+			dist = append([]int64(nil), d...)
+			iters = it
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccsp: SSSP: %w", err)
+	}
+	return &SSSPResult{Source: source, Dist: dist, Iterations: iters, Stats: statsFrom(stats)}, nil
+}
+
+// DiameterResult holds the diameter estimate.
+type DiameterResult struct {
+	// Estimate satisfies roughly 2D/3 <= Estimate <= (1+ε)·D for true
+	// diameter D (Claim 35; weighted graphs lose an additive max-weight
+	// term on the lower side).
+	Estimate int64
+	// Stats is the communication cost of the run.
+	Stats Stats
+}
+
+// Diameter computes the near-3/2 diameter approximation of §7.2.
+func Diameter(gr *Graph, opts Options) (*DiameterResult, error) {
+	if err := gr.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := gr.N()
+	sr := gr.g.AugSemiring()
+	boards := hitting.NewBoardSeq(n)
+	var estimate int64
+	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
+		est, err := diameter.Approx(nd, sr, gr.g.WeightRow(nd.ID), opts.Epsilon, boards, opts.hopsetParams())
+		if err != nil {
+			return err
+		}
+		if nd.ID == 0 {
+			estimate = est
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccsp: diameter: %w", err)
+	}
+	return &DiameterResult{Estimate: estimate, Stats: statsFrom(stats)}, nil
+}
+
+// Neighbor is one entry of a k-nearest result: an exact distance plus the
+// first hop of a shortest path (the routing witness of §3.1).
+type Neighbor struct {
+	// Node is the neighbor's ID.
+	Node int
+	// Dist is the exact distance.
+	Dist int64
+	// Hops is the minimal hop count among shortest paths.
+	Hops int
+	// FirstHop is the first edge of such a path (-1 for the self entry).
+	FirstHop int
+}
+
+// KNearestResult holds per-node nearest-neighbor lists.
+type KNearestResult struct {
+	// Neighbors[v] lists v's k closest nodes (including itself), by
+	// (distance, hops, ID).
+	Neighbors [][]Neighbor
+	// Stats is the communication cost of the run.
+	Stats Stats
+}
+
+// KNearest computes, for every node, exact distances and routing witnesses
+// to its k closest nodes (Theorem 18 over the witness-tracking semiring).
+func KNearest(gr *Graph, k int, opts Options) (*KNearestResult, error) {
+	if err := gr.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("ccsp: k must be positive, got %d", k)
+	}
+	n := gr.N()
+	sr := gr.g.RoutedSemiring()
+	out := make([][]Neighbor, n)
+	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
+		row := disttools.KNearest[semiring.WHF](nd, sr, gr.g.WeightRowRouted(nd.ID), k)
+		nb := make([]Neighbor, 0, len(row))
+		for _, e := range row {
+			nb = append(nb, Neighbor{Node: int(e.Col), Dist: e.Val.W, Hops: int(e.Val.H), FirstHop: int(e.Val.FH)})
+		}
+		sort.Slice(nb, func(i, j int) bool {
+			if nb[i].Dist != nb[j].Dist {
+				return nb[i].Dist < nb[j].Dist
+			}
+			if nb[i].Hops != nb[j].Hops {
+				return nb[i].Hops < nb[j].Hops
+			}
+			return nb[i].Node < nb[j].Node
+		})
+		out[nd.ID] = nb
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccsp: k-nearest: %w", err)
+	}
+	return &KNearestResult{Neighbors: out, Stats: statsFrom(stats)}, nil
+}
+
+// SourceDetectionResult holds hop-limited nearest-source lists.
+type SourceDetectionResult struct {
+	// Detected[v] lists the up-to-k nearest sources within d hops of v,
+	// with d-hop-limited distances.
+	Detected [][]Neighbor
+	// Stats is the communication cost of the run.
+	Stats Stats
+}
+
+// SourceDetection solves the (S, d, k)-source detection problem
+// (Theorem 19): every node learns its k nearest sources within d hops.
+func SourceDetection(gr *Graph, sources []int, d, k int, opts Options) (*SourceDetectionResult, error) {
+	if err := gr.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if d < 1 || k < 1 {
+		return nil, fmt.Errorf("ccsp: d and k must be positive (d=%d, k=%d)", d, k)
+	}
+	n := gr.N()
+	inS := make([]bool, n)
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("ccsp: source %d out of range", s)
+		}
+		inS[s] = true
+	}
+	sr := gr.g.AugSemiring()
+	out := make([][]Neighbor, n)
+	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
+		row := disttools.SourceDetectK[semiring.WH](nd, sr, gr.g.WeightRow(nd.ID), inS, d, k)
+		nb := make([]Neighbor, 0, len(row))
+		for _, e := range row {
+			nb = append(nb, Neighbor{Node: int(e.Col), Dist: e.Val.W, Hops: int(e.Val.H), FirstHop: -1})
+		}
+		out[nd.ID] = nb
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccsp: source detection: %w", err)
+	}
+	return &SourceDetectionResult{Detected: out, Stats: statsFrom(stats)}, nil
+}

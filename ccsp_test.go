@@ -1,0 +1,382 @@
+package ccsp
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// testGraph builds a connected random weighted graph through the public
+// API.
+func testGraph(n, extra int, maxW int64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	gr := NewGraph(n)
+	for v := 1; v < n; v++ {
+		gr.MustAddEdge(v, rng.Intn(v), rng.Int63n(maxW)+1)
+	}
+	for e := 0; e < extra; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			gr.MustAddEdge(u, v, rng.Int63n(maxW)+1)
+		}
+	}
+	return gr
+}
+
+// dijkstra is an API-independent ground truth.
+func dijkstra(gr *Graph, src int) []int64 {
+	n := gr.N()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	q := &itemHeap{{v: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		gr.Neighbors(it.v, func(u int, w int64) {
+			if it.d+w < dist[u] {
+				dist[u] = it.d + w
+				heap.Push(q, pqItem{v: u, d: dist[u]})
+			}
+		})
+	}
+	return dist
+}
+
+type pqItem struct {
+	v int
+	d int64
+}
+
+type itemHeap []pqItem
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+func TestGraphBuilder(t *testing.T) {
+	gr := NewGraph(4)
+	if err := gr.AddEdge(0, 0, 1); err == nil {
+		t.Error("want self-loop rejection")
+	}
+	if err := gr.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if gr.N() != 4 || gr.M() != 1 || gr.MaxWeight() != 2 {
+		t.Errorf("builder metadata wrong: n=%d m=%d w=%d", gr.N(), gr.M(), gr.MaxWeight())
+	}
+	if gr.Unweighted() {
+		t.Error("graph with weight-2 edge reported unweighted")
+	}
+	deg := 0
+	gr.Neighbors(0, func(int, int64) { deg++ })
+	if deg != 1 || gr.Degree(0) != 1 {
+		t.Error("neighbor iteration wrong")
+	}
+	if _, err := FromEdges(3, [][3]int64{{0, 1, 1}, {1, 2, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromEdges(3, [][3]int64{{0, 9, 1}}); err == nil {
+		t.Error("want out-of-range rejection")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	gr := testGraph(8, 4, 5, 1)
+	if _, err := APSPWeighted(gr, Options{Epsilon: 2}); err == nil {
+		t.Error("want epsilon validation error")
+	}
+	if _, err := MSSP(gr, nil, Options{}); err == nil {
+		t.Error("want no-sources error")
+	}
+	if _, err := MSSP(gr, []int{99}, Options{}); err == nil {
+		t.Error("want source range error")
+	}
+	if _, err := SSSP(gr, -1, Options{}); err == nil {
+		t.Error("want source range error")
+	}
+	if _, err := KNearest(gr, 0, Options{}); err == nil {
+		t.Error("want k validation error")
+	}
+	if _, err := SourceDetection(gr, []int{0}, 0, 1, Options{}); err == nil {
+		t.Error("want d validation error")
+	}
+	var nilGraph *Graph
+	if _, err := SSSP(nilGraph, 0, Options{}); err == nil {
+		t.Error("want nil graph error")
+	}
+}
+
+func TestAPSPWeightedPublic(t *testing.T) {
+	gr := testGraph(24, 30, 8, 2)
+	eps := 0.5
+	res, err := APSPWeighted(gr, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxW := gr.MaxWeight()
+	for u := 0; u < gr.N(); u++ {
+		ref := dijkstra(gr, u)
+		for v := 0; v < gr.N(); v++ {
+			d, got := ref[v], res.Distance(u, v)
+			if d >= Unreachable {
+				if got < Unreachable {
+					t.Fatalf("(%d,%d): estimate for unreachable pair", u, v)
+				}
+				continue
+			}
+			if got < d {
+				t.Fatalf("(%d,%d): underestimate %d < %d", u, v, got, d)
+			}
+			bound := (2+eps)*float64(d) + (1+eps)*float64(maxW)
+			if float64(got) > bound+1e-9 {
+				t.Fatalf("(%d,%d): %d above (2+ε)d+(1+ε)W bound for d=%d", u, v, got, d)
+			}
+		}
+	}
+	if res.Stats.TotalRounds <= 0 || res.Stats.Messages <= 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestAPSPUnweightedPublic(t *testing.T) {
+	gr := NewGraph(20)
+	rng := rand.New(rand.NewSource(5))
+	for v := 1; v < 20; v++ {
+		gr.MustAddEdge(v, rng.Intn(v), 1)
+	}
+	for e := 0; e < 15; e++ {
+		u, v := rng.Intn(20), rng.Intn(20)
+		if u != v {
+			gr.MustAddEdge(u, v, 1)
+		}
+	}
+	if !gr.Unweighted() {
+		t.Fatal("test graph must be unweighted")
+	}
+	eps := 0.5
+	res, err := APSPUnweighted(gr, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < gr.N(); u++ {
+		ref := dijkstra(gr, u)
+		for v := 0; v < gr.N(); v++ {
+			if ref[v] >= Unreachable {
+				continue
+			}
+			got := res.Distance(u, v)
+			if got < ref[v] || float64(got) > (2+eps)*float64(ref[v])+1e-9 {
+				t.Fatalf("(%d,%d): estimate %d for true %d violates (2+ε)", u, v, got, ref[v])
+			}
+		}
+	}
+}
+
+func TestAPSPWeighted3Public(t *testing.T) {
+	gr := testGraph(20, 24, 6, 3)
+	eps := 0.5
+	res, err := APSPWeighted3(gr, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < gr.N(); u++ {
+		ref := dijkstra(gr, u)
+		for v := 0; v < gr.N(); v++ {
+			if ref[v] >= Unreachable {
+				continue
+			}
+			got := res.Distance(u, v)
+			if got < ref[v] || float64(got) > (3+eps)*float64(ref[v])+1e-9 {
+				t.Fatalf("(%d,%d): estimate %d for true %d violates (3+ε)", u, v, got, ref[v])
+			}
+		}
+	}
+}
+
+func TestMSSPPublic(t *testing.T) {
+	gr := testGraph(25, 30, 10, 4)
+	sources := []int{3, 7, 11, 19}
+	eps := 0.5
+	res, err := MSSP(gr, sources, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sources {
+		ref := dijkstra(gr, s)
+		for v := 0; v < gr.N(); v++ {
+			got, err := res.Distance(v, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref[v] >= Unreachable {
+				continue
+			}
+			if got < ref[v] || float64(got) > (1+eps)*float64(ref[v])+1e-9 {
+				t.Fatalf("(%d,%d): %d violates (1+ε) for true %d", v, s, got, ref[v])
+			}
+		}
+	}
+	if _, err := res.Distance(0, 5); err == nil {
+		t.Error("want error for non-source query")
+	}
+	// Duplicate sources are deduplicated.
+	res2, err := MSSP(gr, []int{3, 3, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Sources) != 1 {
+		t.Errorf("duplicated sources not deduped: %v", res2.Sources)
+	}
+}
+
+func TestSSSPPublicExactAndPath(t *testing.T) {
+	gr := testGraph(30, 40, 10, 6)
+	src := 4
+	res, err := SSSP(gr, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dijkstra(gr, src)
+	for v := 0; v < gr.N(); v++ {
+		if res.Dist[v] != ref[v] {
+			t.Fatalf("d[%d]=%d, want %d", v, res.Dist[v], ref[v])
+		}
+	}
+	for v := 0; v < gr.N(); v++ {
+		if ref[v] >= Unreachable {
+			if res.PathTo(gr, v) != nil {
+				t.Fatalf("path to unreachable %d", v)
+			}
+			continue
+		}
+		path := res.PathTo(gr, v)
+		if len(path) == 0 || path[0] != src || path[len(path)-1] != v {
+			t.Fatalf("bad path to %d: %v", v, path)
+		}
+		var total int64
+		for i := 1; i < len(path); i++ {
+			best := int64(-1)
+			gr.Neighbors(path[i-1], func(u int, w int64) {
+				if u == path[i] && (best < 0 || w < best) {
+					best = w
+				}
+			})
+			if best < 0 {
+				t.Fatalf("path step %d-%d is not an edge", path[i-1], path[i])
+			}
+			total += best
+		}
+		if total != ref[v] {
+			t.Fatalf("path to %d has weight %d, want %d", v, total, ref[v])
+		}
+	}
+}
+
+func TestDiameterPublic(t *testing.T) {
+	gr := NewGraph(24)
+	for v := 0; v+1 < 24; v++ {
+		gr.MustAddEdge(v, v+1, 1)
+	}
+	eps := 0.5
+	res, err := Diameter(gr, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := int64(23)
+	if res.Estimate < 2*d/3 || float64(res.Estimate) > (1+eps)*float64(d)+1e-9 {
+		t.Errorf("diameter estimate %d outside [2D/3, (1+ε)D] for D=%d", res.Estimate, d)
+	}
+}
+
+func TestKNearestPublic(t *testing.T) {
+	gr := testGraph(20, 25, 8, 7)
+	k := 6
+	res, err := KNearest(gr, k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < gr.N(); v++ {
+		nb := res.Neighbors[v]
+		if len(nb) != k {
+			t.Fatalf("node %d has %d neighbors, want %d", v, len(nb), k)
+		}
+		if nb[0].Node != v || nb[0].Dist != 0 || nb[0].FirstHop != -1 {
+			t.Fatalf("node %d: first entry must be self: %+v", v, nb[0])
+		}
+		ref := dijkstra(gr, v)
+		for i, e := range nb {
+			if e.Dist != ref[e.Node] {
+				t.Fatalf("node %d neighbor %d: dist %d, want %d", v, e.Node, e.Dist, ref[e.Node])
+			}
+			if i > 0 && nb[i-1].Dist > e.Dist {
+				t.Fatalf("node %d: neighbors not sorted", v)
+			}
+			if e.Node != v {
+				// The witness must be adjacent and on a shortest path.
+				ok := false
+				gr.Neighbors(v, func(u int, w int64) {
+					if u == e.FirstHop && w+dijkstra(gr, u)[e.Node] == e.Dist {
+						ok = true
+					}
+				})
+				if !ok {
+					t.Fatalf("node %d neighbor %d: witness %d invalid", v, e.Node, e.FirstHop)
+				}
+			}
+		}
+	}
+}
+
+func TestSourceDetectionPublic(t *testing.T) {
+	gr := NewGraph(12)
+	for v := 0; v+1 < 12; v++ {
+		gr.MustAddEdge(v, v+1, 1)
+	}
+	res, err := SourceDetection(gr, []int{0, 11}, 3, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 5 is 5 and 6 hops from the sources: nothing within 3 hops.
+	if len(res.Detected[5]) != 0 {
+		t.Errorf("node 5 detected %v within 3 hops", res.Detected[5])
+	}
+	// Node 2 sees source 0 at distance 2.
+	found := false
+	for _, e := range res.Detected[2] {
+		if e.Node == 0 && e.Dist == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("node 2 missed source 0: %v", res.Detected[2])
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	gr := testGraph(10, 5, 3, 8)
+	res, err := SSSP(gr, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Stats.String(); s == "" {
+		t.Error("empty stats string")
+	}
+	if res.Stats.Nodes != 10 {
+		t.Errorf("stats nodes=%d, want 10", res.Stats.Nodes)
+	}
+	if res.Stats.Words != res.Stats.Messages*4 {
+		t.Errorf("words=%d, want 4x messages", res.Stats.Words)
+	}
+}

@@ -1,0 +1,69 @@
+// Command ccbench regenerates the reproduction experiments of DESIGN.md §4
+// (one table per theorem of the paper, plus ablations) and prints them as
+// Markdown tables.
+//
+// Usage:
+//
+//	ccbench -list                 # list experiments
+//	ccbench -exp E7               # run one experiment (quick scale)
+//	ccbench -exp all -scale full  # regenerate everything for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/congestedclique/ccsp/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "experiment ID (E1..E12, A1..A3) or 'all'")
+		scale = flag.String("scale", "quick", "quick | full")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	var s bench.Scale
+	switch *scale {
+	case "quick":
+		s = bench.Quick
+	case "full":
+		s = bench.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := bench.Run(id, s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	return nil
+}

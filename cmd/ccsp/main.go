@@ -1,0 +1,197 @@
+// Command ccsp computes shortest-path structures on an edge-list graph
+// using the paper's Congested Clique algorithms and reports the simulated
+// round complexity.
+//
+// The input format is one edge per line: "u v [w]" (0-based node IDs,
+// optional positive integer weight, default 1). Lines starting with '#'
+// are ignored. The node count is one more than the largest ID seen.
+//
+// Usage:
+//
+//	ccsp -algo apsp  -eps 0.5 graph.txt     # (2+ε)/(2+ε,(1+ε)W) APSP
+//	ccsp -algo sssp  -src 0 graph.txt       # exact SSSP (Theorem 33)
+//	ccsp -algo mssp  -sources 0,5,9 g.txt   # (1+ε) MSSP (Theorem 3)
+//	ccsp -algo diameter graph.txt           # near-3/2 diameter (§7.2)
+//	ccsp -algo knearest -k 4 graph.txt      # k nearest + routing witnesses
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/congestedclique/ccsp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algo    = flag.String("algo", "apsp", "apsp | sssp | mssp | diameter | knearest")
+		eps     = flag.Float64("eps", 0.5, "approximation parameter ε")
+		src     = flag.Int("src", 0, "source for sssp")
+		sources = flag.String("sources", "0", "comma-separated sources for mssp")
+		k       = flag.Int("k", 4, "k for knearest")
+		quiet   = flag.Bool("quiet", false, "print only the stats line")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: ccsp [flags] <edge-list-file>")
+	}
+	g, err := load(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := ccsp.Options{Epsilon: *eps}
+
+	switch *algo {
+	case "apsp":
+		var res *ccsp.APSPResult
+		if g.Unweighted() {
+			res, err = ccsp.APSPUnweighted(g, opts)
+		} else {
+			res, err = ccsp.APSPWeighted(g, opts)
+		}
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			printMatrix(res.Dist)
+		}
+		fmt.Println(res.Stats)
+	case "sssp":
+		res, err := ccsp.SSSP(g, *src, opts)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			for v, d := range res.Dist {
+				fmt.Printf("%d\t%s\n", v, distStr(d))
+			}
+		}
+		fmt.Println(res.Stats)
+	case "mssp":
+		var srcList []int
+		for _, part := range strings.Split(*sources, ",") {
+			s, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad source list: %w", err)
+			}
+			srcList = append(srcList, s)
+		}
+		res, err := ccsp.MSSP(g, srcList, opts)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			for v := 0; v < g.N(); v++ {
+				parts := make([]string, len(res.Sources))
+				for i := range res.Sources {
+					parts[i] = distStr(res.Dist[v][i])
+				}
+				fmt.Printf("%d\t%s\n", v, strings.Join(parts, "\t"))
+			}
+		}
+		fmt.Println(res.Stats)
+	case "diameter":
+		res, err := ccsp.Diameter(g, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("diameter estimate: %d\n", res.Estimate)
+		fmt.Println(res.Stats)
+	case "knearest":
+		res, err := ccsp.KNearest(g, *k, opts)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			for v, nb := range res.Neighbors {
+				fmt.Printf("%d:", v)
+				for _, e := range nb {
+					fmt.Printf(" %d(d=%d,via=%d)", e.Node, e.Dist, e.FirstHop)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println(res.Stats)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}
+
+func distStr(d int64) string {
+	if d >= ccsp.Unreachable {
+		return "inf"
+	}
+	return strconv.FormatInt(d, 10)
+}
+
+func printMatrix(dist [][]int64) {
+	for _, row := range dist {
+		parts := make([]string, len(row))
+		for i, d := range row {
+			parts[i] = distStr(d)
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+}
+
+func load(path string) (*ccsp.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var edges [][3]int64
+	maxID := 0
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("%s:%d: want 'u v [w]'", path, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		w := int64(1)
+		if len(fields) == 3 {
+			w, err = strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, [3]int64{int64(u), int64(v), w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ccsp.FromEdges(maxID+1, edges)
+}

@@ -1,0 +1,31 @@
+// Package ccsp is a Go implementation of "Fast Approximate Shortest Paths
+// in the Congested Clique" (Censor-Hillel, Dory, Korhonen, Leitersdorf,
+// PODC 2019): deterministic distance algorithms for the Congested Clique
+// model, executed on a faithful round-accounting simulator.
+//
+// The package offers:
+//
+//   - APSPUnweighted: (2+ε)-approximate all-pairs shortest paths on
+//     unweighted graphs in O(log²n/ε) rounds (Theorem 31);
+//   - APSPWeighted: (2+ε, (1+ε)W)-approximate weighted APSP (Theorem 28)
+//     and APSPWeighted3, the simpler (3+ε)-approximation (§6.1);
+//   - MSSP: (1+ε)-approximate multi-source shortest paths, polylogarithmic
+//     for up to ~√n sources (Theorem 3);
+//   - SSSP: exact single-source shortest paths in O~(n^{1/6}) rounds
+//     (Theorem 33);
+//   - Diameter: a near-3/2 diameter approximation (§7.2);
+//   - KNearest: exact distances and routing witnesses to the k closest
+//     nodes (Theorem 18), and SourceDetection (Theorem 19).
+//
+// Every result carries the Stats of the simulated run - rounds (split into
+// simulated and primitive-charged), messages and words - so the paper's
+// round bounds can be measured directly; see DESIGN.md and EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	g := ccsp.NewGraph(64)
+//	g.MustAddEdge(0, 1, 1) // ... build an undirected weighted graph
+//	res, err := ccsp.APSPWeighted(g, ccsp.Options{Epsilon: 0.5})
+//	if err != nil { ... }
+//	fmt.Println(res.Distance(0, 1), res.Stats.TotalRounds)
+package ccsp

@@ -1,0 +1,96 @@
+// Landmarks: a distance-sketch service on a power-law network. The paper's
+// headline MSSP result (Theorem 3) computes (1+ε)-approximate distances
+// from every node to O~(√n) sources in polylogarithmic rounds - here the
+// sources are "landmark" nodes, and pairwise distances are then estimated
+// by triangulation through the best landmark, a classic landmark-routing
+// scheme running entirely on the Congested Clique.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+
+	"github.com/congestedclique/ccsp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "landmarks:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A preferential-attachment network: a few high-degree hubs, many
+	// low-degree leaves - the overlay-network workload the congested
+	// clique models (§1).
+	const n = 81
+	rng := rand.New(rand.NewSource(7))
+	g := ccsp.NewGraph(n)
+	pool := []int{0}
+	for v := 1; v < n; v++ {
+		u := pool[rng.Intn(len(pool))]
+		g.MustAddEdge(v, u, int64(rng.Intn(9)+1))
+		pool = append(pool, v, u)
+	}
+
+	// Pick the √n highest-degree nodes as landmarks.
+	type nd struct{ v, deg int }
+	nodes := make([]nd, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = nd{v, g.Degree(v)}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].deg != nodes[j].deg {
+			return nodes[i].deg > nodes[j].deg
+		}
+		return nodes[i].v < nodes[j].v
+	})
+	numLandmarks := int(math.Sqrt(n))
+	landmarks := make([]int, numLandmarks)
+	for i := range landmarks {
+		landmarks[i] = nodes[i].v
+	}
+	sort.Ints(landmarks)
+
+	eps := 0.25
+	res, err := ccsp.MSSP(g, landmarks, ccsp.Options{Epsilon: eps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MSSP from %d landmarks on n=%d, m=%d, ε=%.2f\n", numLandmarks, g.N(), g.M(), eps)
+	fmt.Printf("cost: %v\n\n", res.Stats)
+
+	// Triangulate some pairs: d̃(u,v) = min over landmarks l of
+	// d̃(u,l) + d̃(l,v); an upper bound with stretch depending on how well
+	// the landmarks cover the graph.
+	fmt.Println("pair      via-landmark estimate")
+	for _, pair := range [][2]int{{3, 77}, {10, 64}, {25, 50}} {
+		best := ccsp.Unreachable
+		bestL := -1
+		for i, l := range res.Sources {
+			du := res.Dist[pair[0]][i]
+			dv := res.Dist[pair[1]][i]
+			if du < ccsp.Unreachable && dv < ccsp.Unreachable && du+dv < best {
+				best, bestL = du+dv, l
+			}
+		}
+		fmt.Printf("(%2d,%2d)   %d (through landmark %d)\n", pair[0], pair[1], best, bestL)
+	}
+
+	// The Theorem 3 guarantee applies to the node-to-landmark distances
+	// themselves; demonstrate it on one landmark.
+	l := landmarks[0]
+	fmt.Printf("\nnode -> landmark %d distances (first 10 nodes):\n", l)
+	for v := 0; v < 10; v++ {
+		d, err := res.Distance(v, l)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  d̃(%d, %d) = %d\n", v, l, d)
+	}
+	return nil
+}

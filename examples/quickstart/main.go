@@ -1,0 +1,93 @@
+// Quickstart: build a small unweighted network, run the paper's
+// (2+ε)-approximate APSP (Theorem 31), and compare the estimates and round
+// complexity against what the model promises.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/congestedclique/ccsp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 64-node unweighted "collaboration network": a sparse random core
+	// plus a popular hub - exactly the high/low-degree mix the §6.3
+	// algorithm splits on.
+	const n = 64
+	rng := rand.New(rand.NewSource(1))
+	g := ccsp.NewGraph(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v), 1)
+	}
+	for e := 0; e < n/2; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	for v := 1; v < n; v += 4 {
+		g.MustAddEdge(0, v, 1) // the hub
+	}
+
+	eps := 0.5
+	res, err := ccsp.APSPUnweighted(g, ccsp.Options{Epsilon: eps})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("(2+ε)-approximate APSP on n=%d, m=%d, ε=%.2f\n", g.N(), g.M(), eps)
+	fmt.Printf("cost: %v\n\n", res.Stats)
+
+	// Spot-check a few pairs against exact BFS distances.
+	fmt.Println("pair      exact  estimate")
+	for _, pair := range [][2]int{{1, 2}, {3, 60}, {17, 42}, {5, 33}} {
+		exact := bfs(g, pair[0])[pair[1]]
+		fmt.Printf("(%2d,%2d)   %5d  %8d\n", pair[0], pair[1], exact, res.Distance(pair[0], pair[1]))
+	}
+
+	// The guarantee is worst-case: verify it over all pairs.
+	worst := 1.0
+	for u := 0; u < n; u++ {
+		exact := bfs(g, u)
+		for v := 0; v < n; v++ {
+			if exact[v] <= 0 {
+				continue
+			}
+			if r := float64(res.Distance(u, v)) / float64(exact[v]); r > worst {
+				worst = r
+			}
+		}
+	}
+	fmt.Printf("\nworst-case measured stretch: %.3f (guarantee: %.2f)\n", worst, 2+eps)
+	return nil
+}
+
+// bfs returns exact hop distances (the ground truth for unweighted graphs).
+func bfs(g *ccsp.Graph, src int) []int64 {
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		g.Neighbors(v, func(u int, _ int64) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		})
+	}
+	return dist
+}

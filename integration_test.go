@@ -1,0 +1,106 @@
+package ccsp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPublicDeterminism: the paper's algorithms are deterministic - two
+// identical invocations must agree on every estimate and on the stats.
+func TestPublicDeterminism(t *testing.T) {
+	gr := testGraph(24, 30, 8, 11)
+	r1, err := APSPWeighted(gr, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := APSPWeighted(gr, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Dist, r2.Dist) {
+		t.Error("APSP estimates differ between identical runs")
+	}
+	if !reflect.DeepEqual(r1.Stats, r2.Stats) {
+		t.Errorf("stats differ: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+// TestPresetPaper: the proof-faithful constants also hold their guarantee
+// through the public API (small size; the paper preset's hop budget is
+// large).
+func TestPresetPaper(t *testing.T) {
+	gr := testGraph(16, 16, 5, 12)
+	eps := 1.0
+	res, err := APSPWeighted(gr, Options{Epsilon: eps, Preset: PresetPaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < gr.N(); u++ {
+		ref := dijkstra(gr, u)
+		for v := 0; v < gr.N(); v++ {
+			if ref[v] >= Unreachable {
+				continue
+			}
+			got := res.Distance(u, v)
+			if got < ref[v] {
+				t.Fatalf("(%d,%d): underestimate", u, v)
+			}
+			bound := (2+eps)*float64(ref[v]) + (1+eps)*float64(gr.MaxWeight())
+			if float64(got) > bound+1e-9 {
+				t.Fatalf("(%d,%d): %d above bound for d=%d", u, v, got, ref[v])
+			}
+		}
+	}
+}
+
+// TestEndToEndPipeline chains the public tools the way a downstream user
+// would: k-nearest to pick landmarks, MSSP for sketches, SSSP for exact
+// routes - all on one graph, checking cross-consistency.
+func TestEndToEndPipeline(t *testing.T) {
+	gr := testGraph(30, 40, 6, 13)
+
+	kn, err := KNearest(gr, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Landmarks: every node's farthest of its 5-nearest.
+	seen := map[int]bool{}
+	var landmarks []int
+	for v := 0; v < gr.N() && len(landmarks) < 5; v += 7 {
+		l := kn.Neighbors[v][len(kn.Neighbors[v])-1].Node
+		if !seen[l] {
+			seen[l] = true
+			landmarks = append(landmarks, l)
+		}
+	}
+	ms, err := MSSP(gr, landmarks, Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ms.Sources {
+		ss, err := SSSP(gr, l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < gr.N(); v++ {
+			approx, err := ms.Distance(v, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := ss.Dist[v]
+			if exact >= Unreachable {
+				continue
+			}
+			if approx < exact || float64(approx) > 1.25*float64(exact)+1e-9 {
+				t.Fatalf("landmark %d node %d: approx %d vs exact %d", l, v, approx, exact)
+			}
+		}
+	}
+}
+
+// TestUnreachableConstant pins the public sentinel to the internal one.
+func TestUnreachableConstant(t *testing.T) {
+	if Unreachable != 1<<60 {
+		t.Fatalf("Unreachable=%d, want 2^60", Unreachable)
+	}
+}

@@ -1,0 +1,102 @@
+package apsp
+
+import (
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/graph"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// TestAPSPDisconnected: estimates must stay infinite across components and
+// satisfy the guarantee within them.
+func TestAPSPDisconnected(t *testing.T) {
+	g := graph.New(20)
+	// Two components: a cycle and a path.
+	for v := 0; v < 9; v++ {
+		g.MustAddEdge(v, (v+1)%10, 1)
+	}
+	g.MustAddEdge(9, 0, 1)
+	for v := 10; v < 19; v++ {
+		g.MustAddEdge(v, v+1, 1)
+	}
+	eps := 0.5
+	rows, _ := runUnweighted2(t, g, eps, hopset.Practical(1))
+	checkNoUnderestimates(t, g, rows)
+	ref := g.APSPRef()
+	for v := 0; v < g.N; v++ {
+		for u := 0; u < g.N; u++ {
+			if ref[v][u] >= semiring.Inf {
+				continue
+			}
+			if got := float64(rows[v][u]); got > (2+eps)*float64(ref[v][u])+1e-9 {
+				t.Fatalf("(%d,%d): %v exceeds (2+ε)·%d", v, u, got, ref[v][u])
+			}
+		}
+	}
+}
+
+// TestAPSPTinyGraphs: degenerate sizes must not crash or violate bounds.
+func TestAPSPTinyGraphs(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		g := graph.New(n)
+		for v := 0; v+1 < n; v++ {
+			g.MustAddEdge(v, v+1, 2)
+		}
+		rows, _ := runWeighted2(t, g, 1.0, hopset.Practical(1))
+		checkNoUnderestimates(t, g, rows)
+		ref := g.APSPRef()
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if ref[v][u] >= semiring.Inf {
+					continue
+				}
+				// Worst admissible: (2+ε)d + (1+ε)W with W <= d.
+				if float64(rows[v][u]) > (3+2.0)*float64(ref[v][u])+1e-9 {
+					t.Fatalf("n=%d (%d,%d): estimate %d too large for d=%d", n, v, u, rows[v][u], ref[v][u])
+				}
+			}
+		}
+	}
+}
+
+// TestAPSPCompleteGraph: on K_n everything is adjacent - estimates must be
+// exact after line (1).
+func TestAPSPCompleteGraph(t *testing.T) {
+	n := 16
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	rows, _ := runUnweighted2(t, g, 0.5, hopset.Practical(1))
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			want := int64(1)
+			if u == v {
+				want = 0
+			}
+			if rows[v][u] != want {
+				t.Fatalf("(%d,%d)=%d, want %d", v, u, rows[v][u], want)
+			}
+		}
+	}
+}
+
+// TestAPSPDeterministic: two identical runs agree bit for bit.
+func TestAPSPDeterministic(t *testing.T) {
+	g := randGraph(20, 24, 8, 42)
+	r1, s1 := runWeighted2(t, g, 0.5, hopset.Practical(1))
+	r2, s2 := runWeighted2(t, g, 0.5, hopset.Practical(1))
+	if s1.String() != s2.String() {
+		t.Errorf("stats differ: %v vs %v", s1.String(), s2.String())
+	}
+	for v := range r1 {
+		for u := range r1[v] {
+			if r1[v][u] != r2[v][u] {
+				t.Fatalf("estimates differ at (%d,%d)", v, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d is %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" {
+			t.Errorf("experiment %s has no title", e.ID)
+		}
+	}
+	if _, err := Run("nope", Quick); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.Add(1, 2.5)
+	tab.Add("x", true)
+	tab.Note("note %d", 7)
+	var b strings.Builder
+	tab.Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"### X: demo", "| a | bb", "| 1 | 2.50", "| x | true", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestExperimentsRunQuick executes the cheap experiments end to end and
+// asserts their correctness columns. The heavier path experiments are
+// exercised by the top-level benchmarks.
+func TestExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E5", "A1", "A3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			// Any row with a correctness column must say true.
+			for ci, col := range tab.Columns {
+				if col != "correct" && col != "exact" && col != "hits all" {
+					continue
+				}
+				for _, row := range tab.Rows {
+					if row[ci] != "true" {
+						t.Errorf("%s: correctness column is %q in row %v", id, row[ci], row)
+					}
+				}
+			}
+		})
+	}
+}

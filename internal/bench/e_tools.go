@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"math"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/disttools"
+	"github.com/congestedclique/ccsp/internal/graph"
+	"github.com/congestedclique/ccsp/internal/graphgen"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+func init() {
+	register(Experiment{ID: "E3", Title: "Theorem 18: k-nearest neighbors", Run: e3})
+	register(Experiment{ID: "E4", Title: "Theorem 19: (S,d,k) source detection", Run: e4})
+	register(Experiment{ID: "E5", Title: "Theorem 20: distance through node sets", Run: e5})
+}
+
+// knearRef computes the exact k-nearest reference via Dijkstra.
+func knearRef(g *graph.Graph, k int) *matrix.Mat[semiring.WH] {
+	sr := g.AugSemiring()
+	m := matrix.New[semiring.WH](g.N)
+	for v := 0; v < g.N; v++ {
+		row := make(matrix.Row[semiring.WH], 0, g.N)
+		for u, d := range g.DijkstraAug(v) {
+			if !sr.IsZero(d) {
+				row = append(row, matrix.Entry[semiring.WH]{Col: int32(u), Val: d})
+			}
+		}
+		m.Rows[v] = matrix.FilterRow(sr, row, k)
+	}
+	return m
+}
+
+// e3 sweeps k and reports rounds against (k/n^{2/3}+log n)·log k, with the
+// output checked against the Dijkstra reference.
+func e3(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Theorem 18 - k-nearest, rounds vs (k/n^{2/3}+log n)·log k",
+		Columns: []string{"n", "k", "rounds", "formula", "rounds/formula", "exact"},
+	}
+	for _, n := range sizes(s, []int{64, 121}, []int{64, 121, 225}) {
+		g := graphgen.Connected(n, 2*n, graphgen.Weights{Max: 10}, int64(n))
+		sr := g.AugSemiring()
+		for _, k := range []int{intPow(n, 0.5), intPow(n, 2.0/3)} {
+			want := knearRef(g, k)
+			got := matrix.New[semiring.WH](n)
+			stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+				got.Rows[nd.ID] = disttools.KNearest[semiring.WH](nd, sr, g.WeightRow(nd.ID), k)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			logn := math.Log2(float64(n))
+			logk := math.Log2(float64(k)) + 1
+			formula := (float64(k)/math.Pow(float64(n), 2.0/3) + logn) * logk
+			t.Add(n, k, stats.TotalRounds(), formula,
+				float64(stats.TotalRounds())/formula, matrix.Equal[semiring.WH](sr, got, want))
+		}
+	}
+	t.Note("'exact' compares all k-nearest sets and distances against a sequential Dijkstra reference with identical tie-breaking.")
+	return t, nil
+}
+
+// e4 reports both Theorem 19 variants across source-set sizes and hop
+// limits.
+func e4(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Theorem 19 - source detection, both variants",
+		Columns: []string{"n", "|S|", "d", "variant", "rounds", "formula", "correct"},
+	}
+	for _, n := range sizes(s, []int{64, 121}, []int{64, 121, 225}) {
+		g := graphgen.Connected(n, 3*n, graphgen.Weights{Max: 10}, int64(n)+5)
+		sr := g.AugSemiring()
+		m := float64(2 * g.M())
+		for _, nS := range []int{intPow(n, 0.25), intPow(n, 0.5)} {
+			inS := make([]bool, n)
+			for i := 0; i < nS; i++ {
+				inS[(i*n)/nS] = true
+			}
+			for _, d := range []int{2, 4} {
+				want := sourceDetectRefBench(g, inS, d)
+				got := matrix.New[semiring.WH](n)
+				stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+					row, err := disttools.SourceDetect[semiring.WH](nd, sr, g.WeightRow(nd.ID), inS, d)
+					if err != nil {
+						return err
+					}
+					got.Rows[nd.ID] = row
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				formula := (math.Cbrt(m)*math.Pow(float64(nS), 2.0/3)/float64(n) + 1) * float64(d)
+				t.Add(n, nS, d, "all-sources", stats.TotalRounds(), formula,
+					matrix.Equal[semiring.WH](sr, got, want))
+
+				k := 2
+				wantK := matrix.New[semiring.WH](n)
+				for v := 0; v < n; v++ {
+					wantK.Rows[v] = matrix.FilterRow(sr, want.Rows[v], k)
+				}
+				gotK := matrix.New[semiring.WH](n)
+				statsK, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+					gotK.Rows[nd.ID] = disttools.SourceDetectK[semiring.WH](nd, sr, g.WeightRow(nd.ID), inS, d, k)
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				formulaK := (math.Cbrt(m)*math.Pow(float64(k), 2.0/3)/float64(n) + math.Log2(float64(n))) * float64(d)
+				t.Add(n, nS, d, "k=2 filtered", statsK.TotalRounds(), formulaK,
+					matrix.Equal[semiring.WH](sr, gotK, wantK))
+			}
+		}
+	}
+	t.Note("Formulas: (m^{1/3}|S|^{2/3}/n + 1)·d for the all-sources variant, (m^{1/3}k^{2/3}/n + log n)·d for the filtered one.")
+	return t, nil
+}
+
+func sourceDetectRefBench(g *graph.Graph, inS []bool, d int) *matrix.Mat[semiring.WH] {
+	sr := g.AugSemiring()
+	w := g.WeightMatrix()
+	u := matrix.New[semiring.WH](g.N)
+	for v := 0; v < g.N; v++ {
+		for _, e := range w.Rows[v] {
+			if inS[e.Col] {
+				u.Rows[v] = append(u.Rows[v], e)
+			}
+		}
+	}
+	for i := 1; i < d; i++ {
+		u = matrix.MulRef[semiring.WH](sr, w, u)
+	}
+	return u
+}
+
+// e5 measures distance-through-sets with sets of size ~√n: the Theorem 20
+// bound ρ^{2/3}/n^{1/3}+1 is O(1) there.
+func e5(s Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Theorem 20 - distance through sets, rounds vs ρ^{2/3}/n^{1/3}+1",
+		Columns: []string{"n", "ρ (set size)", "rounds", "formula", "rounds/formula", "correct"},
+	}
+	for _, n := range sizes(s, []int{64, 121}, []int{64, 121, 225}) {
+		sr := semiring.NewMinPlus(1 << 40)
+		rho := intPow(n, 0.5)
+		sets := make([][]disttools.Est, n)
+		for v := 0; v < n; v++ {
+			for i := 0; i < rho; i++ {
+				w := int32((v*7 + i*13) % n)
+				dup := false
+				for _, e := range sets[v] {
+					if e.W == w {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					sets[v] = append(sets[v], disttools.Est{W: w, To: int64(v%50 + i + 1), From: int64(v%50 + i + 1)})
+				}
+			}
+		}
+		got := matrix.New[int64](n)
+		stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			row, err := disttools.DistThroughSets(nd, sr, sets[nd.ID])
+			if err != nil {
+				return err
+			}
+			got.Rows[nd.ID] = row
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Spot-check correctness by brute force on a diagonal sample.
+		correct := true
+		for v := 0; v < n && correct; v += 7 {
+			u := (v * 3) % n
+			want := sr.Zero()
+			for _, ev := range sets[v] {
+				for _, eu := range sets[u] {
+					if ev.W == eu.W {
+						want = sr.Add(want, ev.To+eu.From)
+					}
+				}
+			}
+			if !sr.Eq(got.Get(sr, v, u), want) {
+				correct = false
+			}
+		}
+		formula := math.Pow(float64(rho), 2.0/3)/math.Cbrt(float64(n)) + 1
+		t.Add(n, rho, stats.TotalRounds(), formula, float64(stats.TotalRounds())/formula, correct)
+	}
+	return t, nil
+}

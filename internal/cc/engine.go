@@ -1,0 +1,472 @@
+package cc
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// DefaultMaxRounds bounds the total rounds of a run as a runaway guard.
+const DefaultMaxRounds = 1 << 21
+
+// Config configures a simulation run.
+type Config struct {
+	// N is the number of nodes. Must be >= 1.
+	N int
+	// Seed seeds per-node PRNGs (used only by explicitly randomized
+	// algorithms; the paper's algorithms are deterministic).
+	Seed int64
+	// MaxRounds bounds total rounds; 0 means DefaultMaxRounds.
+	MaxRounds int
+}
+
+// Program is a node program. It runs once per node; the same function is
+// executed by all n nodes, distinguished by nd.ID. A non-nil error aborts
+// the whole run.
+type Program func(nd *Node) error
+
+// ErrAborted is returned (wrapped) when a run is torn down because some node
+// failed.
+var ErrAborted = errors.New("cc: run aborted")
+
+type reqKind uint8
+
+const (
+	reqSync reqKind = iota + 1
+	reqBcast
+	reqRoute
+	reqSort
+	reqCharge
+	reqPhase
+	reqExit
+)
+
+func (k reqKind) String() string {
+	switch k {
+	case reqSync:
+		return "sync"
+	case reqBcast:
+		return "broadcast"
+	case reqRoute:
+		return "route"
+	case reqSort:
+		return "sort"
+	case reqCharge:
+		return "charge"
+	case reqPhase:
+		return "phase"
+	case reqExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("reqKind(%d)", uint8(k))
+	}
+}
+
+type request struct {
+	node    int
+	kind    reqKind
+	tag     string // charge tag; also consistency-checked across a collective
+	rounds  int    // charge amount
+	packets []Packet
+	bval    int64
+	recs    []Rec
+	err     error // exit status
+}
+
+type response struct {
+	msgs      []Msg
+	vals      []int64 // broadcast result, shared read-only across nodes
+	recs      []Rec
+	batchSize int // sort: global batch size (node i holds ranks [i*batchSize, ...))
+	total     int // sort: total records
+	err       error
+}
+
+type engine struct {
+	n         int
+	cfg       Config
+	reqs      chan *request
+	resps     []chan response
+	stats     Stats
+	batch     []*request
+	batchSize int
+	curPhase  string
+}
+
+// Run executes prog on a fresh n-node Congested Clique and returns the
+// communication statistics. Node programs communicate through collective
+// operations on *Node; outputs are typically written to caller-owned slices
+// indexed by node ID (disjoint writes, so no synchronization is needed).
+func Run(cfg Config, prog Program) (Stats, error) {
+	if cfg.N < 1 {
+		return Stats{}, fmt.Errorf("cc: invalid N=%d", cfg.N)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	e := &engine{
+		n:     cfg.N,
+		cfg:   cfg,
+		reqs:  make(chan *request, cfg.N),
+		resps: make([]chan response, cfg.N),
+		batch: make([]*request, cfg.N),
+		stats: Stats{N: cfg.N, Charged: make(map[string]int)},
+	}
+	for v := 0; v < cfg.N; v++ {
+		e.resps[v] = make(chan response, 1)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(cfg.N)
+	for v := 0; v < cfg.N; v++ {
+		nd := &Node{ID: v, N: cfg.N, eng: e}
+		go func() {
+			defer wg.Done()
+			e.reqs <- &request{node: nd.ID, kind: reqExit, err: runNode(nd, prog)}
+		}()
+	}
+
+	err := e.coordinate()
+	wg.Wait()
+	return e.stats, err
+}
+
+// runNode executes the program for one node, converting panics (including
+// the engine's internal abort signal) into errors.
+func runNode(nd *Node, prog Program) (err error) {
+	defer func() {
+		r := recover()
+		switch r := r.(type) {
+		case nil:
+		case abortSignal:
+			err = r.err
+		default:
+			err = fmt.Errorf("cc: node %d panicked: %v\n%s", nd.ID, r, debug.Stack())
+		}
+	}()
+	return prog(nd)
+}
+
+// abortSignal is panicked by Node collectives when the engine reports an
+// error; runNode converts it back to an error.
+type abortSignal struct{ err error }
+
+// coordinate is the engine's control loop: it collects one request per live
+// node, validates that they form a consistent collective, executes it, and
+// responds. It returns when every node has exited.
+func (e *engine) coordinate() error {
+	live := e.n
+	var failure error
+	for live > 0 {
+		r := <-e.reqs
+		if r.kind == reqExit {
+			live--
+			if r.err != nil && failure == nil {
+				failure = r.err
+			}
+			if failure == nil && e.batchSize > 0 {
+				failure = fmt.Errorf("cc: node %d exited while %d node(s) wait in a %v collective", r.node, e.batchSize, e.batch0().kind)
+			}
+			if failure != nil {
+				// Tear down: fail any nodes currently blocked in a
+				// collective so they can unwind and exit.
+				e.failPending(failure)
+			}
+			continue
+		}
+		if failure != nil {
+			e.resps[r.node] <- response{err: fmt.Errorf("%w: %w", ErrAborted, failure)}
+			continue
+		}
+		if e.batch[r.node] != nil {
+			failure = fmt.Errorf("cc: node %d submitted two collectives without awaiting a response", r.node)
+			e.failPending(failure)
+			continue
+		}
+		e.batch[r.node] = r
+		e.batchSize++
+		if e.batchSize < live {
+			continue
+		}
+		// A collective must involve every node: completing one after some
+		// node already exited is a protocol violation regardless of
+		// request arrival order.
+		if live < e.n {
+			failure = fmt.Errorf("cc: %v collective after %d node(s) exited (all nodes must run the same collective sequence)", e.batch0().kind, e.n-live)
+			e.failPending(failure)
+			continue
+		}
+		if err := e.execute(); err != nil {
+			failure = err
+			e.failPending(failure)
+		}
+	}
+	return failure
+}
+
+func (e *engine) batch0() *request {
+	for _, r := range e.batch {
+		if r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+func (e *engine) failPending(err error) {
+	for v, r := range e.batch {
+		if r != nil {
+			e.batch[v] = nil
+			e.batchSize--
+			e.resps[v] <- response{err: fmt.Errorf("%w: %w", ErrAborted, err)}
+		}
+	}
+}
+
+// execute runs one full collective. All slots in e.batch are non-nil for
+// live nodes; exited nodes cannot have pending slots (coordinate errors out
+// in that case), so a complete batch covers exactly the live nodes.
+func (e *engine) execute() error {
+	first := e.batch0()
+	for _, r := range e.batch {
+		if r == nil {
+			continue
+		}
+		if r.kind != first.kind || r.tag != first.tag {
+			return fmt.Errorf("cc: mismatched collectives: node %d called %v(%q) while node %d called %v(%q)",
+				first.node, first.kind, first.tag, r.node, r.kind, r.tag)
+		}
+	}
+	before := e.stats.TotalRounds()
+	var err error
+	switch first.kind {
+	case reqSync:
+		err = e.execSync()
+	case reqBcast:
+		err = e.execBcast()
+	case reqRoute:
+		err = e.execRoute()
+	case reqSort:
+		err = e.execSort()
+	case reqCharge:
+		err = e.execCharge()
+	case reqPhase:
+		err = e.execPhase(first.tag)
+	default:
+		err = fmt.Errorf("cc: unknown collective %v", first.kind)
+	}
+	if err != nil {
+		return err
+	}
+	if delta := e.stats.TotalRounds() - before; delta > 0 {
+		if e.stats.Phases == nil {
+			e.stats.Phases = make(map[string]int)
+		}
+		e.stats.Phases[e.curPhase] += delta
+	}
+	if total := e.stats.TotalRounds(); total > e.cfg.MaxRounds {
+		return fmt.Errorf("cc: round budget exceeded: %d > MaxRounds=%d", total, e.cfg.MaxRounds)
+	}
+	return nil
+}
+
+// execPhase switches round attribution to a new phase label (free: no
+// communication).
+func (e *engine) execPhase(tag string) error {
+	e.curPhase = tag
+	e.respond(func(int) response { return response{} })
+	return nil
+}
+
+// respond delivers responses and clears the batch.
+func (e *engine) respond(mk func(v int) response) {
+	for v, r := range e.batch {
+		if r == nil {
+			continue
+		}
+		e.batch[v] = nil
+		e.batchSize--
+		e.resps[v] <- mk(v)
+	}
+}
+
+// execSync performs one synchronous round: each node sends at most one
+// message per destination. Inboxes are sorted by sender.
+func (e *engine) execSync() error {
+	inbox := make([][]Msg, e.n)
+	var msgs int64
+	// Iterate senders in ID order so inboxes come out sorted by Src.
+	for v, r := range e.batch {
+		if r == nil {
+			continue
+		}
+		seen := make(map[int32]struct{}, len(r.packets))
+		for _, p := range r.packets {
+			if p.Dst < 0 || int(p.Dst) >= e.n {
+				return fmt.Errorf("cc: node %d sent to invalid destination %d", v, p.Dst)
+			}
+			if _, dup := seen[p.Dst]; dup {
+				return fmt.Errorf("cc: node %d sent two messages to node %d in one round (link capacity is one message per round)", v, p.Dst)
+			}
+			seen[p.Dst] = struct{}{}
+			m := p.M
+			m.Src = int32(v)
+			inbox[p.Dst] = append(inbox[p.Dst], m)
+			msgs++
+		}
+	}
+	e.stats.SimRounds++
+	e.stats.Messages += msgs
+	e.respond(func(v int) response { return response{msgs: inbox[v]} })
+	return nil
+}
+
+// execBcast performs one broadcast round: each node announces one word to
+// everyone. The result slice (indexed by sender) is shared read-only by all
+// nodes, which keeps the simulation at O(n) memory for an O(n^2)-message
+// round; node programs must not mutate it.
+func (e *engine) execBcast() error {
+	vals := make([]int64, e.n)
+	for v, r := range e.batch {
+		if r != nil {
+			vals[v] = r.bval
+		}
+	}
+	e.stats.SimRounds++
+	e.stats.Messages += int64(e.n) * int64(e.n-1)
+	e.respond(func(int) response { return response{vals: vals} })
+	return nil
+}
+
+// execRoute implements the semantics of Lenzen's routing scheme [43]: an
+// arbitrary message set is delivered, and the run is charged
+// ceil(maxSend/n) + ceil(maxRecv/n) rounds, which is O(1) when every node
+// sends and receives at most n messages - exactly the guarantee of [43] that
+// the paper uses as a black-box primitive (§1.5).
+func (e *engine) execRoute() error {
+	inbox := make([][]Msg, e.n)
+	maxSend := 0
+	var msgs int64
+	for v, r := range e.batch {
+		if r == nil {
+			continue
+		}
+		if len(r.packets) > maxSend {
+			maxSend = len(r.packets)
+		}
+		for _, p := range r.packets {
+			if p.Dst < 0 || int(p.Dst) >= e.n {
+				return fmt.Errorf("cc: node %d routed to invalid destination %d", v, p.Dst)
+			}
+			m := p.M
+			m.Src = int32(v)
+			inbox[p.Dst] = append(inbox[p.Dst], m)
+			msgs++
+		}
+	}
+	maxRecv := 0
+	for _, in := range inbox {
+		if len(in) > maxRecv {
+			maxRecv = len(in)
+		}
+	}
+	if msgs > 0 {
+		e.stats.Charged["route"] += ceilDiv(maxSend, e.n) + ceilDiv(maxRecv, e.n)
+		e.stats.Messages += msgs
+	}
+	e.respond(func(v int) response { return response{msgs: inbox[v]} })
+	return nil
+}
+
+// execSort implements the semantics of Lenzen's sorting scheme [43]: the
+// union of all submitted records is sorted globally by (Key, sender,
+// submission index) and node i receives the i-th batch of the global order.
+// The charge is 3 rounds per ceil(maxInput/n) "load unit", constant when
+// every node submits at most n records, per [43].
+func (e *engine) execSort() error {
+	total := 0
+	maxIn := 0
+	for _, r := range e.batch {
+		if r == nil {
+			continue
+		}
+		total += len(r.recs)
+		if len(r.recs) > maxIn {
+			maxIn = len(r.recs)
+		}
+	}
+	all := make([]sortItem, 0, total)
+	for v, r := range e.batch {
+		if r == nil {
+			continue
+		}
+		for i, rec := range r.recs {
+			m := rec.M
+			m.Src = int32(v)
+			all = append(all, sortItem{key: rec.Key, src: int32(v), idx: int32(i), m: m})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key != all[j].key {
+			return all[i].key < all[j].key
+		}
+		if all[i].src != all[j].src {
+			return all[i].src < all[j].src
+		}
+		return all[i].idx < all[j].idx
+	})
+	batchSize := ceilDiv(total, e.n)
+	if total > 0 {
+		e.stats.Charged["sort"] += 3 * ceilDiv(maxIn, e.n)
+		e.stats.Messages += int64(total)
+	}
+	e.respond(func(v int) response {
+		lo := v * batchSize
+		hi := lo + batchSize
+		if lo > total {
+			lo = total
+		}
+		if hi > total {
+			hi = total
+		}
+		out := make([]Rec, hi-lo)
+		for i := lo; i < hi; i++ {
+			out[i-lo] = Rec{Key: all[i].key, M: all[i].m}
+		}
+		return response{recs: out, batchSize: batchSize, total: total}
+	})
+	return nil
+}
+
+type sortItem struct {
+	key      int64
+	src, idx int32
+	m        Msg
+}
+
+// execCharge charges rounds for a primitive used as a black box with a cited
+// bound (e.g. the hitting-set construction of [52], Lemma 4). All nodes must
+// agree on tag and amount.
+func (e *engine) execCharge() error {
+	first := e.batch0()
+	for _, r := range e.batch {
+		if r != nil && r.rounds != first.rounds {
+			return fmt.Errorf("cc: mismatched charge amounts for tag %q: %d vs %d", first.tag, first.rounds, r.rounds)
+		}
+	}
+	if first.rounds < 0 {
+		return fmt.Errorf("cc: negative charge %d for tag %q", first.rounds, first.tag)
+	}
+	e.stats.Charged[first.tag] += first.rounds
+	e.respond(func(int) response { return response{} })
+	return nil
+}
+
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

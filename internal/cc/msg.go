@@ -1,0 +1,31 @@
+package cc
+
+// WordsPerMsg is the number of 64-bit payload words carried by one message.
+// Graph weights are bounded by n^c (paper §1.5), so each word is O(log n)
+// bits and a message is O(log n) bits total.
+const WordsPerMsg = 4
+
+// Msg is one Congested Clique message: a small constant number of
+// O(log n)-bit fields. The meaning of A..D is defined by the algorithm that
+// sends the message; Kind disambiguates message types within one algorithm.
+type Msg struct {
+	Src  int32 // filled in by the engine on delivery
+	Kind uint8
+	A    int64
+	B    int64
+	C    int64
+	D    int64
+}
+
+// Packet is a message addressed to a destination node.
+type Packet struct {
+	Dst int32
+	M   Msg
+}
+
+// Rec is a record participating in a global sort: a sort key plus a message
+// payload that travels with it.
+type Rec struct {
+	Key int64
+	M   Msg
+}

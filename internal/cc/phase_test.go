@@ -1,0 +1,73 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhaseAttribution(t *testing.T) {
+	stats, err := Run(Config{N: 4}, func(nd *Node) error {
+		nd.Sync(nil) // attributed to ""
+		nd.Phase("alpha")
+		nd.Sync(nil)
+		nd.BroadcastVal(0)
+		nd.Phase("beta")
+		nd.Charge("x", 5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Phases[""]; got != 1 {
+		t.Errorf("unlabeled rounds=%d, want 1", got)
+	}
+	if got := stats.Phases["alpha"]; got != 2 {
+		t.Errorf("alpha rounds=%d, want 2", got)
+	}
+	if got := stats.Phases["beta"]; got != 5 {
+		t.Errorf("beta rounds=%d, want 5", got)
+	}
+	total := 0
+	for _, r := range stats.Phases {
+		total += r
+	}
+	if total != stats.TotalRounds() {
+		t.Errorf("phase rounds sum %d != total %d", total, stats.TotalRounds())
+	}
+}
+
+func TestPhaseIsFree(t *testing.T) {
+	stats, err := Run(Config{N: 3}, func(nd *Node) error {
+		nd.Phase("only")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalRounds() != 0 {
+		t.Errorf("phase switch cost %d rounds", stats.TotalRounds())
+	}
+}
+
+func TestPhaseMismatchFails(t *testing.T) {
+	_, err := Run(Config{N: 2}, func(nd *Node) error {
+		if nd.ID == 0 {
+			nd.Phase("a")
+		} else {
+			nd.Phase("b")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "mismatched collectives") {
+		t.Fatalf("want mismatched collectives error, got %v", err)
+	}
+}
+
+func TestStatsAddMergesPhases(t *testing.T) {
+	a := Stats{Phases: map[string]int{"x": 1}}
+	b := Stats{Phases: map[string]int{"x": 2, "y": 3}}
+	a.Add(&b)
+	if a.Phases["x"] != 3 || a.Phases["y"] != 3 {
+		t.Errorf("merged phases: %v", a.Phases)
+	}
+}

@@ -1,0 +1,108 @@
+// Package diameter implements the near-3/2 diameter approximation of §7.2
+// (Claims 34-35): the Roditty-Vassilevska Williams scheme [54] built from
+// the paper's distance tools - k-nearest sets, a hitting set S, a
+// (1+ε)-MSSP from S, and a second (1+ε)-MSSP from N_k(w) for the node w
+// farthest from its pivot. For unweighted diameter D = 3h+z the estimate D'
+// satisfies 2h+z <= D' <= (1+ε)D (z ∈ {0,1}; 2h+1 for z = 2); weighted
+// graphs lose an additive max-edge-weight term.
+package diameter
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/disttools"
+	"github.com/congestedclique/ccsp/internal/hitting"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/mssp"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// Approx returns the diameter estimate (identical at all nodes). eps is
+// the MSSP approximation parameter; hp configures the shared hopset.
+func Approx(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq, hp hopset.Params) (int64, error) {
+	n := nd.N
+	// Line (1): distances to the k nearest, k = O~(√n) so that the
+	// hitting set has size O~(√n).
+	k := int(math.Ceil(math.Sqrt(float64(n)) * math.Log2(float64(n)+1)))
+	if k > n {
+		k = n
+	}
+	knear := disttools.KNearest(nd, sr, wrow, k)
+	sv := make([]int32, 0, len(knear))
+	for _, e := range knear {
+		sv = append(sv, e.Col)
+	}
+	// Line (2): hitting set S.
+	inS := boards.Next(nd.ID).Hit(nd, sv)
+	// Line (3): MSSP from S (builds the hopset, reused by line (5)).
+	hp.Eps = eps
+	res, err := mssp.Run(nd, sr, wrow, inS, boards.Next(nd.ID), hp)
+	if err != nil {
+		return 0, fmt.Errorf("diameter: %w", err)
+	}
+	// Line (4): pivots p(v) ∈ S ∩ N_k(v), exact d(v, p(v)); all nodes
+	// learn all pivot distances.
+	dpv := semiring.InfWH
+	for _, e := range knear {
+		if inS[e.Col] && semiring.LessWH(e.Val, dpv) {
+			dpv = e.Val
+		}
+	}
+	pivD := int64(0)
+	if dpv.W < semiring.Inf {
+		pivD = dpv.W
+	}
+	dpvs := nd.BroadcastVal(pivD)
+	// Line (5): w maximizes d(v, p(v)); ties to the smallest ID. w floods
+	// N_k(w) membership (one message per member, then a membership
+	// broadcast).
+	w := 0
+	for v := 1; v < n; v++ {
+		if dpvs[v] > dpvs[w] {
+			w = v
+		}
+	}
+	var flood []cc.Packet
+	if nd.ID == w {
+		for _, e := range knear {
+			flood = append(flood, cc.Packet{Dst: e.Col, M: cc.Msg{}})
+		}
+	}
+	inNkw := len(nd.Sync(flood)) > 0 || nd.ID == w
+	member := int64(0)
+	if inNkw {
+		member = 1
+	}
+	members := nd.BroadcastVal(member)
+	inNkwAll := make([]bool, n)
+	for v := range inNkwAll {
+		inNkwAll[v] = members[v] == 1
+	}
+	res2, err := mssp.RunWithHopset(nd, sr, wrow, inNkwAll, res.Hopset)
+	if err != nil {
+		return 0, fmt.Errorf("diameter: second MSSP: %w", err)
+	}
+	// Line (6): the estimate is the maximum distance seen in either MSSP.
+	var local int64
+	for _, e := range res.Dist {
+		if e.Val.W < semiring.Inf && e.Val.W > local {
+			local = e.Val.W
+		}
+	}
+	for _, e := range res2.Dist {
+		if e.Val.W < semiring.Inf && e.Val.W > local {
+			local = e.Val.W
+		}
+	}
+	maxes := nd.BroadcastVal(local)
+	best := int64(0)
+	for _, m := range maxes {
+		if m > best {
+			best = m
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,291 @@
+package disttools
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/graph"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// randGraph builds a connected random weighted graph: a random spanning
+// tree plus extra random edges.
+func randGraph(n, extraEdges int, maxW int64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v), rng.Int63n(maxW)+1)
+	}
+	for e := 0; e < extraEdges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, rng.Int63n(maxW)+1)
+		}
+	}
+	return g
+}
+
+// closureRef builds the full augmented closure matrix from DijkstraAug.
+func closureRef(g *graph.Graph) *matrix.Mat[semiring.WH] {
+	sr := g.AugSemiring()
+	m := matrix.New[semiring.WH](g.N)
+	for v := 0; v < g.N; v++ {
+		row := make(matrix.Row[semiring.WH], 0, g.N)
+		for u, d := range g.DijkstraAug(v) {
+			if !sr.IsZero(d) {
+				row = append(row, matrix.Entry[semiring.WH]{Col: int32(u), Val: d})
+			}
+		}
+		m.Rows[v] = row
+	}
+	return m
+}
+
+func TestKNearestMatchesReference(t *testing.T) {
+	cases := []struct {
+		n, extra, k int
+		seed        int64
+	}{
+		{8, 4, 3, 1},
+		{16, 10, 4, 2},
+		{16, 10, 1, 3},
+		{24, 20, 8, 4},
+		{32, 16, 6, 5},
+		{20, 0, 5, 6}, // tree
+	}
+	for _, tc := range cases {
+		g := randGraph(tc.n, tc.extra, 20, tc.seed)
+		sr := g.AugSemiring()
+		want := matrix.Filter[semiring.WH](sr, closureRef(g), tc.k)
+		got := matrix.New[semiring.WH](tc.n)
+		_, err := cc.Run(cc.Config{N: tc.n}, func(nd *cc.Node) error {
+			got.Rows[nd.ID] = KNearest(nd, sr, g.WeightRow(nd.ID), tc.k)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if !matrix.Equal[semiring.WH](sr, got, want) {
+			t.Errorf("n=%d k=%d seed=%d: k-nearest differs from reference", tc.n, tc.k, tc.seed)
+		}
+	}
+}
+
+func TestKNearestLine(t *testing.T) {
+	// On a unit line, the 3 nearest to an interior node are itself and its
+	// two neighbors.
+	n := 10
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, 1)
+	}
+	sr := g.AugSemiring()
+	got := matrix.New[semiring.WH](n)
+	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		got.Rows[nd.ID] = KNearest(nd, sr, g.WeightRow(nd.ID), 3)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := got.Rows[5]
+	if len(row) != 3 {
+		t.Fatalf("node 5 learned %d neighbors, want 3", len(row))
+	}
+	wantCols := map[int32]semiring.WH{4: {W: 1, H: 1}, 5: {}, 6: {W: 1, H: 1}}
+	for _, e := range row {
+		if want, ok := wantCols[e.Col]; !ok || want != e.Val {
+			t.Errorf("unexpected 3-nearest entry %d=%v", e.Col, e.Val)
+		}
+	}
+}
+
+// sourceDetectRef computes U_d by reference multiplication.
+func sourceDetectRef(g *graph.Graph, inS []bool, d int) *matrix.Mat[semiring.WH] {
+	sr := g.AugSemiring()
+	w := g.WeightMatrix()
+	u := matrix.New[semiring.WH](g.N)
+	for v := 0; v < g.N; v++ {
+		for _, e := range w.Rows[v] {
+			if inS[e.Col] {
+				u.Rows[v] = append(u.Rows[v], e)
+			}
+		}
+	}
+	for i := 1; i < d; i++ {
+		u = matrix.MulRef[semiring.WH](sr, w, u)
+	}
+	return u
+}
+
+func TestSourceDetectMatchesReference(t *testing.T) {
+	cases := []struct {
+		n, extra, nS, d int
+		seed            int64
+	}{
+		{12, 8, 2, 3, 1},
+		{16, 12, 4, 4, 2},
+		{24, 10, 1, 5, 3},
+		{20, 30, 6, 2, 4},
+	}
+	for _, tc := range cases {
+		g := randGraph(tc.n, tc.extra, 10, tc.seed)
+		sr := g.AugSemiring()
+		inS := make([]bool, tc.n)
+		rng := rand.New(rand.NewSource(tc.seed + 99))
+		for c := 0; c < tc.nS; {
+			v := rng.Intn(tc.n)
+			if !inS[v] {
+				inS[v] = true
+				c++
+			}
+		}
+		want := sourceDetectRef(g, inS, tc.d)
+		got := matrix.New[semiring.WH](tc.n)
+		_, err := cc.Run(cc.Config{N: tc.n}, func(nd *cc.Node) error {
+			row, err := SourceDetect(nd, sr, g.WeightRow(nd.ID), inS, tc.d)
+			if err != nil {
+				return err
+			}
+			got.Rows[nd.ID] = row
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("case %+v: %v", tc, err)
+		}
+		if !matrix.Equal[semiring.WH](sr, got, want) {
+			t.Errorf("case %+v: source detection differs from reference", tc)
+		}
+	}
+}
+
+func TestSourceDetectHopLimit(t *testing.T) {
+	// On a unit line with source 0, after d products only nodes within d
+	// hops know a distance.
+	n := 12
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, 1)
+	}
+	sr := g.AugSemiring()
+	inS := make([]bool, n)
+	inS[0] = true
+	d := 4
+	got := matrix.New[semiring.WH](n)
+	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		row, err := SourceDetect(nd, sr, g.WeightRow(nd.ID), inS, d)
+		if err != nil {
+			return err
+		}
+		got.Rows[nd.ID] = row
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		d0 := got.Get(sr, v, 0)
+		if v <= d {
+			if d0.W != int64(v) || d0.H != int64(v) {
+				t.Errorf("node %d: d-hop distance %v, want (%d,%d)", v, d0, v, v)
+			}
+		} else if !sr.IsZero(d0) {
+			t.Errorf("node %d beyond hop limit learned %v", v, d0)
+		}
+	}
+}
+
+func TestSourceDetectKMatchesFilteredReference(t *testing.T) {
+	g := randGraph(18, 14, 10, 7)
+	sr := g.AugSemiring()
+	inS := make([]bool, g.N)
+	for _, s := range []int{1, 5, 9, 13} {
+		inS[s] = true
+	}
+	d, k := 4, 2
+	want := matrix.Filter[semiring.WH](sr, sourceDetectRef(g, inS, d), k)
+	got := matrix.New[semiring.WH](g.N)
+	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+		got.Rows[nd.ID] = SourceDetectK(nd, sr, g.WeightRow(nd.ID), inS, d, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal[semiring.WH](sr, got, want) {
+		t.Error("k-source detection differs from filtered reference")
+	}
+}
+
+func TestDistThroughSets(t *testing.T) {
+	// Sets W_v = {v, pivot set members}; brute-force comparison.
+	n := 14
+	rng := rand.New(rand.NewSource(3))
+	sr := semiring.NewMinPlus(1 << 40)
+	sets := make([][]Est, n)
+	for v := 0; v < n; v++ {
+		used := map[int32]bool{}
+		for c := 0; c < 4; c++ {
+			w := int32(rng.Intn(n))
+			if used[w] {
+				continue
+			}
+			used[w] = true
+			sets[v] = append(sets[v], Est{W: w, To: rng.Int63n(50) + 1, From: rng.Int63n(50) + 1})
+		}
+	}
+	got := matrix.New[int64](n)
+	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		row, err := DistThroughSets(nd, sr, sets[nd.ID])
+		if err != nil {
+			return err
+		}
+		got.Rows[nd.ID] = row
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			want := sr.Zero()
+			for _, ev := range sets[v] {
+				for _, eu := range sets[u] {
+					if ev.W == eu.W {
+						want = sr.Add(want, ev.To+eu.From)
+					}
+				}
+			}
+			if gotV := got.Get(sr, v, u); !sr.Eq(gotV, want) {
+				t.Fatalf("dist-through-sets [%d,%d]=%d, want %d", v, u, gotV, want)
+			}
+		}
+	}
+}
+
+// TestTheorem18Rounds: with k = √n the bound is O(log n · log k); rounds
+// must stay far from polynomial.
+func TestTheorem18Rounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test")
+	}
+	rounds := map[int]int{}
+	for _, n := range []int{36, 144} {
+		g := randGraph(n, 2*n, 10, int64(n))
+		sr := g.AugSemiring()
+		k := 6 // = √36; fixed k isolates the n-dependence
+		stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			KNearest(nd, sr, g.WeightRow(nd.ID), k)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds[n] = stats.TotalRounds()
+	}
+	if rounds[144] > 2*rounds[36] {
+		t.Errorf("k-nearest rounds grew too fast: %v", rounds)
+	}
+}

@@ -1,0 +1,194 @@
+// Package graphgen provides deterministic synthetic graph generators for
+// the experiment workloads (the paper is pure theory, so workloads are
+// generated to span the regimes its theorems distinguish: sparse/dense,
+// weighted/unweighted, low/high diameter, skewed degrees - see DESIGN.md).
+// All generators are reproducible from the seed.
+package graphgen
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/congestedclique/ccsp/internal/graph"
+)
+
+// Weights selects edge-weight generation.
+type Weights struct {
+	// Max is the maximum weight; 0 or 1 means unweighted (all ones).
+	Max int64
+}
+
+func (w Weights) draw(rng *rand.Rand) int64 {
+	if w.Max <= 1 {
+		return 1
+	}
+	return rng.Int63n(w.Max) + 1
+}
+
+// Connected returns a connected random graph: a random attachment tree
+// plus extra uniformly random edges.
+func Connected(n, extraEdges int, w Weights, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v), w.draw(rng))
+	}
+	for e := 0; e < extraEdges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, w.draw(rng))
+		}
+	}
+	return g
+}
+
+// GNP returns an Erdős-Rényi G(n,p) graph (possibly disconnected).
+func GNP(n int, p float64, w Weights, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, w.draw(rng))
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns an r×c grid (a road-network-like workload: large diameter,
+// degree at most 4).
+func Grid(rows, cols int, w Weights, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1), w.draw(rng))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), w.draw(rng))
+			}
+		}
+	}
+	return g
+}
+
+// Geometric returns a random geometric graph on the unit square with the
+// given connection radius (weights scale with distance when weighted).
+func Geometric(n int, radius float64, w Weights, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			d := math.Sqrt(dx*dx + dy*dy)
+			if d <= radius {
+				wt := int64(1)
+				if w.Max > 1 {
+					wt = int64(d/radius*float64(w.Max)) + 1
+				}
+				g.MustAddEdge(u, v, wt)
+			}
+		}
+	}
+	return g
+}
+
+// Star returns a star with hub 0 - the dense-product adversary named in
+// §1.3 (squaring its adjacency matrix is dense).
+func Star(n int, w Weights, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v, w.draw(rng))
+	}
+	return g
+}
+
+// Path returns the path 0-1-...-n-1 (maximal SPD: the Bellman-Ford
+// worst case of E10).
+func Path(n int, w Weights, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, w.draw(rng))
+	}
+	return g
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int, w Weights, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n, w.draw(rng))
+	}
+	return g
+}
+
+// PreferentialAttachment returns a Barabási-Albert-style graph: each new
+// node attaches m edges preferentially to high-degree nodes - the
+// power-law "social network" workload with a high-degree core.
+func PreferentialAttachment(n, m int, w Weights, seed int64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	// Attachment pool: node IDs appear once per incident edge.
+	pool := make([]int, 0, 2*m*n)
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	for v := 1; v < start; v++ {
+		g.MustAddEdge(v, v-1, w.draw(rng))
+		pool = append(pool, v, v-1)
+	}
+	for v := start; v < n; v++ {
+		chosen := map[int]bool{}
+		order := make([]int, 0, m)
+		for len(order) < m {
+			var u int
+			if len(pool) == 0 {
+				u = rng.Intn(v)
+			} else {
+				u = pool[rng.Intn(len(pool))]
+			}
+			if u != v && !chosen[u] {
+				chosen[u] = true
+				order = append(order, u)
+			}
+		}
+		for _, u := range order {
+			g.MustAddEdge(v, u, w.draw(rng))
+			pool = append(pool, v, u)
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a path with l leaves attached to each spine node - a
+// mixed high/low-degree workload for the §6.3 split.
+func Caterpillar(spine, leaves int, w Weights, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := spine * (1 + leaves)
+	g := graph.New(n)
+	for s := 0; s < spine; s++ {
+		if s+1 < spine {
+			g.MustAddEdge(s, s+1, w.draw(rng))
+		}
+		for l := 0; l < leaves; l++ {
+			g.MustAddEdge(s, spine+s*leaves+l, w.draw(rng))
+		}
+	}
+	return g
+}

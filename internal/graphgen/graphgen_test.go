@@ -1,0 +1,109 @@
+package graphgen
+
+import (
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/graph"
+)
+
+func checkValid(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	for v := 0; v < g.N; v++ {
+		for _, e := range g.Adj[v] {
+			if int(e.To) == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+			if e.To < 0 || int(e.To) >= g.N {
+				t.Fatalf("edge out of range at %d", v)
+			}
+			if e.W < 1 {
+				t.Fatalf("non-positive weight at %d", v)
+			}
+		}
+	}
+}
+
+func TestGeneratorsValidAndDeterministic(t *testing.T) {
+	gens := map[string]func(seed int64) *graph.Graph{
+		"connected":    func(s int64) *graph.Graph { return Connected(30, 20, Weights{Max: 10}, s) },
+		"gnp":          func(s int64) *graph.Graph { return GNP(25, 0.2, Weights{}, s) },
+		"grid":         func(s int64) *graph.Graph { return Grid(5, 6, Weights{Max: 4}, s) },
+		"geometric":    func(s int64) *graph.Graph { return Geometric(30, 0.3, Weights{Max: 8}, s) },
+		"star":         func(s int64) *graph.Graph { return Star(20, Weights{}, s) },
+		"path":         func(s int64) *graph.Graph { return Path(20, Weights{Max: 5}, s) },
+		"cycle":        func(s int64) *graph.Graph { return Cycle(17, Weights{}, s) },
+		"preferential": func(s int64) *graph.Graph { return PreferentialAttachment(40, 2, Weights{}, s) },
+		"caterpillar":  func(s int64) *graph.Graph { return Caterpillar(6, 4, Weights{}, s) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			a := gen(7)
+			checkValid(t, a)
+			b := gen(7)
+			if a.N != b.N || a.M() != b.M() {
+				t.Fatal("generator not deterministic")
+			}
+			for v := 0; v < a.N; v++ {
+				if len(a.Adj[v]) != len(b.Adj[v]) {
+					t.Fatal("generator not deterministic (adjacency)")
+				}
+				for i := range a.Adj[v] {
+					if a.Adj[v][i] != b.Adj[v][i] {
+						t.Fatal("generator not deterministic (edges)")
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConnectedIsConnected(t *testing.T) {
+	g := Connected(40, 0, Weights{Max: 3}, 9)
+	if _, connected := g.Diameter(); !connected {
+		t.Fatal("Connected generator produced a disconnected graph")
+	}
+}
+
+func TestStructuredShapes(t *testing.T) {
+	if g := Star(10, Weights{}, 1); g.Degree(0) != 9 || g.M() != 9 {
+		t.Error("star shape wrong")
+	}
+	if g := Path(10, Weights{}, 1); g.SPD() != 9 {
+		t.Error("path SPD wrong")
+	}
+	if g := Cycle(10, Weights{}, 1); g.M() != 10 {
+		t.Error("cycle size wrong")
+	}
+	g := Grid(4, 5, Weights{}, 1)
+	if g.N != 20 || g.M() != 4*4+3*5 {
+		t.Errorf("grid shape wrong: n=%d m=%d", g.N, g.M())
+	}
+	if d, connected := g.Diameter(); !connected || d != 7 {
+		t.Errorf("unit grid diameter=%d, want 7", d)
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	g := PreferentialAttachment(100, 2, Weights{}, 3)
+	if _, connected := g.Diameter(); !connected {
+		t.Fatal("preferential attachment graph disconnected")
+	}
+	if g.MaxDegree() < 8 {
+		t.Errorf("max degree %d suspiciously small for a preferential graph", g.MaxDegree())
+	}
+}
+
+func TestCaterpillarDegrees(t *testing.T) {
+	g := Caterpillar(5, 3, Weights{}, 2)
+	if g.N != 20 {
+		t.Fatalf("n=%d, want 20", g.N)
+	}
+	// Interior spine nodes: 2 spine edges + 3 leaves = 5.
+	if g.Degree(2) != 5 {
+		t.Errorf("spine degree=%d, want 5", g.Degree(2))
+	}
+	// Leaves have degree 1.
+	if g.Degree(10) != 1 {
+		t.Errorf("leaf degree=%d, want 1", g.Degree(10))
+	}
+}

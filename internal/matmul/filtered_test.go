@@ -1,0 +1,133 @@
+package matmul
+
+import (
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// runFiltered executes the distributed Theorem 14 filtered multiplication.
+func runFiltered[E any](t *testing.T, sr semiring.Ordered[E], s, tm *matrix.Mat[E], rho int) (*matrix.Mat[E], cc.Stats) {
+	t.Helper()
+	n := s.N
+	out := matrix.New[E](n)
+	stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		out.Rows[nd.ID] = MultiplyFiltered(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rho)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("MultiplyFiltered failed: %v", err)
+	}
+	return out, stats
+}
+
+func TestFilteredMatchesReference(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 40)
+	cases := []struct {
+		n, perRowS, perRowT, rho int
+		seed                     int64
+	}{
+		{8, 3, 3, 2, 1},
+		{16, 4, 4, 3, 2},
+		{16, 8, 8, 1, 3},
+		{24, 5, 5, 8, 4},
+		{32, 6, 6, 4, 5},
+		{33, 4, 7, 5, 6},  // odd n
+		{16, 2, 2, 16, 7}, // rho = n: no filtering
+	}
+	for _, tc := range cases {
+		s := randMat(tc.n, tc.perRowS, tc.seed+500)
+		tm := randMat(tc.n, tc.perRowT, tc.seed+600)
+		want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, s, tm), tc.rho)
+		got, _ := runFiltered[int64](t, sr, s, tm, tc.rho)
+		if !matrix.Equal[int64](sr, got, want) {
+			t.Errorf("n=%d rho=%d seed=%d: filtered product differs from reference", tc.n, tc.rho, tc.seed)
+		}
+	}
+}
+
+func TestFilteredDenseProductSparseOutput(t *testing.T) {
+	// The star-graph adversary of §1.3: the unfiltered product is dense
+	// (ρ_P = n), but Theorem 14 never materializes it. The result must be
+	// the rho smallest per row.
+	sr := semiring.NewMinPlus(1 << 40)
+	n := 16
+	s := matrix.New[int64](n)
+	for j := 1; j < n; j++ {
+		s.Set(sr, 0, j, int64(j))
+		s.Set(sr, j, 0, int64(j))
+	}
+	rho := 3
+	want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, s, s), rho)
+	got, _ := runFiltered[int64](t, sr, s, s, rho)
+	if !matrix.Equal[int64](sr, got, want) {
+		t.Error("star-graph filtered product differs from reference")
+	}
+}
+
+func TestFilteredAugmentedTieBreakByHops(t *testing.T) {
+	// Paths with equal weight but different hop counts must be ordered by
+	// hops (the augmented semiring's lexicographic order), which is what
+	// Lemma 17's consistency needs.
+	n := 12
+	sr := semiring.NewAugMinPlus(int64(n*100), int64(n))
+	s := matrix.New[semiring.WH](n)
+	// A cycle with unit weights: squaring gives 2-hop entries.
+	for v := 0; v < n; v++ {
+		s.Set(sr, v, (v+1)%n, semiring.WH{W: 1, H: 1})
+		s.Set(sr, v, v, semiring.WH{W: 0, H: 0})
+	}
+	rho := 2
+	want := matrix.Filter[semiring.WH](sr, matrix.MulRef[semiring.WH](sr, s, s), rho)
+	got, _ := runFiltered[semiring.WH](t, sr, s, s, rho)
+	if !matrix.Equal[semiring.WH](sr, got, want) {
+		t.Error("augmented filtered product differs from reference")
+	}
+}
+
+func TestFilteredNeedsNoDensityKnowledge(t *testing.T) {
+	// Unlike Theorem 8, no ρ̂ estimate exists to get wrong; the only
+	// parameter is rho itself. Check a range of inputs where the true
+	// product density varies wildly.
+	sr := semiring.NewMinPlus(1 << 40)
+	for _, perRow := range []int{1, 4, 12} {
+		n := 24
+		s := randMat(n, perRow, int64(perRow)*7)
+		tm := randMat(n, perRow, int64(perRow)*7+1)
+		rho := 3
+		want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, s, tm), rho)
+		got, _ := runFiltered[int64](t, sr, s, tm, rho)
+		if !matrix.Equal[int64](sr, got, want) {
+			t.Errorf("perRow=%d: filtered product differs", perRow)
+		}
+	}
+}
+
+// TestTheorem14RoundsLogarithmic: with ρS = ρT = ρ = √n the round bound is
+// O(log n); rounds must grow far slower than any polynomial in n.
+func TestTheorem14RoundsLogarithmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test")
+	}
+	sr := semiring.NewMinPlus(1 << 20)
+	rounds := map[int]int{}
+	for _, n := range []int{36, 144} {
+		perRow := isqrt(n)
+		s := randMat(n, perRow, int64(n)+50)
+		tm := randMat(n, perRow, int64(n)+51)
+		rho := perRow
+		want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, s, tm), rho)
+		got, stats := runFiltered[int64](t, sr, s, tm, rho)
+		if !matrix.Equal[int64](sr, got, want) {
+			t.Fatalf("n=%d: wrong filtered product", n)
+		}
+		rounds[n] = stats.TotalRounds()
+	}
+	// Quadrupling n must not even double the rounds (the +log W term is
+	// fixed here because MaxVal is fixed).
+	if rounds[144] > 2*rounds[36] {
+		t.Errorf("rounds grew too fast: %v", rounds)
+	}
+}

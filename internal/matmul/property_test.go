@@ -1,0 +1,193 @@
+package matmul
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// TestMultiplyProperty: for random sparse min-plus matrices of random
+// shapes, the distributed product equals the sequential reference.
+func TestMultiplyProperty(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 40)
+	prop := func(seed int64, nRaw, dS, dT uint8) bool {
+		n := int(nRaw)%24 + 2
+		s := randMat(n, int(dS)%n+1, seed)
+		tm := randMat(n, int(dT)%n+1, seed+1)
+		rhoHat := matrix.SupportDensity[int64](s, tm)
+		want := matrix.MulRef[int64](sr, s, tm)
+		got := matrix.New[int64](n)
+		_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			row, err := Multiply(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rhoHat)
+			if err != nil {
+				return err
+			}
+			got.Rows[nd.ID] = row
+			return nil
+		})
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		return matrix.Equal[int64](sr, got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFilteredProperty: the distributed filtered product equals the
+// filtered reference for random shapes and filter sizes.
+func TestFilteredProperty(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 20)
+	prop := func(seed int64, nRaw, dRaw, rhoRaw uint8) bool {
+		n := int(nRaw)%24 + 2
+		d := int(dRaw)%n + 1
+		rho := int(rhoRaw)%n + 1
+		s := randMat(n, d, seed+100)
+		tm := randMat(n, d, seed+101)
+		want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, s, tm), rho)
+		got := matrix.New[int64](n)
+		_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			got.Rows[nd.ID] = MultiplyFiltered(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rho)
+			return nil
+		})
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		return matrix.Equal[int64](sr, got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiplyRectangularShapes exercises the padding claim of §2.1:
+// rectangular multiplications are square multiplications with zero rows.
+func TestMultiplyRectangularShapes(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 40)
+	n := 20
+	// S is n x n, T has only 5 populated rows (an n x 5 product after
+	// transposition of roles).
+	s := randMat(n, 4, 301)
+	tm := matrix.New[int64](n)
+	rng := rand.New(rand.NewSource(302))
+	for i := 0; i < 5; i++ {
+		row := make(matrix.Row[int64], 0, 4)
+		seen := map[int32]bool{}
+		for len(row) < 4 {
+			c := int32(rng.Intn(n))
+			if !seen[c] {
+				seen[c] = true
+				row = append(row, matrix.Entry[int64]{Col: c, Val: int64(rng.Intn(50) + 1)})
+			}
+		}
+		tm.Rows[i*3] = matrix.SortRow(row)
+	}
+	want := matrix.MulRef[int64](sr, s, tm)
+	got, _ := runMultiply[int64](t, sr, s, tm, matrix.SupportDensity[int64](s, tm))
+	if !matrix.Equal[int64](sr, got, want) {
+		t.Error("rectangular-shaped product differs from reference")
+	}
+}
+
+// TestMultiplySelfAndPowers: A², A⁴ by repeated distributed squaring match
+// reference powers (the §3.1 usage pattern).
+func TestMultiplySelfAndPowers(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 40)
+	n := 16
+	a := randMat(n, 3, 303)
+	want := a.Clone()
+	got := a.Clone()
+	for pow := 0; pow < 2; pow++ {
+		want = matrix.MulRef[int64](sr, want, want)
+		next := matrix.New[int64](n)
+		_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			next.Rows[nd.ID] = MultiplyAuto(nd, sr, got.Rows[nd.ID], got.Rows[nd.ID])
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = next
+		if !matrix.Equal[int64](sr, got, want) {
+			t.Fatalf("power %d differs from reference", pow+2)
+		}
+	}
+}
+
+// TestMultiplyDeterministic: identical runs give identical stats and
+// outputs (the paper's algorithms are deterministic).
+func TestMultiplyDeterministic(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 40)
+	n := 24
+	s := randMat(n, 5, 304)
+	tm := randMat(n, 5, 305)
+	rhoHat := matrix.SupportDensity[int64](s, tm)
+	run := func() (string, *matrix.Mat[int64]) {
+		got := matrix.New[int64](n)
+		stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			row, err := Multiply(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rhoHat)
+			if err != nil {
+				return err
+			}
+			got.Rows[nd.ID] = row
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.String(), got
+	}
+	s1, g1 := run()
+	s2, g2 := run()
+	if s1 != s2 {
+		t.Errorf("stats differ: %s vs %s", s1, s2)
+	}
+	if !matrix.Equal[int64](sr, g1, g2) {
+		t.Error("outputs differ between identical runs")
+	}
+}
+
+// TestChunkHelpers covers the chunk-selection arithmetic directly.
+func TestChunkHelpers(t *testing.T) {
+	product := make([]triple[int64], 10)
+	for i := range product {
+		product[i] = triple[int64]{row: int32(i)}
+	}
+	if got := chunk(product, 0, 4); len(got) != 4 || got[0].row != 0 {
+		t.Errorf("chunk 0: %v", got)
+	}
+	if got := chunk(product, 2, 4); len(got) != 2 || got[0].row != 8 {
+		t.Errorf("chunk 2: %v", got)
+	}
+	if got := chunk(product, 3, 4); got != nil {
+		t.Errorf("chunk beyond end: %v", got)
+	}
+	if got := chunkTail(product, 1, 4); len(got) != 6 || got[0].row != 4 {
+		t.Errorf("chunkTail: %v", got)
+	}
+	if got := chunkTail(product, 9, 4); got != nil {
+		t.Errorf("chunkTail beyond end: %v", got)
+	}
+}
+
+// TestBuildSigma2 covers the Lemma 12 helper-assignment arithmetic.
+func TestBuildSigma2(t *testing.T) {
+	counts := []int64{10, 0, 25, 4}
+	sigma := buildSigma2(counts, 4, 8, 10)
+	// Subcube 0 needs floor(10/10)=1 helper, subcube 2 floor(25/10)=2,
+	// subcube 3 floor(4/10)=0.
+	wantPrefix := []int32{0, 2, 2, -1, -1, -1, -1, -1}
+	for i, want := range wantPrefix {
+		if sigma[i] != want {
+			t.Errorf("sigma[%d]=%d, want %d (full: %v)", i, sigma[i], want, sigma)
+			break
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package matmul
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// PartitionSketch runs the real cube-partitioning collective (Lemma 9) on
+// the given matrices and renders the decomposition as text - the content of
+// the paper's Figure 1 (subcubes C^S_i × C^ij_k × C^T_j) and Figure 2 (the
+// layer matrices P_k assembled from subtask blocks). Intended for small n
+// (it prints O(n²) characters); used by cmd/cubeviz.
+func PartitionSketch[E any](sr semiring.Semiring[E], s, t *matrix.Mat[E], rhoHat int) (string, error) {
+	n := s.N
+	var sketch string
+	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		cs := newCube(nd, sr, s.Rows[nd.ID], t.Rows[nd.ID], rhoHat)
+		if nd.ID != 0 {
+			return nil
+		}
+		sketch = renderSketch(cs, s, t)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return sketch, nil
+}
+
+func renderSketch[E any](cs *cubeState[E], s, t *matrix.Mat[E]) string {
+	var b strings.Builder
+	p := cs.par
+	fmt.Fprintf(&b, "cube partition of V³ (n=%d): a=%d b=%d c=%d  (ρS=%d ρT=%d ρ̂=%d)\n",
+		cs.n, p.A, p.B, p.C, cs.rhoS, cs.rhoT, cs.rhoHat)
+	fmt.Fprintf(&b, "subcubes: %d of shape (n/b=%d) × middle × (n/a=%d)\n\n", cs.nsub, cs.n/p.B, cs.n/p.A)
+
+	// Figure 1 left: S sliced into row groups C^S_i (Lemma 5 deal
+	// partition) × middle groups C^ij_k for j = 0.
+	fmt.Fprintf(&b, "Figure 1 - S block structure (cell = row group i / middle part k for j=0):\n")
+	for u := 0; u < cs.n; u++ {
+		for w := 0; w < cs.n; w++ {
+			i := int(cs.sAssign[u])
+			k := cs.findPart(i, 0, w)
+			ch := '.'
+			if !anyZero(s.Rows[u], w) {
+				ch = rune('A' + (i*p.C+k)%26)
+			}
+			b.WriteRune(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "\nFigure 1 - T block structure (cell = middle part k for i=0 / column group j):\n")
+	tt := t.Transpose()
+	for w := 0; w < cs.n; w++ {
+		for u := 0; u < cs.n; u++ {
+			j := int(cs.tAssign[u])
+			k := cs.findPart(0, j, w)
+			ch := '.'
+			if !anyZero(tt.Rows[u], w) {
+				ch = rune('A' + (j*p.C+k)%26)
+			}
+			b.WriteRune(ch)
+		}
+		b.WriteByte('\n')
+	}
+
+	// Figure 2: the layer matrices P_k: block (i, j) of P_k is the subtask
+	// S[C^S_i, C^ij_k]·T[C^ij_k, C^T_j].
+	fmt.Fprintf(&b, "\nFigure 2 - layer matrices P_k (block (i,j) computed by node (i*a+j)*c+k):\n")
+	for k := 0; k < p.C; k++ {
+		fmt.Fprintf(&b, "P_%d:\n", k+1)
+		for i := 0; i < p.B; i++ {
+			for j := 0; j < p.A; j++ {
+				fmt.Fprintf(&b, "  [C^S_%d × C^T_%d via C^{%d,%d}_%d] node %d\n",
+					i, j, i, j, k, cs.subcubeID(i, j, k))
+			}
+		}
+	}
+
+	// Lemma 9 balance evidence: per-subcube input sizes.
+	fmt.Fprintf(&b, "\nLemma 9 balance (entries per subtask, bounds O(ρS·a+n)=%d, O(ρT·b+n)=%d):\n",
+		cs.rhoS*p.A+cs.n, cs.rhoT*p.B+cs.n)
+	maxS, maxT := 0, 0
+	for sid := 0; sid < cs.nsub; sid++ {
+		i, j, k := cs.decode(sid)
+		nzS, nzT := 0, 0
+		for u := 0; u < cs.n; u++ {
+			if int(cs.sAssign[u]) == i {
+				for _, e := range s.Rows[u] {
+					if cs.findPart(i, j, int(e.Col)) == k {
+						nzS++
+					}
+				}
+			}
+		}
+		for w := 0; w < cs.n; w++ {
+			if cs.findPart(i, j, w) == k {
+				for _, e := range t.Rows[w] {
+					if int(cs.tAssign[e.Col]) == j {
+						nzT++
+					}
+				}
+			}
+		}
+		if nzS > maxS {
+			maxS = nzS
+		}
+		if nzT > maxT {
+			maxT = nzT
+		}
+	}
+	fmt.Fprintf(&b, "  max nz(S[C^S_i, C^ij_k]) = %d, max nz(T[C^ij_k, C^T_j]) = %d\n", maxS, maxT)
+	return b.String()
+}
+
+func anyZero[E any](row matrix.Row[E], col int) bool {
+	for _, e := range row {
+		if int(e.Col) == col {
+			return false
+		}
+	}
+	return true
+}
+
+// Balance reports the Lemma 9 subtask-size guarantees for the given
+// inputs: the largest S-submatrix and T-submatrix over all subcubes, and
+// the corresponding O(ρS·a + n), O(ρT·b + n) bounds (up to the Lemma 7
+// factor 2). Used by tests and cmd/cubeviz.
+type Balance struct {
+	MaxSubS, MaxSubT     int
+	BoundSubS, BoundSubT int
+	Params               Params
+}
+
+// MeasureBalance runs the cube partitioning and measures the subtask sizes.
+func MeasureBalance[E any](sr semiring.Semiring[E], s, t *matrix.Mat[E], rhoHat int) (Balance, error) {
+	n := s.N
+	var bal Balance
+	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		cs := newCube(nd, sr, s.Rows[nd.ID], t.Rows[nd.ID], rhoHat)
+		if nd.ID != 0 {
+			return nil
+		}
+		bal.Params = cs.par
+		for sid := 0; sid < cs.nsub; sid++ {
+			i, j, k := cs.decode(sid)
+			nzS, nzT := 0, 0
+			for u := 0; u < cs.n; u++ {
+				if int(cs.sAssign[u]) == i {
+					for _, e := range s.Rows[u] {
+						if cs.findPart(i, j, int(e.Col)) == k {
+							nzS++
+						}
+					}
+				}
+			}
+			for w := 0; w < cs.n; w++ {
+				if cs.findPart(i, j, w) == k {
+					for _, e := range t.Rows[w] {
+						if int(cs.tAssign[e.Col]) == j {
+							nzT++
+						}
+					}
+				}
+			}
+			if nzS > bal.MaxSubS {
+				bal.MaxSubS = nzS
+			}
+			if nzT > bal.MaxSubT {
+				bal.MaxSubT = nzT
+			}
+		}
+		// Lemma 9 bounds with the Lemma 5 (+w) and Lemma 7 (×2) slack.
+		bal.BoundSubS = 2 * (cs.rhoS*cs.par.A + cs.n)
+		bal.BoundSubT = 2 * (cs.rhoT*cs.par.B + cs.n)
+		return nil
+	})
+	return bal, err
+}

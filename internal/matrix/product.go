@@ -1,0 +1,150 @@
+package matrix
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// MulRef computes the product P = S·T over sr sequentially. It is the
+// reference implementation the distributed algorithms of §2 are verified
+// against.
+func MulRef[E any](sr semiring.Semiring[E], s, t *Mat[E]) *Mat[E] {
+	n := s.N
+	p := New[E](n)
+	acc := make([]E, n)
+	hit := make([]bool, n)
+	touched := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		touched = touched[:0]
+		for _, es := range s.Rows[i] {
+			trow := t.Rows[es.Col]
+			for _, et := range trow {
+				prod := sr.Mul(es.Val, et.Val)
+				if hit[et.Col] {
+					acc[et.Col] = sr.Add(acc[et.Col], prod)
+				} else {
+					hit[et.Col] = true
+					acc[et.Col] = prod
+					touched = append(touched, et.Col)
+				}
+			}
+		}
+		row := make(Row[E], 0, len(touched))
+		for _, j := range touched {
+			if !sr.IsZero(acc[j]) {
+				row = append(row, Entry[E]{Col: j, Val: acc[j]})
+			}
+			hit[j] = false
+		}
+		p.Rows[i] = SortRow(row)
+	}
+	return p
+}
+
+// SupportDensity computes ρ̂_ST of §2.1: the density of the Boolean product
+// of the supports of S and T, ignoring cancellations. It is what the
+// known-density variant of Theorem 8 assumes known.
+func SupportDensity[E any](s, t *Mat[E]) int {
+	n := s.N
+	words := (n + 63) / 64
+	tbits := make([][]uint64, n)
+	for k := 0; k < n; k++ {
+		bits := make([]uint64, words)
+		for _, e := range t.Rows[k] {
+			bits[e.Col>>6] |= 1 << (uint(e.Col) & 63)
+		}
+		tbits[k] = bits
+	}
+	rowBits := make([]uint64, words)
+	nnz := 0
+	for i := 0; i < n; i++ {
+		for w := range rowBits {
+			rowBits[w] = 0
+		}
+		for _, es := range s.Rows[i] {
+			for w, b := range tbits[es.Col] {
+				rowBits[w] |= b
+			}
+		}
+		for _, w := range rowBits {
+			nnz += popcount(w)
+		}
+	}
+	rho := (nnz + n - 1) / n
+	if rho < 1 {
+		rho = 1
+	}
+	return rho
+}
+
+func popcount(x uint64) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// FilterRow returns the ρ-filtered version of a row per §2.2: the ρ
+// smallest entries under the order (Rank(value), column), matching the
+// tie-breaking used by the cutoff values of Lemma 15. The input row is not
+// modified.
+func FilterRow[E any](sr semiring.Ordered[E], r Row[E], rho int) Row[E] {
+	if len(r) <= rho {
+		return r
+	}
+	idx := make([]int, len(r))
+	for i := range idx {
+		idx[i] = i
+	}
+	ranks := make([]int64, len(r))
+	for i, e := range r {
+		ranks[i] = sr.Rank(e.Val)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if ranks[idx[a]] != ranks[idx[b]] {
+			return ranks[idx[a]] < ranks[idx[b]]
+		}
+		return r[idx[a]].Col < r[idx[b]].Col
+	})
+	out := make(Row[E], 0, rho)
+	for _, i := range idx[:rho] {
+		out = append(out, r[i])
+	}
+	return SortRow(out)
+}
+
+// Filter returns the ρ-filtered version of m: each row keeps its ρ smallest
+// entries (§2.2).
+func Filter[E any](sr semiring.Ordered[E], m *Mat[E], rho int) *Mat[E] {
+	out := New[E](m.N)
+	for i, r := range m.Rows {
+		out.Rows[i] = FilterRow(sr, r, rho)
+	}
+	return out
+}
+
+// RandomSupport returns a deterministic random support pattern with the
+// given number of entries per row (used by tests and benchmarks to build
+// workload matrices).
+func RandomSupport(n, perRow int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]int32, n)
+	for i := range rows {
+		seen := make(map[int32]struct{}, perRow)
+		cols := make([]int32, 0, perRow)
+		for len(cols) < perRow && len(cols) < n {
+			c := int32(rng.Intn(n))
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			cols = append(cols, c)
+		}
+		rows[i] = cols
+	}
+	return rows
+}

@@ -1,0 +1,55 @@
+// Package mssp implements the multi-source shortest paths algorithm of §5
+// (Theorem 3): a deterministic (1+ε)-approximation of the distances from
+// every node to a source set S, via a (β, ε)-hopset followed by β-hop
+// source detection on G ∪ H. The complexity is polylogarithmic for
+// |S| = O~(√n).
+package mssp
+
+import (
+	"fmt"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/disttools"
+	"github.com/congestedclique/ccsp/internal/hitting"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// Result is one node's MSSP output.
+type Result struct {
+	// Dist holds this node's (1+ε)-approximate distances to the sources:
+	// entries (s, (d̃, hops)) for every reachable source s.
+	Dist matrix.Row[semiring.WH]
+	// Hopset is the constructed hopset, reusable for further queries.
+	Hopset *hopset.Result
+}
+
+// Run computes (1+ε)-approximate distances from this node to every source
+// in S (inS is the globally known membership; identical at all nodes).
+// wrow is row nd.ID of the augmented weight matrix; params control the
+// hopset (params.Eps is the ε of the approximation).
+func Run(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], inS []bool, board *hitting.Board, params hopset.Params) (*Result, error) {
+	hs, err := hopset.Build(nd, sr, wrow, board, params)
+	if err != nil {
+		return nil, fmt.Errorf("mssp: %w", err)
+	}
+	return RunWithHopset(nd, sr, wrow, inS, hs)
+}
+
+// RunWithHopset runs the source-detection stage against a previously built
+// hopset (several source sets can share one hopset; the hopset does not
+// depend on S).
+func RunWithHopset(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], inS []bool, hs *hopset.Result) (*Result, error) {
+	nd.Phase("mssp/source-detect")
+	gRow := hs.GraphRow(sr, wrow)
+	d := hs.Beta
+	if d > nd.N {
+		d = nd.N
+	}
+	dist, err := disttools.SourceDetect(nd, sr, gRow, inS, d)
+	if err != nil {
+		return nil, fmt.Errorf("mssp: source detection: %w", err)
+	}
+	return &Result{Dist: dist, Hopset: hs}, nil
+}

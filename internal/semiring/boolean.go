@@ -1,0 +1,68 @@
+package semiring
+
+// Boolean is the Boolean semiring ({0,1}, ∨, ∧, 0, 1). Section 2.1 defines
+// the density ρ̂_ST of a product through the Boolean product of the
+// supports, ignoring cancellations.
+type Boolean struct{}
+
+var _ Semiring[bool] = Boolean{}
+
+// Zero returns false.
+func (Boolean) Zero() bool { return false }
+
+// One returns true.
+func (Boolean) One() bool { return true }
+
+// Add returns a ∨ b.
+func (Boolean) Add(a, b bool) bool { return a || b }
+
+// Mul returns a ∧ b.
+func (Boolean) Mul(a, b bool) bool { return a && b }
+
+// IsZero reports whether e is false.
+func (Boolean) IsZero(e bool) bool { return !e }
+
+// Eq reports equality.
+func (Boolean) Eq(a, b bool) bool { return a == b }
+
+// Enc encodes e into message words.
+func (Boolean) Enc(e bool) (int64, int64) {
+	if e {
+		return 1, 0
+	}
+	return 0, 0
+}
+
+// Dec inverts Enc.
+func (Boolean) Dec(c, _ int64) bool { return c != 0 }
+
+// Arith is the standard (Z, +, ·, 0, 1) ring, used in tests to exercise the
+// generic matrix machinery on a semiring with cancellations, where ρ̂_ST
+// (Boolean support density) differs from the true output density.
+type Arith struct{}
+
+var _ Semiring[int64] = Arith{}
+
+// Zero returns 0.
+func (Arith) Zero() int64 { return 0 }
+
+// One returns 1.
+func (Arith) One() int64 { return 1 }
+
+// Add returns a+b.
+func (Arith) Add(a, b int64) int64 { return a + b }
+
+// Mul returns a·b.
+func (Arith) Mul(a, b int64) int64 { return a * b }
+
+// IsZero reports whether e is 0.
+func (Arith) IsZero(e int64) bool { return e == 0 }
+
+// Eq reports equality.
+func (Arith) Eq(a, b int64) bool { return a == b }
+
+// Enc encodes e into message words.
+func (Arith) Enc(e int64) (int64, int64) { return e, 0 }
+
+// Dec inverts Enc.
+func (Arith) Dec(c, _ int64) int64 { return c }

@@ -1,0 +1,76 @@
+package semiring
+
+import "fmt"
+
+// Inf is the additive identity ("no path") of the min-plus semirings. It is
+// far below MaxInt64 so that saturating additions cannot overflow.
+const Inf int64 = 1 << 60
+
+// MinPlus is the tropical semiring (Z≥0 ∪ {∞}, min, +, ∞, 0) used for
+// distance products. MaxVal bounds the finite values that can appear during
+// a product (for graphs: n · maxWeight), defining the binary-search range W.
+type MinPlus struct {
+	// MaxVal is the largest finite value that can appear.
+	MaxVal int64
+}
+
+// NewMinPlus returns a min-plus semiring whose finite values are bounded by
+// maxVal.
+func NewMinPlus(maxVal int64) MinPlus {
+	if maxVal < 1 || maxVal >= Inf {
+		panic(fmt.Sprintf("semiring: invalid MaxVal %d", maxVal))
+	}
+	return MinPlus{MaxVal: maxVal}
+}
+
+var _ Ordered[int64] = MinPlus{}
+
+// Zero returns ∞.
+func (MinPlus) Zero() int64 { return Inf }
+
+// One returns 0.
+func (MinPlus) One() int64 { return 0 }
+
+// Add returns min(a, b).
+func (MinPlus) Add(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mul returns a+b, saturating at ∞.
+func (MinPlus) Mul(a, b int64) int64 {
+	if a >= Inf || b >= Inf {
+		return Inf
+	}
+	return a + b
+}
+
+// IsZero reports whether e is ∞.
+func (MinPlus) IsZero(e int64) bool { return e >= Inf }
+
+// Eq reports value equality (all values ≥ Inf are identified with ∞).
+func (s MinPlus) Eq(a, b int64) bool {
+	if s.IsZero(a) && s.IsZero(b) {
+		return true
+	}
+	return a == b
+}
+
+// Enc encodes e into message words.
+func (MinPlus) Enc(e int64) (int64, int64) { return e, 0 }
+
+// Dec inverts Enc.
+func (MinPlus) Dec(c, _ int64) int64 { return c }
+
+// Rank embeds the order: finite values rank as themselves, ∞ ranks last.
+func (s MinPlus) Rank(e int64) int64 {
+	if s.IsZero(e) {
+		return s.MaxVal + 1
+	}
+	return e
+}
+
+// MaxRank is the rank of ∞.
+func (s MinPlus) MaxRank() int64 { return s.MaxVal + 1 }

@@ -1,0 +1,117 @@
+package semiring
+
+import "fmt"
+
+// WHF augments a (weight, hops) pair with a first-hop witness, realizing
+// the path-recovery remark of §3.1: the matrix multiplication algorithms
+// can provide witnesses, from which routing tables follow. FH is the first
+// hop of a shortest path from the row node (or -1 on diagonal entries).
+type WHF struct {
+	W  int64
+	H  int64
+	FH int32
+}
+
+// InfWHF is the additive identity of the routed semiring.
+var InfWHF = WHF{W: Inf, H: Inf, FH: -1}
+
+// RoutedMinPlus is the augmented min-plus semiring carrying first-hop
+// witnesses. Multiplication composes paths, keeping the first defined
+// witness (so a·b routes along a first); addition is the lexicographic
+// minimum on (W, H), with ties broken by the smaller witness to keep runs
+// deterministic.
+type RoutedMinPlus struct {
+	MaxW int64
+	MaxH int64
+}
+
+// NewRoutedMinPlus returns the routed semiring with the given bounds.
+func NewRoutedMinPlus(maxW, maxH int64) RoutedMinPlus {
+	if maxW < 1 || maxH < 1 {
+		panic(fmt.Sprintf("semiring: invalid bounds (%d, %d)", maxW, maxH))
+	}
+	if maxW+1 >= Inf/(maxH+2) {
+		panic(fmt.Sprintf("semiring: rank overflow for bounds (%d, %d)", maxW, maxH))
+	}
+	return RoutedMinPlus{MaxW: maxW, MaxH: maxH}
+}
+
+var _ Ordered[WHF] = RoutedMinPlus{}
+
+// Zero returns (∞, ∞, -1).
+func (RoutedMinPlus) Zero() WHF { return InfWHF }
+
+// One returns (0, 0, -1): the identity both for values and witness
+// composition (a missing witness defers to the other operand).
+func (RoutedMinPlus) One() WHF { return WHF{FH: -1} }
+
+// Add returns the lexicographic minimum on (W, H), ties to the smaller
+// witness.
+func (RoutedMinPlus) Add(a, b WHF) WHF {
+	switch {
+	case a.W != b.W:
+		if a.W < b.W {
+			return a
+		}
+		return b
+	case a.H != b.H:
+		if a.H < b.H {
+			return a
+		}
+		return b
+	case a.FH <= b.FH:
+		return a
+	default:
+		return b
+	}
+}
+
+// Mul composes paths: weights and hops add; the witness is the first
+// defined one.
+func (s RoutedMinPlus) Mul(a, b WHF) WHF {
+	if s.IsZero(a) || s.IsZero(b) {
+		return InfWHF
+	}
+	fh := a.FH
+	if fh < 0 {
+		fh = b.FH
+	}
+	return WHF{W: a.W + b.W, H: a.H + b.H, FH: fh}
+}
+
+// IsZero reports whether e is the additive identity.
+func (RoutedMinPlus) IsZero(e WHF) bool { return e.W >= Inf }
+
+// Eq reports equality.
+func (s RoutedMinPlus) Eq(a, b WHF) bool {
+	if s.IsZero(a) && s.IsZero(b) {
+		return true
+	}
+	return a == b
+}
+
+// Enc packs (W) and (H, FH) into two words; H and FH each fit 31 bits
+// since hops and node IDs are at most n.
+func (RoutedMinPlus) Enc(e WHF) (int64, int64) {
+	return e.W, e.H<<32 | int64(uint32(e.FH))
+}
+
+// Dec inverts Enc.
+func (RoutedMinPlus) Dec(c, d int64) WHF {
+	return WHF{W: c, H: d >> 32, FH: int32(uint32(d))}
+}
+
+// Rank embeds the (W, H) order; witnesses do not affect the order.
+func (s RoutedMinPlus) Rank(e WHF) int64 {
+	if s.IsZero(e) {
+		return s.MaxRank()
+	}
+	h := e.H
+	if h > s.MaxH {
+		h = s.MaxH + 1
+	}
+	return e.W*(s.MaxH+2) + h
+}
+
+// MaxRank is the rank of the additive identity.
+func (s RoutedMinPlus) MaxRank() int64 { return (s.MaxW + 1) * (s.MaxH + 2) }

@@ -1,0 +1,110 @@
+package semiring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoutedSemiringAxioms(t *testing.T) {
+	s := NewRoutedMinPlus(1<<16, 1<<10)
+	mk := func(w, h, f int64) WHF {
+		if w < 0 {
+			w = -w
+		}
+		if h < 0 {
+			h = -h
+		}
+		if f < 0 {
+			f = -f
+		}
+		return WHF{W: w % (1 << 16), H: h % (1 << 10), FH: int32(f % 64)}
+	}
+	prop := func(w1, h1, f1, w2, h2, f2, w3, h3, f3 int64) bool {
+		a, b, c := mk(w1, h1, f1), mk(w2, h2, f2), mk(w3, h3, f3)
+		if s.Add(a, s.Add(b, c)) != s.Add(s.Add(a, b), c) {
+			return false
+		}
+		if s.Add(a, b) != s.Add(b, a) {
+			return false
+		}
+		if s.Mul(a, s.Mul(b, c)) != s.Mul(s.Mul(a, b), c) {
+			return false
+		}
+		if s.Mul(a, s.Add(b, c)) != s.Add(s.Mul(a, b), s.Mul(a, c)) {
+			return false
+		}
+		if s.Mul(s.Add(b, c), a) != s.Add(s.Mul(b, a), s.Mul(c, a)) {
+			return false
+		}
+		if s.Add(a, s.Zero()) != a {
+			return false
+		}
+		return s.IsZero(s.Mul(a, s.Zero())) && s.IsZero(s.Mul(s.Zero(), a))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutedIdentity(t *testing.T) {
+	s := NewRoutedMinPlus(1000, 100)
+	// One is a two-sided identity, including the witness: a path composed
+	// with the empty path keeps its first hop.
+	a := WHF{W: 5, H: 2, FH: 9}
+	if s.Mul(a, s.One()) != a {
+		t.Error("right identity fails")
+	}
+	if s.Mul(s.One(), a) != a {
+		t.Error("left identity fails (witness must pass through)")
+	}
+}
+
+func TestRoutedWitnessComposition(t *testing.T) {
+	s := NewRoutedMinPlus(1000, 100)
+	// A path a (first hop 3) extended by path b (first hop 7) keeps a's
+	// first hop: the route starts where a starts.
+	a := WHF{W: 4, H: 1, FH: 3}
+	b := WHF{W: 2, H: 1, FH: 7}
+	got := s.Mul(a, b)
+	if got.W != 6 || got.H != 2 || got.FH != 3 {
+		t.Errorf("Mul=%+v, want (6,2,3)", got)
+	}
+}
+
+func TestRoutedAddTieBreak(t *testing.T) {
+	s := NewRoutedMinPlus(1000, 100)
+	a := WHF{W: 5, H: 2, FH: 9}
+	b := WHF{W: 5, H: 2, FH: 4}
+	if got := s.Add(a, b); got.FH != 4 {
+		t.Errorf("tie must break to the smaller witness, got %+v", got)
+	}
+	c := WHF{W: 5, H: 1, FH: 9}
+	if got := s.Add(a, c); got != c {
+		t.Errorf("fewer hops must win, got %+v", got)
+	}
+}
+
+func TestRoutedEncDec(t *testing.T) {
+	s := NewRoutedMinPlus(1<<20, 1<<12)
+	for _, v := range []WHF{{0, 0, -1}, {5, 3, 17}, {1 << 20, 1 << 12, 0}, InfWHF} {
+		c, d := s.Enc(v)
+		if got := s.Dec(c, d); !s.Eq(got, v) {
+			t.Errorf("Enc/Dec roundtrip: %+v -> %+v", v, got)
+		}
+	}
+}
+
+func TestRoutedRankIgnoresWitness(t *testing.T) {
+	s := NewRoutedMinPlus(1000, 100)
+	a := WHF{W: 5, H: 2, FH: 9}
+	b := WHF{W: 5, H: 2, FH: 4}
+	if s.Rank(a) != s.Rank(b) {
+		t.Error("rank must depend only on (W, H)")
+	}
+	if s.Rank(WHF{W: 5, H: 2}) >= s.Rank(WHF{W: 5, H: 3}) {
+		t.Error("rank must order by hops within equal weight")
+	}
+	if s.Rank(InfWHF) != s.MaxRank() {
+		t.Error("infinity must rank last")
+	}
+}

@@ -1,0 +1,46 @@
+// Package semiring defines the algebraic structures the paper's matrix
+// machinery operates over (§1.5, §3.1): a generic semiring interface, the
+// min-plus (tropical) semiring, the augmented min-plus semiring that tracks
+// hop counts, and the Boolean semiring used to define product densities.
+package semiring
+
+// Semiring is a semiring (R, +, ·, 0, 1) whose elements can be encoded into
+// a constant number of O(log n)-bit message words (§1.5). Multiplication
+// need not be commutative.
+type Semiring[E any] interface {
+	// Zero is the additive identity (the "non-entry" of sparse matrices;
+	// for distance products this is infinity).
+	Zero() E
+	// One is the multiplicative identity.
+	One() E
+	// Add is the semiring addition.
+	Add(a, b E) E
+	// Mul is the semiring multiplication.
+	Mul(a, b E) E
+	// IsZero reports whether e is the additive identity.
+	IsZero(e E) bool
+	// Eq reports element equality.
+	Eq(a, b E) bool
+	// Enc encodes e into two 64-bit message words.
+	Enc(e E) (int64, int64)
+	// Dec inverts Enc.
+	Dec(c, d int64) E
+}
+
+// Ordered is a semiring satisfying the conditions of §2.2: it carries a
+// total order under which addition is min. Rank embeds the order
+// monotonically into int64, which is what the distributed binary search of
+// Lemma 15 searches over (the set R' of possible values is the rank range).
+type Ordered[E any] interface {
+	Semiring[E]
+	// Rank is strictly monotone: Rank(a) < Rank(b) iff a precedes b.
+	// Zero (infinity) has the maximum rank.
+	Rank(e E) int64
+	// MaxRank bounds Rank over every value that can appear during a
+	// product computation; the binary search of Theorem 14 runs for
+	// O(log MaxRank) iterations.
+	MaxRank() int64
+}
+
+// Less orders two elements of an ordered semiring.
+func Less[E any, S Ordered[E]](sr S, a, b E) bool { return sr.Rank(a) < sr.Rank(b) }

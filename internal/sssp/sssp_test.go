@@ -1,0 +1,158 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/graph"
+)
+
+func randGraph(n, extraEdges int, maxW int64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v), rng.Int63n(maxW)+1)
+	}
+	for e := 0; e < extraEdges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, rng.Int63n(maxW)+1)
+		}
+	}
+	return g
+}
+
+func lineGraph(n int, w int64) *graph.Graph {
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, w)
+	}
+	return g
+}
+
+func TestBellmanFordExact(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		src  int
+	}{
+		{"random", randGraph(20, 25, 10, 1), 3},
+		{"line", lineGraph(16, 4), 0},
+		{"disconnected", disconnected(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.g.Dijkstra(tc.src)
+			var got []int64
+			_, err := cc.Run(cc.Config{N: tc.g.N}, func(nd *cc.Node) error {
+				dist, _ := BellmanFord(nd, tc.g.WeightRow(nd.ID), tc.src, tc.g.N+2)
+				if nd.ID == 0 {
+					got = append([]int64(nil), dist...)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Errorf("d[%d]=%d, want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func disconnected() *graph.Graph {
+	g := graph.New(8)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(4, 5, 1)
+	return g
+}
+
+func TestBellmanFordIterationsTrackSPD(t *testing.T) {
+	// On a line, Bellman-Ford needs ~SPD iterations; convergence detection
+	// must stop within SPD + 3.
+	g := lineGraph(20, 1)
+	var iters int
+	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+		_, it := BellmanFord(nd, g.WeightRow(nd.ID), 0, 100)
+		if nd.ID == 0 {
+			iters = it
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd := g.SPD()
+	if iters < spd || iters > spd+3 {
+		t.Errorf("iters=%d, want within [%d, %d]", iters, spd, spd+3)
+	}
+}
+
+func TestExactSSSP(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		src  int
+		k    int
+	}{
+		{"random-default-k", randGraph(24, 30, 10, 2), 5, 0},
+		{"line-small-k", lineGraph(27, 3), 0, 9},
+		{"line-default-k", lineGraph(32, 7), 31, 0},
+		{"dense", randGraph(20, 100, 20, 3), 7, 0},
+		{"disconnected", disconnected(), 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sr := tc.g.AugSemiring()
+			want := tc.g.Dijkstra(tc.src)
+			var got []int64
+			_, err := cc.Run(cc.Config{N: tc.g.N}, func(nd *cc.Node) error {
+				dist, _ := Exact(nd, sr, tc.g.WeightRow(nd.ID), tc.src, tc.k)
+				if nd.ID == 0 {
+					got = append([]int64(nil), dist...)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("d[%d]=%d, want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestShortcutsCutIterations: the point of Theorem 33 - with shortcuts the
+// Bellman-Ford phase needs ~n/k iterations instead of ~SPD.
+func TestShortcutsCutIterations(t *testing.T) {
+	g := lineGraph(64, 1) // SPD = 63
+	sr := g.AugSemiring()
+	k := 16
+	var iters int
+	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+		dist, it := Exact(nd, sr, g.WeightRow(nd.ID), 0, k)
+		if nd.ID == 0 {
+			iters = it
+			for v := 0; v < g.N; v++ {
+				if dist[v] != int64(v) {
+					t.Errorf("d[%d]=%d, want %d", v, dist[v], v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound := 4*(g.N/k) + 3; iters > bound {
+		t.Errorf("shortcut Bellman-Ford took %d iterations, want <= %d (4n/k+3)", iters, bound)
+	}
+}

@@ -1,0 +1,107 @@
+package ccsp
+
+import (
+	"fmt"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// Unreachable is the distance reported for disconnected pairs.
+const Unreachable = semiring.Inf
+
+// Preset selects the hopset parameterization (see DESIGN.md §6).
+type Preset int
+
+const (
+	// PresetPractical (the default) uses a reduced hop budget whose
+	// stretch guarantee is validated empirically (EXPERIMENTS.md E6); it
+	// keeps the simulation fast at larger n.
+	PresetPractical Preset = iota
+	// PresetPaper uses the proof-faithful constants of Theorem 25
+	// (δ = ε/4 per level, β = 3/δ).
+	PresetPaper
+)
+
+// Options configures a run. The zero value is valid: ε = 0.5, the
+// practical preset, seed 0.
+type Options struct {
+	// Epsilon is the approximation parameter ε ∈ (0, 1]; 0 means 0.5.
+	Epsilon float64
+	// Preset selects hopset constants.
+	Preset Preset
+	// Seed seeds the randomized baselines; the paper's algorithms are
+	// deterministic and ignore it.
+	Seed int64
+	// MaxRounds overrides the simulator's round guard; 0 keeps the
+	// default.
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.5
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Epsilon < 0 || o.Epsilon > 1 {
+		return fmt.Errorf("ccsp: epsilon %v outside (0, 1]", o.Epsilon)
+	}
+	return nil
+}
+
+func (o Options) hopsetParams() hopset.Params {
+	if o.Preset == PresetPaper {
+		return hopset.Paper(o.Epsilon)
+	}
+	return hopset.Practical(o.Epsilon)
+}
+
+func (o Options) config(n int) cc.Config {
+	return cc.Config{N: n, Seed: o.Seed, MaxRounds: o.MaxRounds}
+}
+
+// Stats reports the communication cost of a run in the Congested Clique
+// model: TotalRounds = SimRounds (barrier steps actually executed) plus the
+// rounds charged by the primitives the paper cites as black boxes (Lenzen
+// routing/sorting, the Lemma 4 hitting set), broken down in ChargedRounds.
+type Stats struct {
+	Nodes         int
+	TotalRounds   int
+	SimRounds     int
+	ChargedRounds map[string]int
+	Messages      int64
+	Words         int64
+	// PhaseRounds attributes rounds to algorithm phases (e.g.
+	// "hopset/levels", "mssp/source-detect") for cost breakdowns.
+	PhaseRounds map[string]int
+}
+
+func statsFrom(s cc.Stats) Stats {
+	charged := make(map[string]int, len(s.Charged))
+	for k, v := range s.Charged {
+		charged[k] = v
+	}
+	phases := make(map[string]int, len(s.Phases))
+	for k, v := range s.Phases {
+		phases[k] = v
+	}
+	return Stats{
+		Nodes:         s.N,
+		TotalRounds:   s.TotalRounds(),
+		SimRounds:     s.SimRounds,
+		ChargedRounds: charged,
+		Messages:      s.Messages,
+		Words:         s.Words(),
+		PhaseRounds:   phases,
+	}
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d rounds=%d (sim=%d charged=%d) msgs=%d",
+		s.Nodes, s.TotalRounds, s.SimRounds, s.TotalRounds-s.SimRounds, s.Messages)
+}
