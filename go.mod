@@ -1,0 +1,3 @@
+module github.com/congestedclique/ccsp
+
+go 1.22

@@ -11,7 +11,23 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"github.com/congestedclique/ccsp/internal/cc"
 )
+
+// Config carries cross-experiment settings to every experiment.
+type Config struct {
+	// Scale selects experiment sizes.
+	Scale Scale
+	// Workers is the engine worker-pool size experiments use when
+	// building simulator configs; 0 keeps the engine default (GOMAXPROCS,
+	// serial for small cliques). E13 ignores it: that experiment sweeps
+	// worker counts itself.
+	Workers int
+}
+
+// engineCfg is the simulator config shared by all experiments.
+func engineCfg(c Config, n int) cc.Config { return cc.Config{N: n, Workers: c.Workers} }
 
 // Scale selects experiment sizes.
 type Scale int
@@ -95,7 +111,7 @@ func (t *Table) Fprint(w io.Writer) {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(s Scale) (*Table, error)
+	Run   func(c Config) (*Table, error)
 }
 
 var registry []Experiment
@@ -109,11 +125,17 @@ func All() []Experiment {
 	return out
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID at the given scale with default
+// settings.
 func Run(id string, s Scale) (*Table, error) {
+	return RunConfig(id, Config{Scale: s})
+}
+
+// RunConfig executes one experiment by ID with explicit settings.
+func RunConfig(id string, c Config) (*Table, error) {
 	for _, e := range registry {
 		if e.ID == id {
-			return e.Run(s)
+			return e.Run(c)
 		}
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q", id)

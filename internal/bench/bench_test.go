@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"A1", "A2", "A3", "A4", "E1", "E10", "E11", "E12", "E13", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
@@ -36,6 +36,41 @@ func TestTableRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendering missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestE13StatsIdentical runs the engine-scaling experiment at quick scale
+// and asserts every workers=P row reports deterministic stats identical to
+// its workers=1 baseline.
+func TestE13StatsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tab, err := Run("E13", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := -1
+	for i, c := range tab.Columns {
+		if c == "stats equal" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("no 'stats equal' column in %v", tab.Columns)
+	}
+	parallelRows := 0
+	for _, row := range tab.Rows {
+		if row[col] == "-" {
+			continue
+		}
+		parallelRows++
+		if row[col] != "true" {
+			t.Errorf("parallel run has divergent stats: row %v", row)
+		}
+	}
+	if parallelRows == 0 {
+		t.Error("E13 produced no workers=P rows")
 	}
 }
 

@@ -33,20 +33,20 @@ func apspUnweighted(nd *cc.Node, sr semiring.AugMinPlus, g *graph.Graph, eps flo
 // e10 contrasts Theorem 33 against plain Bellman-Ford on the adversarial
 // high-SPD family (paths): the baseline needs Θ(SPD) = Θ(n) rounds while
 // the shortcut algorithm needs O~(n^{1/6}) plus the k-nearest phase.
-func e10(s Scale) (*Table, error) {
+func e10(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E10",
 		Title:   "Theorem 33 - exact SSSP on paths: shortcut algorithm vs Bellman-Ford (rounds)",
 		Columns: []string{"n", "SPD", "algorithm", "rounds", "BF iterations", "exact"},
 	}
-	for _, n := range sizes(s, []int{64, 128}, []int{64, 128, 256}) {
+	for _, n := range sizes(c.Scale, []int{64, 128}, []int{64, 128, 256}) {
 		g := graphgen.Path(n, graphgen.Weights{Max: 5}, int64(n)+41)
 		sr := g.AugSemiring()
 		want := g.Dijkstra(0)
 
 		var gotS []int64
 		var itS int
-		statsS, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		statsS, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 			d, it := sssp.Exact(nd, sr, g.WeightRow(nd.ID), 0, 0)
 			if nd.ID == 0 {
 				gotS = append([]int64(nil), d...)
@@ -61,7 +61,7 @@ func e10(s Scale) (*Table, error) {
 
 		var gotB []int64
 		var itB int
-		statsB, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		statsB, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 			d, it := baseline.BellmanFordSSSP(nd, g.WeightRow(nd.ID), 0)
 			if nd.ID == 0 {
 				gotB = append([]int64(nil), d...)
@@ -91,14 +91,14 @@ func equalDist(got, want []int64) bool {
 }
 
 // e11 measures diameter estimates across families with known diameters.
-func e11(s Scale) (*Table, error) {
+func e11(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E11",
 		Title:   "§7.2 - diameter: estimate within [lower bound, (1+ε)D]",
 		Columns: []string{"n", "family", "true D", "estimate", "Claim 35 lower", "(1+ε)D", "rounds"},
 	}
 	eps := 0.5
-	for _, n := range sizes(s, []int{36, 64}, []int{36, 64, 100}) {
+	for _, n := range sizes(c.Scale, []int{36, 64}, []int{36, 64, 100}) {
 		families := []struct {
 			name string
 			g    *graph.Graph
@@ -112,7 +112,7 @@ func e11(s Scale) (*Table, error) {
 			sr := fam.g.AugSemiring()
 			boards := hitting.NewBoardSeq(fam.g.N)
 			var est int64
-			stats, err := cc.Run(cc.Config{N: fam.g.N}, func(nd *cc.Node) error {
+			stats, err := cc.Run(engineCfg(c, fam.g.N), func(nd *cc.Node) error {
 				e, err := diameter.Approx(nd, sr, fam.g.WeightRow(nd.ID), eps, boards, hopset.Practical(eps))
 				if err != nil {
 					return err
@@ -139,19 +139,19 @@ func e11(s Scale) (*Table, error) {
 // e12 is the headline comparison of §1.1: our polylog approximations
 // against exact dense-MM APSP [13] and spanner-based APSP [52]-style, on a
 // common workload - who wins on rounds, at what stretch.
-func e12(s Scale) (*Table, error) {
+func e12(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E12",
 		Title:   "§1.1 comparison - APSP algorithms: rounds and measured stretch on a common workload",
 		Columns: []string{"n", "algorithm", "guarantee", "rounds", "max stretch"},
 	}
 	eps := 0.5
-	for _, n := range sizes(s, []int{36, 64}, []int{36, 64, 100}) {
+	for _, n := range sizes(c.Scale, []int{36, 64}, []int{36, 64, 100}) {
 		g := graphgen.Connected(n, 3*n, graphgen.Weights{Max: 10}, int64(n)+61)
 		sr := g.AugSemiring()
 
 		// Ours: (2+ε, (1+ε)W) weighted APSP (Theorem 28).
-		rows, stats, err := runWeightedAPSP(g, eps)
+		rows, stats, err := runWeightedAPSP(c, g, eps)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +160,7 @@ func e12(s Scale) (*Table, error) {
 		// Ours: (3+ε) (§6.1).
 		boards := hitting.NewBoardSeq(n)
 		rows3 := make([][]int64, n)
-		stats3, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		stats3, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 			row, err := apsp.ThreePlusEps(nd, sr, g.WeightRow(nd.ID), eps, boards, hopset.Practical(eps))
 			if err != nil {
 				return err
@@ -175,7 +175,7 @@ func e12(s Scale) (*Table, error) {
 
 		// Baseline: exact APSP by iterated dense squaring [13].
 		rowsD := make([][]int64, n)
-		statsD, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		statsD, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 			row, err := baseline.DenseAPSP(nd, sr, g.WeightRow(nd.ID))
 			if err != nil {
 				return err
@@ -198,7 +198,7 @@ func e12(s Scale) (*Table, error) {
 		// Baseline: spanner APSP for k = 2, 3.
 		for _, k := range []int{2, 3} {
 			rowsS := make([][]int64, n)
-			statsS, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			statsS, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 				res, err := spanner.APSP(nd, g.WeightRow(nd.ID), k, 7)
 				if err != nil {
 					return err

@@ -23,15 +23,15 @@ func init() {
 // a4 decomposes the weighted APSP round count by algorithm phase, showing
 // that the hopset's level iterations dominate - the cost the paper's
 // distance tools were designed to tame.
-func a4(s Scale) (*Table, error) {
+func a4(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "A4",
 		Title:   "Phase breakdown - Theorem 28 weighted APSP rounds by phase",
 		Columns: []string{"n", "phase", "rounds", "share"},
 	}
-	for _, n := range sizes(s, []int{64}, []int{64, 100}) {
+	for _, n := range sizes(c.Scale, []int{64}, []int{64, 100}) {
 		g := graphgen.Connected(n, 2*n, graphgen.Weights{Max: 10}, int64(n)+71)
-		_, stats, err := runWeightedAPSP(g, 0.5)
+		_, stats, err := runWeightedAPSP(c, g, 0.5)
 		if err != nil {
 			return nil, err
 		}
@@ -63,11 +63,11 @@ type phaseRounds struct {
 }
 
 // buildHopsetBench constructs a hopset and returns per-node results.
-func buildHopsetBench(g *graph.Graph, p hopset.Params) ([]*hopset.Result, cc.Stats, error) {
+func buildHopsetBench(c Config, g *graph.Graph, p hopset.Params) ([]*hopset.Result, cc.Stats, error) {
 	sr := g.AugSemiring()
 	board := hitting.NewBoard(g.N)
 	results := make([]*hopset.Result, g.N)
-	stats, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	stats, err := cc.Run(engineCfg(c, g.N), func(nd *cc.Node) error {
 		res, err := hopset.Build(nd, sr, g.WeightRow(nd.ID), board, p)
 		if err != nil {
 			return err
@@ -129,16 +129,16 @@ func hopsetEdgeCount(results []*hopset.Result) int {
 
 // e6 reports hopset size against the Claim 21 bound, the measured β-hop
 // stretch against 1+ε, and construction rounds against O(log²n/ε).
-func e6(s Scale) (*Table, error) {
+func e6(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E6",
 		Title:   "Theorem 25 - (β,ε)-hopsets: size vs n^{3/2}·log n, stretch vs 1+ε, rounds vs log²n/ε",
 		Columns: []string{"n", "ε", "β", "|H| edges", "n^{3/2}logn", "max stretch", "1+ε", "rounds", "log²n/ε"},
 	}
 	eps := 0.5
-	for _, n := range sizes(s, []int{36, 64}, []int{36, 64, 100}) {
+	for _, n := range sizes(c.Scale, []int{36, 64}, []int{36, 64, 100}) {
 		g := graphgen.Connected(n, 2*n, graphgen.Weights{Max: 20}, int64(n)+1)
-		results, stats, err := buildHopsetBench(g, hopset.Practical(eps))
+		results, stats, err := buildHopsetBench(c, g, hopset.Practical(eps))
 		if err != nil {
 			return nil, err
 		}
@@ -157,21 +157,21 @@ func e6(s Scale) (*Table, error) {
 // At simulable sizes the exploration budget d = min(4β, n) saturates at n
 // for both presets (paths never need more than n-1 hops), so the presets
 // are distinguished by a third, uncapped configuration with few levels.
-func a2(s Scale) (*Table, error) {
+func a2(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "A2",
 		Title:   "Ablation - hopset constants: Paper (β=12L/ε) vs Practical (β=2L/ε)",
 		Columns: []string{"n", "preset", "β", "d=min(4β,n)", "|H|", "max stretch", "1+ε", "rounds"},
 	}
 	eps := 0.5
-	for _, n := range sizes(s, []int{36}, []int{36, 64}) {
+	for _, n := range sizes(c.Scale, []int{36}, []int{36, 64}) {
 		g := graphgen.Connected(n, 2*n, graphgen.Weights{Max: 20}, int64(n)+2)
 		pinned := hopset.Params{Eps: eps, Levels: 3, BetaFactor: 2}
 		for _, preset := range []struct {
 			name string
 			p    hopset.Params
 		}{{"paper", hopset.Paper(eps)}, {"practical", hopset.Practical(eps)}, {"practical-L3", pinned}} {
-			results, stats, err := buildHopsetBench(g, preset.p)
+			results, stats, err := buildHopsetBench(c, g, preset.p)
 			if err != nil {
 				return nil, err
 			}
@@ -189,13 +189,13 @@ func a2(s Scale) (*Table, error) {
 }
 
 // a1 compares the two Lemma 4 substitutes on identical k-nearest sets.
-func a1(s Scale) (*Table, error) {
+func a1(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "A1",
 		Title:   "Ablation - hitting sets: deterministic greedy vs seeded sampling (sets = N_k(v))",
 		Columns: []string{"n", "k", "|A| greedy", "|A| seeded", "bound (nlogn/k)", "hits all"},
 	}
-	for _, n := range sizes(s, []int{64, 121}, []int{64, 121, 225}) {
+	for _, n := range sizes(c.Scale, []int{64, 121}, []int{64, 121, 225}) {
 		g := graphgen.Connected(n, 2*n, graphgen.Weights{Max: 10}, int64(n)+3)
 		k := intPow(n, 0.5)
 		ref := knearRef(g, k)

@@ -33,21 +33,21 @@ func randSparse(n, perRow int, seed int64) *matrix.Mat[int64] {
 // e1 sweeps input density at several n and reports measured rounds against
 // the Theorem 8 formula (ρS·ρT·ρ̂)^{1/3}/n^{2/3} + 1, with output verified
 // against the sequential reference.
-func e1(s Scale) (*Table, error) {
+func e1(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E1",
 		Title:   "Theorem 8 - rounds vs (ρSρT ρ̂)^{1/3}/n^{2/3}+1 (min-plus, random supports)",
 		Columns: []string{"n", "ρS=ρT", "ρ̂ (true)", "rounds", "formula", "rounds/formula", "correct"},
 	}
 	sr := semiring.NewMinPlus(1 << 40)
-	for _, n := range sizes(s, []int{64, 128}, []int{64, 128, 256}) {
+	for _, n := range sizes(c.Scale, []int{64, 128}, []int{64, 128, 256}) {
 		for _, rho := range []int{1, intPow(n, 1.0/3), intPow(n, 0.5), intPow(n, 2.0/3)} {
 			a := randSparse(n, rho, int64(n*31+rho))
 			b := randSparse(n, rho, int64(n*37+rho))
 			rhoHat := matrix.SupportDensity[int64](a, b)
 			want := matrix.MulRef[int64](sr, a, b)
 			got := matrix.New[int64](n)
-			stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 				row, err := matmul.Multiply(nd, sr, a.Rows[nd.ID], b.Rows[nd.ID], rhoHat)
 				if err != nil {
 					return err
@@ -69,7 +69,7 @@ func e1(s Scale) (*Table, error) {
 
 // e2 measures the filtered multiplication: the formula gains the +log W
 // binary-search term; the output is the ρ smallest entries per row.
-func e2(s Scale) (*Table, error) {
+func e2(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
 		Title:   "Theorem 14 - filtered multiplication, rounds vs (ρSρTρ)^{1/3}/n^{2/3}+log W",
@@ -77,13 +77,13 @@ func e2(s Scale) (*Table, error) {
 	}
 	sr := semiring.NewMinPlus(1 << 20)
 	logW := math.Log2(float64(sr.MaxRank()))
-	for _, n := range sizes(s, []int{64, 128}, []int{64, 128, 256}) {
+	for _, n := range sizes(c.Scale, []int{64, 128}, []int{64, 128, 256}) {
 		for _, rho := range []int{intPow(n, 1.0/3), intPow(n, 0.5)} {
 			a := randSparse(n, rho, int64(n*41+rho))
 			b := randSparse(n, rho, int64(n*43+rho))
 			want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, a, b), rho)
 			got := matrix.New[int64](n)
-			stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 				got.Rows[nd.ID] = matmul.MultiplyFiltered(nd, sr, a.Rows[nd.ID], b.Rows[nd.ID], rho)
 				return nil
 			})
@@ -102,21 +102,21 @@ func e2(s Scale) (*Table, error) {
 // a3 contrasts Theorem 14 against Theorem 8 on the §1.3 star adversary,
 // where the unfiltered product is dense: the filtered variant's rounds stay
 // flat while the known-density variant pays for ρ̂ = n.
-func a3(s Scale) (*Table, error) {
+func a3(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "A3",
 		Title:   "Ablation - dense-output adversary (star²): Thm 14 filtering vs Thm 8 full product",
 		Columns: []string{"n", "algorithm", "output entries/row", "rounds"},
 	}
 	sr := semiring.NewMinPlus(1 << 40)
-	for _, n := range sizes(s, []int{64, 128}, []int{64, 128, 256}) {
+	for _, n := range sizes(c.Scale, []int{64, 128}, []int{64, 128, 256}) {
 		star := matrix.New[int64](n)
 		for j := 1; j < n; j++ {
 			star.Set(sr, 0, j, int64(j))
 			star.Set(sr, j, 0, int64(j))
 		}
 		rho := intPow(n, 0.5)
-		statsF, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		statsF, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 			matmul.MultiplyFiltered(nd, sr, star.Rows[nd.ID], star.Rows[nd.ID], rho)
 			return nil
 		})
@@ -125,7 +125,7 @@ func a3(s Scale) (*Table, error) {
 		}
 		t.Add(n, fmt.Sprintf("Thm 14 (ρ=%d)", rho), rho, statsF.TotalRounds())
 		rhoHat := matrix.SupportDensity[int64](star, star)
-		statsD, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		statsD, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 			_, err := matmul.Multiply(nd, sr, star.Rows[nd.ID], star.Rows[nd.ID], rhoHat)
 			return err
 		})

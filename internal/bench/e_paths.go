@@ -20,7 +20,7 @@ func init() {
 
 // e7 sweeps the source-set size and reports measured stretch (always
 // checked <= 1+ε) and rounds against (|S|^{2/3}/n^{1/3}+log n)·log n/ε.
-func e7(s Scale) (*Table, error) {
+func e7(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Title:   "Theorem 3 - MSSP: stretch vs 1+ε, rounds vs (|S|^{2/3}/n^{1/3}+log n)·log n/ε",
@@ -32,7 +32,7 @@ func e7(s Scale) (*Table, error) {
 	// polylog shape of the theorem from the small-n saturation of the
 	// exploration budget (see EXPERIMENTS.md).
 	pinned := hopset.Params{Eps: eps, Levels: 4, BetaFactor: 1}
-	for _, n := range sizes(s, []int{49, 81}, []int{49, 81, 144}) {
+	for _, n := range sizes(c.Scale, []int{49, 81}, []int{49, 81, 144}) {
 		g := graphgen.Connected(n, 2*n, graphgen.Weights{Max: 15}, int64(n)+11)
 		sqn := intPow(n, 0.5)
 		for _, cfg := range []struct {
@@ -44,7 +44,7 @@ func e7(s Scale) (*Table, error) {
 				for i := 0; i < nS; i++ {
 					inS[(i*n)/nS] = true
 				}
-				worst, stats, err := runMSSPBench(g, inS, cfg.p)
+				worst, stats, err := runMSSPBench(c, g, inS, cfg.p)
 				if err != nil {
 					return nil, err
 				}
@@ -59,12 +59,12 @@ func e7(s Scale) (*Table, error) {
 	return t, nil
 }
 
-func runMSSPBench(g *graph.Graph, inS []bool, p hopset.Params) (float64, cc.Stats, error) {
+func runMSSPBench(c Config, g *graph.Graph, inS []bool, p hopset.Params) (float64, cc.Stats, error) {
 	n := g.N
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(n)
 	dists := make([][]int64, n)
-	stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 		res, err := mssp.Run(nd, sr, g.WeightRow(nd.ID), inS, boards.Next(nd.ID), p)
 		if err != nil {
 			return err
@@ -120,14 +120,14 @@ func apspStretch(g *graph.Graph, rows [][]int64) float64 {
 }
 
 // e8 measures the weighted APSP on several graph families.
-func e8(s Scale) (*Table, error) {
+func e8(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Title:   "Theorem 28 - weighted APSP: stretch vs 2+ε (+additive (1+ε)W/d), rounds vs log²n/ε",
 		Columns: []string{"n", "family", "ε", "max stretch", "bound incl. W-term", "rounds", "log²n/ε"},
 	}
 	eps := 0.5
-	for _, n := range sizes(s, []int{36, 64}, []int{36, 64, 100}) {
+	for _, n := range sizes(c.Scale, []int{36, 64}, []int{36, 64, 100}) {
 		families := []struct {
 			name string
 			g    *graph.Graph
@@ -137,7 +137,7 @@ func e8(s Scale) (*Table, error) {
 			{"power-law", graphgen.PreferentialAttachment(n, 2, graphgen.Weights{Max: 10}, int64(n)+23)},
 		}
 		for _, fam := range families {
-			rows, stats, err := runWeightedAPSP(fam.g, eps)
+			rows, stats, err := runWeightedAPSP(c, fam.g, eps)
 			if err != nil {
 				return nil, err
 			}
@@ -153,11 +153,11 @@ func e8(s Scale) (*Table, error) {
 	return t, nil
 }
 
-func runWeightedAPSP(g *graph.Graph, eps float64) ([][]int64, cc.Stats, error) {
+func runWeightedAPSP(c Config, g *graph.Graph, eps float64) ([][]int64, cc.Stats, error) {
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	rows := make([][]int64, g.N)
-	stats, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	stats, err := cc.Run(engineCfg(c, g.N), func(nd *cc.Node) error {
 		row, err := apspWeighted(nd, sr, g, eps, boards)
 		if err != nil {
 			return err
@@ -169,14 +169,14 @@ func runWeightedAPSP(g *graph.Graph, eps float64) ([][]int64, cc.Stats, error) {
 }
 
 // e9 measures the unweighted APSP across degree regimes.
-func e9(s Scale) (*Table, error) {
+func e9(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E9",
 		Title:   "Theorem 31 - unweighted APSP: stretch vs 2+ε, rounds vs log²n/ε",
 		Columns: []string{"n", "family", "ε", "max stretch", "2+ε", "rounds", "log²n/ε"},
 	}
 	eps := 0.5
-	for _, n := range sizes(s, []int{36, 64}, []int{36, 64, 100}) {
+	for _, n := range sizes(c.Scale, []int{36, 64}, []int{36, 64, 100}) {
 		spine := n / 4
 		families := []struct {
 			name string
@@ -187,7 +187,7 @@ func e9(s Scale) (*Table, error) {
 			{"caterpillar", graphgen.Caterpillar(spine, 3, graphgen.Weights{}, int64(n)+33)},
 		}
 		for _, fam := range families {
-			rows, stats, err := runUnweightedAPSP(fam.g, eps)
+			rows, stats, err := runUnweightedAPSP(c, fam.g, eps)
 			if err != nil {
 				return nil, err
 			}
@@ -200,11 +200,11 @@ func e9(s Scale) (*Table, error) {
 	return t, nil
 }
 
-func runUnweightedAPSP(g *graph.Graph, eps float64) ([][]int64, cc.Stats, error) {
+func runUnweightedAPSP(c Config, g *graph.Graph, eps float64) ([][]int64, cc.Stats, error) {
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	rows := make([][]int64, g.N)
-	stats, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	stats, err := cc.Run(engineCfg(c, g.N), func(nd *cc.Node) error {
 		row, err := apspUnweighted(nd, sr, g, eps, boards)
 		if err != nil {
 			return err

@@ -35,19 +35,19 @@ func knearRef(g *graph.Graph, k int) *matrix.Mat[semiring.WH] {
 
 // e3 sweeps k and reports rounds against (k/n^{2/3}+log n)·log k, with the
 // output checked against the Dijkstra reference.
-func e3(s Scale) (*Table, error) {
+func e3(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E3",
 		Title:   "Theorem 18 - k-nearest, rounds vs (k/n^{2/3}+log n)·log k",
 		Columns: []string{"n", "k", "rounds", "formula", "rounds/formula", "exact"},
 	}
-	for _, n := range sizes(s, []int{64, 121}, []int{64, 121, 225}) {
+	for _, n := range sizes(c.Scale, []int{64, 121}, []int{64, 121, 225}) {
 		g := graphgen.Connected(n, 2*n, graphgen.Weights{Max: 10}, int64(n))
 		sr := g.AugSemiring()
 		for _, k := range []int{intPow(n, 0.5), intPow(n, 2.0/3)} {
 			want := knearRef(g, k)
 			got := matrix.New[semiring.WH](n)
-			stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+			stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 				got.Rows[nd.ID] = disttools.KNearest[semiring.WH](nd, sr, g.WeightRow(nd.ID), k)
 				return nil
 			})
@@ -67,13 +67,13 @@ func e3(s Scale) (*Table, error) {
 
 // e4 reports both Theorem 19 variants across source-set sizes and hop
 // limits.
-func e4(s Scale) (*Table, error) {
+func e4(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Title:   "Theorem 19 - source detection, both variants",
 		Columns: []string{"n", "|S|", "d", "variant", "rounds", "formula", "correct"},
 	}
-	for _, n := range sizes(s, []int{64, 121}, []int{64, 121, 225}) {
+	for _, n := range sizes(c.Scale, []int{64, 121}, []int{64, 121, 225}) {
 		g := graphgen.Connected(n, 3*n, graphgen.Weights{Max: 10}, int64(n)+5)
 		sr := g.AugSemiring()
 		m := float64(2 * g.M())
@@ -85,7 +85,7 @@ func e4(s Scale) (*Table, error) {
 			for _, d := range []int{2, 4} {
 				want := sourceDetectRefBench(g, inS, d)
 				got := matrix.New[semiring.WH](n)
-				stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+				stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 					row, err := disttools.SourceDetect[semiring.WH](nd, sr, g.WeightRow(nd.ID), inS, d)
 					if err != nil {
 						return err
@@ -106,7 +106,7 @@ func e4(s Scale) (*Table, error) {
 					wantK.Rows[v] = matrix.FilterRow(sr, want.Rows[v], k)
 				}
 				gotK := matrix.New[semiring.WH](n)
-				statsK, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+				statsK, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 					gotK.Rows[nd.ID] = disttools.SourceDetectK[semiring.WH](nd, sr, g.WeightRow(nd.ID), inS, d, k)
 					return nil
 				})
@@ -142,13 +142,13 @@ func sourceDetectRefBench(g *graph.Graph, inS []bool, d int) *matrix.Mat[semirin
 
 // e5 measures distance-through-sets with sets of size ~√n: the Theorem 20
 // bound ρ^{2/3}/n^{1/3}+1 is O(1) there.
-func e5(s Scale) (*Table, error) {
+func e5(c Config) (*Table, error) {
 	t := &Table{
 		ID:      "E5",
 		Title:   "Theorem 20 - distance through sets, rounds vs ρ^{2/3}/n^{1/3}+1",
 		Columns: []string{"n", "ρ (set size)", "rounds", "formula", "rounds/formula", "correct"},
 	}
-	for _, n := range sizes(s, []int{64, 121}, []int{64, 121, 225}) {
+	for _, n := range sizes(c.Scale, []int{64, 121}, []int{64, 121, 225}) {
 		sr := semiring.NewMinPlus(1 << 40)
 		rho := intPow(n, 0.5)
 		sets := make([][]disttools.Est, n)
@@ -168,7 +168,7 @@ func e5(s Scale) (*Table, error) {
 			}
 		}
 		got := matrix.New[int64](n)
-		stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
 			row, err := disttools.DistThroughSets(nd, sr, sets[nd.ID])
 			if err != nil {
 				return err

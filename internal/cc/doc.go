@@ -22,6 +22,15 @@
 // engine validates the model's bandwidth constraint - at most one message per
 // ordered pair per round for Sync and Broadcast - and accounts rounds.
 //
+// Collectives execute on a sharded worker pool (Config.Workers; see
+// DESIGN.md §5): because the model is round-synchronous, the engine holds
+// every node's request before executing a collective, so delivery can be
+// partitioned by destination (and gathering by sender) across
+// runtime.GOMAXPROCS workers. Workers=1 reproduces the serial engine
+// bit-for-bit; every worker count yields identical results and identical
+// deterministic Stats, with wall-clock per collective kind reported in
+// Stats.CollectiveTime.
+//
 // # Round accounting
 //
 // Two kinds of rounds are accounted separately (see Stats):

@@ -3,9 +3,11 @@ package cc
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 )
 
 // DefaultMaxRounds bounds the total rounds of a run as a runaway guard.
@@ -20,6 +22,14 @@ type Config struct {
 	Seed int64
 	// MaxRounds bounds total rounds; 0 means DefaultMaxRounds.
 	MaxRounds int
+	// Workers sizes the worker pool that executes collectives. 0 means
+	// runtime.GOMAXPROCS(0) (falling back to serial execution for cliques
+	// smaller than autoParMinN, where fan-out overhead dominates); 1
+	// forces the serial engine. Every value produces identical results and
+	// identical deterministic statistics - only wall-clock time (and the
+	// observational Stats.CollectiveTime) changes. Negative values are
+	// rejected.
+	Workers int
 }
 
 // Program is a node program. It runs once per node; the same function is
@@ -87,6 +97,7 @@ type response struct {
 type engine struct {
 	n         int
 	cfg       Config
+	pool      *pool
 	reqs      chan *request
 	resps     []chan response
 	stats     Stats
@@ -106,6 +117,19 @@ func Run(cfg Config, prog Program) (Stats, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
+	if cfg.Workers < 0 {
+		return Stats{}, fmt.Errorf("cc: invalid Workers=%d", cfg.Workers)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if cfg.N < autoParMinN {
+			workers = 1
+		}
+	}
+	if workers > cfg.N {
+		workers = cfg.N
+	}
 	e := &engine{
 		n:     cfg.N,
 		cfg:   cfg,
@@ -117,6 +141,8 @@ func Run(cfg Config, prog Program) (Stats, error) {
 	for v := 0; v < cfg.N; v++ {
 		e.resps[v] = make(chan response, 1)
 	}
+	e.pool = newPool(workers)
+	defer e.pool.close()
 
 	var wg sync.WaitGroup
 	wg.Add(cfg.N)
@@ -240,16 +266,34 @@ func (e *engine) execute() error {
 		}
 	}
 	before := e.stats.TotalRounds()
+	start := time.Now()
+	par := e.pool.size > 1
 	var err error
 	switch first.kind {
 	case reqSync:
-		err = e.execSync()
+		if par {
+			err = e.execSyncPar()
+		} else {
+			err = e.execSync()
+		}
 	case reqBcast:
-		err = e.execBcast()
+		if par {
+			err = e.execBcastPar()
+		} else {
+			err = e.execBcast()
+		}
 	case reqRoute:
-		err = e.execRoute()
+		if par {
+			err = e.execRoutePar()
+		} else {
+			err = e.execRoute()
+		}
 	case reqSort:
-		err = e.execSort()
+		if par {
+			err = e.execSortPar()
+		} else {
+			err = e.execSort()
+		}
 	case reqCharge:
 		err = e.execCharge()
 	case reqPhase:
@@ -260,6 +304,7 @@ func (e *engine) execute() error {
 	if err != nil {
 		return err
 	}
+	e.stats.addTime(first.kind.String(), time.Since(start))
 	if delta := e.stats.TotalRounds() - before; delta > 0 {
 		if e.stats.Phases == nil {
 			e.stats.Phases = make(map[string]int)

@@ -1,0 +1,409 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// autoParMinN is the clique size below which a default (Workers=0) run
+// stays serial: collective bodies on tiny cliques are too small to
+// amortize the fan-out cost of the pool. An explicit Workers>1 always
+// uses the pool, whatever the size.
+const autoParMinN = 64
+
+// pool is the engine's sharded worker pool. Collectives are embarrassingly
+// parallel across destination (and sender) nodes because the model is
+// round-synchronous: by the time the coordinator executes a collective it
+// holds every node's request, so the body can be partitioned into disjoint
+// shards with no locking. A pool of size 1 executes everything inline on
+// the coordinator goroutine, reproducing the serial engine exactly.
+type pool struct {
+	size int
+	jobs chan func()
+}
+
+func newPool(size int) *pool {
+	p := &pool{size: size}
+	if size > 1 {
+		p.jobs = make(chan func())
+		for i := 0; i < size; i++ {
+			go func() {
+				for f := range p.jobs {
+					f()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+func (p *pool) close() {
+	if p.jobs != nil {
+		close(p.jobs)
+	}
+}
+
+// run executes the tasks concurrently on the pool and returns when all of
+// them have finished. It must only be called from the coordinator
+// goroutine (tasks never submit nested tasks, so there is no deadlock).
+func (p *pool) run(tasks []func()) {
+	if p.jobs == nil || len(tasks) == 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t := t
+		p.jobs <- func() {
+			defer wg.Done()
+			t()
+		}
+	}
+	wg.Wait()
+}
+
+// spans splits [0, n) into k balanced contiguous ranges: the first n%k
+// spans have ceil(n/k) elements, the rest floor(n/k). Both directions
+// (bounds and of) are pure arithmetic, so shard assignment is
+// deterministic for a given (n, k).
+type spans struct{ n, k int }
+
+func makeSpans(n, k int) spans {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return spans{n: n, k: k}
+}
+
+func (s spans) bounds(i int) (lo, hi int) {
+	q, r := s.n/s.k, s.n%s.k
+	if i < r {
+		lo = i * (q + 1)
+		return lo, lo + q + 1
+	}
+	lo = r*(q+1) + (i-r)*q
+	return lo, lo + q
+}
+
+func (s spans) of(x int) int {
+	q, r := s.n/s.k, s.n%s.k
+	if x < r*(q+1) {
+		return x / (q + 1)
+	}
+	return r + (x-r*(q+1))/q
+}
+
+// forShards runs fn(shard, lo, hi) for every shard of sp on the pool and
+// waits for completion. Shards own disjoint index ranges, so fn may write
+// to per-index state without synchronization.
+func (e *engine) forShards(sp spans, fn func(shard, lo, hi int)) {
+	tasks := make([]func(), sp.k)
+	for i := 0; i < sp.k; i++ {
+		i := i
+		lo, hi := sp.bounds(i)
+		tasks[i] = func() { fn(i, lo, hi) }
+	}
+	e.pool.run(tasks)
+}
+
+// routedPkt is a packet that has been stamped with its sender and bucketed
+// by destination shard during the scatter's first stage.
+type routedPkt struct {
+	dst int32
+	m   Msg
+}
+
+// scatter builds the per-destination inboxes for a sync or route collective
+// with a two-stage shuffle over the pool:
+//
+//   - stage 1 partitions senders into contiguous ID ranges; each shard
+//     validates its senders' packets and buckets them by destination shard,
+//     preserving sender order (and submission order within one sender);
+//   - stage 2 partitions destinations; each shard concatenates the buckets
+//     addressed to it, walking sender shards in ascending order so inboxes
+//     come out sorted by Src exactly like the serial engine's.
+//
+// Each packet is touched twice regardless of pool size, so the work (and
+// every byte of the result) is identical to the serial path; only the
+// wall-clock changes.
+func (e *engine) scatter(kind reqKind) (inbox [][]Msg, maxSend int, msgs int64, err error) {
+	n := e.n
+	sp := makeSpans(n, e.pool.size)
+	k := sp.k
+	dupCheck := kind == reqSync
+	buckets := make([][][]routedPkt, k)
+	errs := make([]error, k)
+	counts := make([]int64, k)
+	sendMax := make([]int, k)
+	e.forShards(sp, func(s, lo, hi int) {
+		bk := make([][]routedPkt, k)
+		var seen []int32 // last sender stamped per destination (dup detection)
+		if dupCheck {
+			seen = make([]int32, n)
+			for i := range seen {
+				seen[i] = -1
+			}
+		}
+		for v := lo; v < hi; v++ {
+			r := e.batch[v]
+			if r == nil {
+				continue
+			}
+			if len(r.packets) > sendMax[s] {
+				sendMax[s] = len(r.packets)
+			}
+			for _, p := range r.packets {
+				if p.Dst < 0 || int(p.Dst) >= n {
+					verb := "routed"
+					if dupCheck {
+						verb = "sent"
+					}
+					errs[s] = fmt.Errorf("cc: node %d %s to invalid destination %d", v, verb, p.Dst)
+					return
+				}
+				if dupCheck {
+					if seen[p.Dst] == int32(v) {
+						errs[s] = fmt.Errorf("cc: node %d sent two messages to node %d in one round (link capacity is one message per round)", v, p.Dst)
+						return
+					}
+					seen[p.Dst] = int32(v)
+				}
+				m := p.M
+				m.Src = int32(v)
+				d := sp.of(int(p.Dst))
+				bk[d] = append(bk[d], routedPkt{dst: p.Dst, m: m})
+			}
+			counts[s] += int64(len(r.packets))
+		}
+		buckets[s] = bk
+	})
+	// Report the error of the lowest sender shard: shards scan senders in
+	// ascending ID order, so this is the same violation the serial engine
+	// would have reported first.
+	for _, shardErr := range errs {
+		if shardErr != nil {
+			return nil, 0, 0, shardErr
+		}
+	}
+	inbox = make([][]Msg, n)
+	e.forShards(sp, func(d, lo, hi int) {
+		cnt := make([]int, hi-lo)
+		for s := 0; s < k; s++ {
+			for _, p := range buckets[s][d] {
+				cnt[int(p.dst)-lo]++
+			}
+		}
+		for j, c := range cnt {
+			if c > 0 {
+				inbox[lo+j] = make([]Msg, 0, c)
+			}
+		}
+		for s := 0; s < k; s++ {
+			for _, p := range buckets[s][d] {
+				inbox[p.dst] = append(inbox[p.dst], p.m)
+			}
+		}
+	})
+	for s := 0; s < k; s++ {
+		msgs += counts[s]
+		if sendMax[s] > maxSend {
+			maxSend = sendMax[s]
+		}
+	}
+	return inbox, maxSend, msgs, nil
+}
+
+// execSyncPar is the pool-sharded counterpart of execSync.
+func (e *engine) execSyncPar() error {
+	inbox, _, msgs, err := e.scatter(reqSync)
+	if err != nil {
+		return err
+	}
+	e.stats.SimRounds++
+	e.stats.Messages += msgs
+	e.respond(func(v int) response { return response{msgs: inbox[v]} })
+	return nil
+}
+
+// execRoutePar is the pool-sharded counterpart of execRoute.
+func (e *engine) execRoutePar() error {
+	inbox, maxSend, msgs, err := e.scatter(reqRoute)
+	if err != nil {
+		return err
+	}
+	maxRecv := 0
+	for _, in := range inbox {
+		if len(in) > maxRecv {
+			maxRecv = len(in)
+		}
+	}
+	if msgs > 0 {
+		e.stats.Charged["route"] += ceilDiv(maxSend, e.n) + ceilDiv(maxRecv, e.n)
+		e.stats.Messages += msgs
+	}
+	e.respond(func(v int) response { return response{msgs: inbox[v]} })
+	return nil
+}
+
+// bcastChunkMinN is the clique size below which the broadcast gather runs
+// inline: copying one word per node is so cheap that pool dispatch costs
+// more than it saves.
+const bcastChunkMinN = 4096
+
+// execBcastPar is the pool-sharded counterpart of execBcast: the gather of
+// one announced word per node is chunked across the pool (for cliques
+// large enough to amortize the fan-out).
+func (e *engine) execBcastPar() error {
+	workers := e.pool.size
+	if e.n < bcastChunkMinN {
+		workers = 1
+	}
+	vals := make([]int64, e.n)
+	e.forShards(makeSpans(e.n, workers), func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if r := e.batch[v]; r != nil {
+				vals[v] = r.bval
+			}
+		}
+	})
+	e.stats.SimRounds++
+	e.stats.Messages += int64(e.n) * int64(e.n-1)
+	e.respond(func(int) response { return response{vals: vals} })
+	return nil
+}
+
+// execSortPar is the pool-sharded counterpart of execSort: per-node runs
+// are sorted in parallel (sharded by sender), combined by a parallel
+// pairwise merge tree under the full (Key, sender, index) order, and the
+// output batches are materialized in parallel (sharded by destination).
+// The comparator is a strict total order - (sender, index) pairs are
+// unique - so the merged order is exactly the serial sort.Slice order.
+func (e *engine) execSortPar() error {
+	n := e.n
+	sp := makeSpans(n, e.pool.size)
+	runs := make([][]sortItem, n)
+	maxInShard := make([]int, sp.k)
+	e.forShards(sp, func(s, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			r := e.batch[v]
+			if r == nil || len(r.recs) == 0 {
+				continue
+			}
+			if len(r.recs) > maxInShard[s] {
+				maxInShard[s] = len(r.recs)
+			}
+			run := make([]sortItem, len(r.recs))
+			for i, rec := range r.recs {
+				m := rec.M
+				m.Src = int32(v)
+				run[i] = sortItem{key: rec.Key, src: int32(v), idx: int32(i), m: m}
+			}
+			sort.Slice(run, func(i, j int) bool {
+				if run[i].key != run[j].key {
+					return run[i].key < run[j].key
+				}
+				return run[i].idx < run[j].idx // src is constant within a run
+			})
+			runs[v] = run
+		}
+	})
+	total := 0
+	for _, run := range runs {
+		total += len(run)
+	}
+	maxIn := 0
+	for _, m := range maxInShard {
+		if m > maxIn {
+			maxIn = m
+		}
+	}
+	all := e.mergeRunTree(runs)
+	batchSize := ceilDiv(total, n)
+	if total > 0 {
+		e.stats.Charged["sort"] += 3 * ceilDiv(maxIn, n)
+		e.stats.Messages += int64(total)
+	}
+	outs := make([][]Rec, n)
+	e.forShards(sp, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			bLo, bHi := v*batchSize, v*batchSize+batchSize
+			if bLo > total {
+				bLo = total
+			}
+			if bHi > total {
+				bHi = total
+			}
+			out := make([]Rec, bHi-bLo)
+			for i := bLo; i < bHi; i++ {
+				out[i-bLo] = Rec{Key: all[i].key, M: all[i].m}
+			}
+			outs[v] = out
+		}
+	})
+	e.respond(func(v int) response { return response{recs: outs[v], batchSize: batchSize, total: total} })
+	return nil
+}
+
+// mergeRunTree merges pre-sorted runs into one globally sorted slice with a
+// pairwise merge tree; merges within one level run concurrently on the
+// pool. The order is independent of the merge shape because itemLess is a
+// strict total order.
+func (e *engine) mergeRunTree(runs [][]sortItem) []sortItem {
+	cur := make([][]sortItem, 0, len(runs))
+	for _, r := range runs {
+		if len(r) > 0 {
+			cur = append(cur, r)
+		}
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+	for len(cur) > 1 {
+		pairs := len(cur) / 2
+		next := make([][]sortItem, (len(cur)+1)/2)
+		tasks := make([]func(), pairs)
+		for i := 0; i < pairs; i++ {
+			i := i
+			a, b := cur[2*i], cur[2*i+1]
+			tasks[i] = func() { next[i] = mergeRuns(a, b) }
+		}
+		if len(cur)%2 == 1 {
+			next[pairs] = cur[len(cur)-1]
+		}
+		e.pool.run(tasks)
+		cur = next
+	}
+	return cur[0]
+}
+
+func itemLess(a, b sortItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.idx < b.idx
+}
+
+func mergeRuns(a, b []sortItem) []sortItem {
+	out := make([]sortItem, 0, len(a)+len(b))
+	for len(a) > 0 && len(b) > 0 {
+		if itemLess(a[0], b[0]) {
+			out = append(out, a[0])
+			a = a[1:]
+		} else {
+			out = append(out, b[0])
+			b = b[1:]
+		}
+	}
+	out = append(out, a...)
+	return append(out, b...)
+}

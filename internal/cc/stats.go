@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Stats reports the communication cost of a run.
@@ -23,6 +24,29 @@ type Stats struct {
 	// Phases attributes total rounds to the phase labels set via
 	// Node.Phase; rounds before the first label are attributed to "".
 	Phases map[string]int
+	// CollectiveTime is the wall-clock time the engine spent executing
+	// each collective kind ("sync", "broadcast", "route", "sort", ...),
+	// including response distribution. It is purely observational - used
+	// to measure the worker pool's speedup - and is excluded from the
+	// determinism guarantee and from String.
+	CollectiveTime map[string]time.Duration
+}
+
+// addTime attributes wall-clock time to a collective kind.
+func (s *Stats) addTime(kind string, d time.Duration) {
+	if s.CollectiveTime == nil {
+		s.CollectiveTime = make(map[string]time.Duration)
+	}
+	s.CollectiveTime[kind] += d
+}
+
+// ExecTime is the total wall-clock time spent executing collectives.
+func (s *Stats) ExecTime() time.Duration {
+	var total time.Duration
+	for _, d := range s.CollectiveTime {
+		total += d
+	}
+	return total
 }
 
 // TotalRounds is the round complexity of the run: simulated plus charged.
@@ -67,6 +91,12 @@ func (s *Stats) Add(o *Stats) {
 	}
 	for tag, r := range o.Phases {
 		s.Phases[tag] += r
+	}
+	if len(o.CollectiveTime) > 0 && s.CollectiveTime == nil {
+		s.CollectiveTime = make(map[string]time.Duration, len(o.CollectiveTime))
+	}
+	for kind, d := range o.CollectiveTime {
+		s.CollectiveTime[kind] += d
 	}
 }
 

@@ -2,6 +2,7 @@ package ccsp
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/congestedclique/ccsp/internal/cc"
 	"github.com/congestedclique/ccsp/internal/hopset"
@@ -37,6 +38,13 @@ type Options struct {
 	// MaxRounds overrides the simulator's round guard; 0 keeps the
 	// default.
 	MaxRounds int
+	// Workers sizes the simulator's worker pool, which executes each
+	// collective sharded across destination nodes (DESIGN.md §5). 0 uses
+	// runtime.GOMAXPROCS(0); 1 forces the serial engine. Results and all
+	// deterministic statistics are identical for every value - only
+	// wall-clock time (and the observational Stats.CollectiveTime)
+	// changes.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +58,9 @@ func (o Options) validate() error {
 	if o.Epsilon < 0 || o.Epsilon > 1 {
 		return fmt.Errorf("ccsp: epsilon %v outside (0, 1]", o.Epsilon)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("ccsp: negative Workers %d", o.Workers)
+	}
 	return nil
 }
 
@@ -61,7 +72,7 @@ func (o Options) hopsetParams() hopset.Params {
 }
 
 func (o Options) config(n int) cc.Config {
-	return cc.Config{N: n, Seed: o.Seed, MaxRounds: o.MaxRounds}
+	return cc.Config{N: n, Seed: o.Seed, MaxRounds: o.MaxRounds, Workers: o.Workers}
 }
 
 // Stats reports the communication cost of a run in the Congested Clique
@@ -78,6 +89,12 @@ type Stats struct {
 	// PhaseRounds attributes rounds to algorithm phases (e.g.
 	// "hopset/levels", "mssp/source-detect") for cost breakdowns.
 	PhaseRounds map[string]int
+	// CollectiveTime is the wall-clock time the simulator spent executing
+	// each collective kind ("sync", "broadcast", "route", "sort", ...).
+	// It is observational - it varies run to run and with Options.Workers
+	// - and is excluded from the determinism guarantee; all other fields
+	// are identical across worker counts.
+	CollectiveTime map[string]time.Duration
 }
 
 func statsFrom(s cc.Stats) Stats {
@@ -89,14 +106,19 @@ func statsFrom(s cc.Stats) Stats {
 	for k, v := range s.Phases {
 		phases[k] = v
 	}
+	times := make(map[string]time.Duration, len(s.CollectiveTime))
+	for k, v := range s.CollectiveTime {
+		times[k] = v
+	}
 	return Stats{
-		Nodes:         s.N,
-		TotalRounds:   s.TotalRounds(),
-		SimRounds:     s.SimRounds,
-		ChargedRounds: charged,
-		Messages:      s.Messages,
-		Words:         s.Words(),
-		PhaseRounds:   phases,
+		Nodes:          s.N,
+		TotalRounds:    s.TotalRounds(),
+		SimRounds:      s.SimRounds,
+		ChargedRounds:  charged,
+		Messages:       s.Messages,
+		Words:          s.Words(),
+		PhaseRounds:    phases,
+		CollectiveTime: times,
 	}
 }
 

@@ -1,0 +1,51 @@
+package ccsp
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestWorkersStatsRegression: the worker pool must be invisible in every
+// deterministic observable - workers=1 (the serial engine) and workers=P
+// produce identical Stats (rounds, messages, words, per-phase breakdowns)
+// and identical distances for weighted APSP on a seeded random graph.
+func TestWorkersStatsRegression(t *testing.T) {
+	gr := testGraph(40, 55, 9, 1234)
+	p := runtime.GOMAXPROCS(0)
+	if p < 2 {
+		p = 4 // still exercises the sharded path, concurrently on one core
+	}
+	var ref *APSPResult
+	for _, w := range []int{1, p} {
+		res, err := APSPWeighted(gr, Options{Epsilon: 0.5, Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Dist, ref.Dist) {
+			t.Errorf("workers=%d: distances differ from workers=1", w)
+		}
+		got, want := res.Stats, ref.Stats
+		got.CollectiveTime, want.CollectiveTime = nil, nil
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: stats differ from workers=1:\n%+v\nvs\n%+v", w, got, want)
+		}
+		if res.Stats.TotalRounds != ref.Stats.TotalRounds ||
+			res.Stats.Messages != ref.Stats.Messages ||
+			res.Stats.Words != ref.Stats.Words {
+			t.Errorf("workers=%d: rounds/messages/words differ", w)
+		}
+	}
+}
+
+// TestWorkersValidated: negative worker counts are rejected up front.
+func TestWorkersValidated(t *testing.T) {
+	gr := testGraph(8, 4, 3, 5)
+	if _, err := APSPWeighted(gr, Options{Workers: -2}); err == nil {
+		t.Fatal("want error for negative Workers")
+	}
+}
