@@ -1,4 +1,8 @@
-package ccsp
+// Package ccsp_test is an external test package on purpose:
+// internal/bench's E14 experiment imports the root package (it exercises
+// the public Engine), so these benchmarks must sit outside package ccsp
+// to avoid an import cycle through the test binary.
+package ccsp_test
 
 // Top-level benchmarks: one per reproduction experiment of DESIGN.md §4.
 // Each benchmark regenerates its experiment's table once per iteration and
@@ -46,6 +50,7 @@ func BenchmarkE9UnweightedAPSP(b *testing.B)  { runExperiment(b, "E9") }
 func BenchmarkE10ExactSSSP(b *testing.B)      { runExperiment(b, "E10") }
 func BenchmarkE11Diameter(b *testing.B)       { runExperiment(b, "E11") }
 func BenchmarkE12Comparison(b *testing.B)     { runExperiment(b, "E12") }
+func BenchmarkE14Amortization(b *testing.B)   { runExperiment(b, "E14") }
 func BenchmarkA1HittingSets(b *testing.B)     { runExperiment(b, "A1") }
 func BenchmarkA2HopsetConstants(b *testing.B) { runExperiment(b, "A2") }
 func BenchmarkA3FilteredVsDense(b *testing.B) { runExperiment(b, "A3") }

@@ -3,16 +3,6 @@ package ccsp
 import (
 	"fmt"
 	"sort"
-
-	"github.com/congestedclique/ccsp/internal/apsp"
-	"github.com/congestedclique/ccsp/internal/cc"
-	"github.com/congestedclique/ccsp/internal/diameter"
-	"github.com/congestedclique/ccsp/internal/disttools"
-	"github.com/congestedclique/ccsp/internal/hitting"
-	"github.com/congestedclique/ccsp/internal/matrix"
-	"github.com/congestedclique/ccsp/internal/mssp"
-	"github.com/congestedclique/ccsp/internal/semiring"
-	"github.com/congestedclique/ccsp/internal/sssp"
 )
 
 // APSPResult holds all-pairs distance estimates.
@@ -32,55 +22,23 @@ func (r *APSPResult) Distance(u, v int) int64 { return r.Dist[u][v] }
 // on weighted inputs the estimates are still sound upper bounds but only
 // the weighted guarantee of APSPWeighted applies.
 func APSPUnweighted(gr *Graph, opts Options) (*APSPResult, error) {
-	return runAPSP(gr, opts, "unweighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq) ([]int64, error) {
-		return apsp.TwoPlusEpsUnweighted(nd, sr, wrow, eps, boards, opts.hopsetParams())
-	})
+	return oneShot(gr, opts, (*Engine).APSPUnweighted, apspStats)
 }
 
 // APSPWeighted computes (2+ε, (1+ε)W)-approximate APSP on a weighted graph
 // (Theorem 28): each estimate is at most (2+ε)·d(u,v) + (1+ε)·W, where W
 // is the heaviest edge on a shortest u-v path.
 func APSPWeighted(gr *Graph, opts Options) (*APSPResult, error) {
-	return runAPSP(gr, opts, "weighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq) ([]int64, error) {
-		return apsp.TwoPlusEpsWeighted(nd, sr, wrow, eps, boards, opts.hopsetParams())
-	})
+	return oneShot(gr, opts, (*Engine).APSPWeighted, apspStats)
 }
 
 // APSPWeighted3 computes the simpler (3+ε)-approximate weighted APSP of
 // §6.1 (fewer phases; kept for ablation against APSPWeighted).
 func APSPWeighted3(gr *Graph, opts Options) (*APSPResult, error) {
-	return runAPSP(gr, opts, "3+eps", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq) ([]int64, error) {
-		return apsp.ThreePlusEps(nd, sr, wrow, eps, boards, opts.hopsetParams())
-	})
+	return oneShot(gr, opts, (*Engine).APSPWeighted3, apspStats)
 }
 
-type apspAlgo func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq) ([]int64, error)
-
-func runAPSP(gr *Graph, opts Options, name string, algo apspAlgo) (*APSPResult, error) {
-	if err := gr.validate(); err != nil {
-		return nil, err
-	}
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	n := gr.N()
-	sr := gr.g.AugSemiring()
-	boards := hitting.NewBoardSeq(n)
-	dist := make([][]int64, n)
-	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
-		row, err := algo(nd, sr, gr.g.WeightRow(nd.ID), opts.Epsilon, boards)
-		if err != nil {
-			return err
-		}
-		dist[nd.ID] = row
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ccsp: %s APSP: %w", name, err)
-	}
-	return &APSPResult{Dist: dist, Stats: statsFrom(stats)}, nil
-}
+func apspStats(r *APSPResult) *Stats { return &r.Stats }
 
 // MSSPResult holds multi-source distance estimates.
 type MSSPResult struct {
@@ -106,59 +64,8 @@ func (r *MSSPResult) Distance(v, s int) (int64, error) {
 // MSSP computes (1+ε)-approximate distances from every node to every
 // source (Theorem 3): polylogarithmic rounds for |sources| up to ~√n.
 func MSSP(gr *Graph, sources []int, opts Options) (*MSSPResult, error) {
-	if err := gr.validate(); err != nil {
-		return nil, err
-	}
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	n := gr.N()
-	inS := make([]bool, n)
-	for _, s := range sources {
-		if s < 0 || s >= n {
-			return nil, fmt.Errorf("ccsp: source %d out of range", s)
-		}
-		inS[s] = true
-	}
-	srcList := make([]int, 0, len(sources))
-	for v := 0; v < n; v++ {
-		if inS[v] {
-			srcList = append(srcList, v)
-		}
-	}
-	if len(srcList) == 0 {
-		return nil, fmt.Errorf("ccsp: no sources")
-	}
-	srcIdx := make(map[int32]int, len(srcList))
-	for i, s := range srcList {
-		srcIdx[int32(s)] = i
-	}
-
-	sr := gr.g.AugSemiring()
-	boards := hitting.NewBoardSeq(n)
-	dist := make([][]int64, n)
-	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
-		res, err := mssp.Run(nd, sr, gr.g.WeightRow(nd.ID), inS, boards.Next(nd.ID), opts.hopsetParams())
-		if err != nil {
-			return err
-		}
-		row := make([]int64, len(srcList))
-		for i := range row {
-			row[i] = Unreachable
-		}
-		for _, e := range res.Dist {
-			if i, ok := srcIdx[e.Col]; ok {
-				row[i] = e.Val.W
-			}
-		}
-		dist[nd.ID] = row
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ccsp: MSSP: %w", err)
-	}
-	return &MSSPResult{Sources: srcList, Dist: dist, Stats: statsFrom(stats)}, nil
+	return oneShot(gr, opts, func(e *Engine) (*MSSPResult, error) { return e.MSSP(sources) },
+		func(r *MSSPResult) *Stats { return &r.Stats })
 }
 
 // SSSPResult holds exact single-source distances.
@@ -185,13 +92,11 @@ func (r *SSSPResult) PathTo(gr *Graph, v int) []int {
 	cur := v
 	for cur != r.Source {
 		next := -1
-		var nextW int64
 		gr.Neighbors(cur, func(u int, w int64) {
 			if r.Dist[u]+w == r.Dist[cur] && (next < 0 || u < next) {
-				next, nextW = u, w
+				next = u
 			}
 		})
-		_ = nextW
 		if next < 0 {
 			return nil // inconsistent distances; cannot happen for exact results
 		}
@@ -207,32 +112,8 @@ func (r *SSSPResult) PathTo(gr *Graph, v int) []int {
 // SSSP computes exact single-source shortest paths (Theorem 33) in
 // O~(n^{1/6}) rounds via the n^{5/6}-shortcut graph and Bellman-Ford.
 func SSSP(gr *Graph, source int, opts Options) (*SSSPResult, error) {
-	if err := gr.validate(); err != nil {
-		return nil, err
-	}
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	n := gr.N()
-	if source < 0 || source >= n {
-		return nil, fmt.Errorf("ccsp: source %d out of range", source)
-	}
-	sr := gr.g.AugSemiring()
-	var dist []int64
-	var iters int
-	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
-		d, it := sssp.Exact(nd, sr, gr.g.WeightRow(nd.ID), source, 0)
-		if nd.ID == 0 {
-			dist = append([]int64(nil), d...)
-			iters = it
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ccsp: SSSP: %w", err)
-	}
-	return &SSSPResult{Source: source, Dist: dist, Iterations: iters, Stats: statsFrom(stats)}, nil
+	return oneShot(gr, opts, func(e *Engine) (*SSSPResult, error) { return e.SSSP(source) },
+		func(r *SSSPResult) *Stats { return &r.Stats })
 }
 
 // DiameterResult holds the diameter estimate.
@@ -247,31 +128,8 @@ type DiameterResult struct {
 
 // Diameter computes the near-3/2 diameter approximation of §7.2.
 func Diameter(gr *Graph, opts Options) (*DiameterResult, error) {
-	if err := gr.validate(); err != nil {
-		return nil, err
-	}
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	n := gr.N()
-	sr := gr.g.AugSemiring()
-	boards := hitting.NewBoardSeq(n)
-	var estimate int64
-	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
-		est, err := diameter.Approx(nd, sr, gr.g.WeightRow(nd.ID), opts.Epsilon, boards, opts.hopsetParams())
-		if err != nil {
-			return err
-		}
-		if nd.ID == 0 {
-			estimate = est
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ccsp: diameter: %w", err)
-	}
-	return &DiameterResult{Estimate: estimate, Stats: statsFrom(stats)}, nil
+	return oneShot(gr, opts, (*Engine).Diameter,
+		func(r *DiameterResult) *Stats { return &r.Stats })
 }
 
 // Neighbor is one entry of a k-nearest result: an exact distance plus the
@@ -299,41 +157,8 @@ type KNearestResult struct {
 // KNearest computes, for every node, exact distances and routing witnesses
 // to its k closest nodes (Theorem 18 over the witness-tracking semiring).
 func KNearest(gr *Graph, k int, opts Options) (*KNearestResult, error) {
-	if err := gr.validate(); err != nil {
-		return nil, err
-	}
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("ccsp: k must be positive, got %d", k)
-	}
-	n := gr.N()
-	sr := gr.g.RoutedSemiring()
-	out := make([][]Neighbor, n)
-	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
-		row := disttools.KNearest[semiring.WHF](nd, sr, gr.g.WeightRowRouted(nd.ID), k)
-		nb := make([]Neighbor, 0, len(row))
-		for _, e := range row {
-			nb = append(nb, Neighbor{Node: int(e.Col), Dist: e.Val.W, Hops: int(e.Val.H), FirstHop: int(e.Val.FH)})
-		}
-		sort.Slice(nb, func(i, j int) bool {
-			if nb[i].Dist != nb[j].Dist {
-				return nb[i].Dist < nb[j].Dist
-			}
-			if nb[i].Hops != nb[j].Hops {
-				return nb[i].Hops < nb[j].Hops
-			}
-			return nb[i].Node < nb[j].Node
-		})
-		out[nd.ID] = nb
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ccsp: k-nearest: %w", err)
-	}
-	return &KNearestResult{Neighbors: out, Stats: statsFrom(stats)}, nil
+	return oneShot(gr, opts, func(e *Engine) (*KNearestResult, error) { return e.KNearest(k) },
+		func(r *KNearestResult) *Stats { return &r.Stats })
 }
 
 // SourceDetectionResult holds hop-limited nearest-source lists.
@@ -348,37 +173,6 @@ type SourceDetectionResult struct {
 // SourceDetection solves the (S, d, k)-source detection problem
 // (Theorem 19): every node learns its k nearest sources within d hops.
 func SourceDetection(gr *Graph, sources []int, d, k int, opts Options) (*SourceDetectionResult, error) {
-	if err := gr.validate(); err != nil {
-		return nil, err
-	}
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	if d < 1 || k < 1 {
-		return nil, fmt.Errorf("ccsp: d and k must be positive (d=%d, k=%d)", d, k)
-	}
-	n := gr.N()
-	inS := make([]bool, n)
-	for _, s := range sources {
-		if s < 0 || s >= n {
-			return nil, fmt.Errorf("ccsp: source %d out of range", s)
-		}
-		inS[s] = true
-	}
-	sr := gr.g.AugSemiring()
-	out := make([][]Neighbor, n)
-	stats, err := cc.Run(opts.config(n), func(nd *cc.Node) error {
-		row := disttools.SourceDetectK[semiring.WH](nd, sr, gr.g.WeightRow(nd.ID), inS, d, k)
-		nb := make([]Neighbor, 0, len(row))
-		for _, e := range row {
-			nb = append(nb, Neighbor{Node: int(e.Col), Dist: e.Val.W, Hops: int(e.Val.H), FirstHop: -1})
-		}
-		out[nd.ID] = nb
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ccsp: source detection: %w", err)
-	}
-	return &SourceDetectionResult{Detected: out, Stats: statsFrom(stats)}, nil
+	return oneShot(gr, opts, func(e *Engine) (*SourceDetectionResult, error) { return e.SourceDetection(sources, d, k) },
+		func(r *SourceDetectionResult) *Stats { return &r.Stats })
 }

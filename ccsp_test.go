@@ -3,6 +3,7 @@ package ccsp
 import (
 	"container/heap"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -281,6 +282,29 @@ func TestSSSPPublicExactAndPath(t *testing.T) {
 		if total != ref[v] {
 			t.Fatalf("path to %d has weight %d, want %d", v, total, ref[v])
 		}
+	}
+}
+
+// TestSSSPPathToUnit pins PathTo's behavior on a handcrafted graph: a
+// reachable target yields the unique shortest path, the source yields the
+// single-node path, and an unreachable target yields nil.
+func TestSSSPPathToUnit(t *testing.T) {
+	// 0 --2-- 1 --3-- 2, with node 3 disconnected.
+	gr := NewGraph(4)
+	gr.MustAddEdge(0, 1, 2)
+	gr.MustAddEdge(1, 2, 3)
+	res, err := SSSP(gr, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.PathTo(gr, 2), []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PathTo(2) = %v, want %v", got, want)
+	}
+	if got, want := res.PathTo(gr, 0), []int{0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("PathTo(source) = %v, want %v", got, want)
+	}
+	if got := res.PathTo(gr, 3); got != nil {
+		t.Errorf("PathTo(unreachable) = %v, want nil", got)
 	}
 }
 

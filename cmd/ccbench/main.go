@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	ccbench -list                 # list experiments
-//	ccbench -exp E7               # run one experiment (quick scale)
-//	ccbench -exp all -scale full  # regenerate everything for EXPERIMENTS.md
-//	ccbench -exp E13 -format json # engine-scaling timings as JSON
-//	ccbench -workers 8 -exp E8    # run the simulator on 8 pool workers
+//	ccbench -list                    # list experiments
+//	ccbench -exp E7                  # run one experiment (quick scale)
+//	ccbench -exp E6,E7,E14           # run a comma-separated set
+//	ccbench -exp all -scale full     # regenerate everything for EXPERIMENTS.md
+//	ccbench -exp E13 -format json    # engine-scaling timings as JSON
+//	ccbench -workers 8 -exp E8       # run the simulator on 8 pool workers
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/congestedclique/ccsp/internal/bench"
@@ -42,7 +44,7 @@ type jsonTable struct {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (E1..E13, A1..A4) or 'all'")
+		exp     = flag.String("exp", "all", "experiment ID (E1..E14, A1..A4), comma-separated set, or 'all'")
 		scale   = flag.String("scale", "quick", "quick | full")
 		format  = flag.String("format", "md", "md | json")
 		workers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -73,11 +75,16 @@ func run() error {
 	}
 	cfg := bench.Config{Scale: s, Workers: *workers}
 
-	ids := []string{*exp}
+	var ids []string
 	if *exp == "all" {
-		ids = ids[:0]
 		for _, e := range bench.All() {
 			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
 		}
 	}
 	var jsonOut []jsonTable

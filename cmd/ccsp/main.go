@@ -13,6 +13,18 @@
 //	ccsp -algo mssp  -sources 0,5,9 g.txt   # (1+ε) MSSP (Theorem 3)
 //	ccsp -algo diameter graph.txt           # near-3/2 diameter (§7.2)
 //	ccsp -algo knearest -k 4 graph.txt      # k nearest + routing witnesses
+//	ccsp -batch queries.txt graph.txt       # preprocess once, answer many
+//
+// Batch mode loads the graph once, preprocesses it into a reusable
+// hopset artifact (ccsp.Engine), and answers one query per line of the
+// batch file ("-" for stdin), paying the hopset construction once for
+// the whole batch. Query lines ('#' comments and blank lines skipped):
+//
+//	mssp 0,5,9      # (1+ε) multi-source distances
+//	sssp 3          # exact single-source distances
+//	apsp            # all-pairs (picks Thm 28 or 31 by weights)
+//	diameter        # near-3/2 diameter
+//	knearest 4      # k nearest neighbors
 package main
 
 import (
@@ -40,6 +52,7 @@ func run() error {
 		src     = flag.Int("src", 0, "source for sssp")
 		sources = flag.String("sources", "0", "comma-separated sources for mssp")
 		k       = flag.Int("k", 4, "k for knearest")
+		batch   = flag.String("batch", "", "batch query file ('-' for stdin): preprocess once, answer every line")
 		quiet   = flag.Bool("quiet", false, "print only the stats line")
 	)
 	flag.Parse()
@@ -51,6 +64,10 @@ func run() error {
 		return err
 	}
 	opts := ccsp.Options{Epsilon: *eps}
+
+	if *batch != "" {
+		return runBatch(g, opts, *batch, *quiet)
+	}
 
 	switch *algo {
 	case "apsp":
@@ -79,13 +96,9 @@ func run() error {
 		}
 		fmt.Println(res.Stats)
 	case "mssp":
-		var srcList []int
-		for _, part := range strings.Split(*sources, ",") {
-			s, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				return fmt.Errorf("bad source list: %w", err)
-			}
-			srcList = append(srcList, s)
+		srcList, err := parseSources(*sources)
+		if err != nil {
+			return err
 		}
 		res, err := ccsp.MSSP(g, srcList, opts)
 		if err != nil {
@@ -127,6 +140,155 @@ func run() error {
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 	return nil
+}
+
+// runBatch preprocesses the graph once and answers every query line from
+// the batch file, reporting per-query stats and the amortization summary:
+// total rounds actually paid vs what one-shot calls would have cost.
+func runBatch(g *ccsp.Graph, opts ccsp.Options, path string, quiet bool) error {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	eng, err := ccsp.NewEngine(g, opts)
+	if err != nil {
+		return err
+	}
+	pre := eng.PreprocessStats()
+	fmt.Printf("preprocess: %s\n", pre.Total)
+	for _, b := range pre.Builds {
+		fmt.Printf("  %s eps=%g beta=%d edges=%d: %s\n", b.Kind, b.Eps, b.Beta, b.Edges, b.Stats)
+	}
+
+	queryRounds := 0
+	queries := 0
+	sc := bufio.NewScanner(in)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		var stats ccsp.Stats
+		switch fields[0] {
+		case "mssp":
+			if len(fields) != 2 {
+				return fmt.Errorf("%s:%d: want 'mssp s1,s2,...'", path, line)
+			}
+			srcList, err := parseSources(fields[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			res, err := eng.MSSP(srcList)
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			if !quiet {
+				for v := 0; v < g.N(); v++ {
+					parts := make([]string, len(res.Sources))
+					for i := range res.Sources {
+						parts[i] = distStr(res.Dist[v][i])
+					}
+					fmt.Printf("%d\t%s\n", v, strings.Join(parts, "\t"))
+				}
+			}
+			stats = res.Stats
+		case "sssp":
+			if len(fields) != 2 {
+				return fmt.Errorf("%s:%d: want 'sssp src'", path, line)
+			}
+			s, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			res, err := eng.SSSP(s)
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			if !quiet {
+				for v, d := range res.Dist {
+					fmt.Printf("%d\t%s\n", v, distStr(d))
+				}
+			}
+			stats = res.Stats
+		case "apsp":
+			if len(fields) != 1 {
+				return fmt.Errorf("%s:%d: want 'apsp' with no arguments", path, line)
+			}
+			res, err := eng.APSP()
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			if !quiet {
+				printMatrix(res.Dist)
+			}
+			stats = res.Stats
+		case "diameter":
+			if len(fields) != 1 {
+				return fmt.Errorf("%s:%d: want 'diameter' with no arguments", path, line)
+			}
+			res, err := eng.Diameter()
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			fmt.Printf("diameter estimate: %d\n", res.Estimate)
+			stats = res.Stats
+		case "knearest":
+			if len(fields) != 2 {
+				return fmt.Errorf("%s:%d: want 'knearest k'", path, line)
+			}
+			kq, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			res, err := eng.KNearest(kq)
+			if err != nil {
+				return fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			if !quiet {
+				for v, nb := range res.Neighbors {
+					fmt.Printf("%d:", v)
+					for _, e := range nb {
+						fmt.Printf(" %d(d=%d,via=%d)", e.Node, e.Dist, e.FirstHop)
+					}
+					fmt.Println()
+				}
+			}
+			stats = res.Stats
+		default:
+			return fmt.Errorf("%s:%d: unknown query %q", path, line, fields[0])
+		}
+		fmt.Printf("query %q: %s\n", text, stats)
+		queryRounds += stats.TotalRounds
+		queries++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	pre = eng.PreprocessStats() // lazy artifacts may have been added
+	fmt.Printf("batch: %d queries, %d preprocessing rounds (%d builds) + %d query rounds = %d total\n",
+		queries, pre.Total.TotalRounds, len(pre.Builds), queryRounds, pre.Total.TotalRounds+queryRounds)
+	return nil
+}
+
+func parseSources(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad source list: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 func distStr(d int64) string {

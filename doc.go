@@ -31,4 +31,19 @@
 //	res, err := ccsp.APSPWeighted(g, ccsp.Options{Epsilon: 0.5})
 //	if err != nil { ... }
 //	fmt.Println(res.Distance(0, 1), res.Stats.TotalRounds)
+//
+// # Serving many queries
+//
+// The pipeline is two-phase - build a (β, ε)-hopset once (§4), answer
+// queries with cheap β-hop computations - and Engine exposes that split:
+// NewEngine preprocesses the graph once, then MSSP/SSSP/APSP/Diameter
+// queries run at query-only cost, safe for concurrent use. Engine
+// queries return byte-identical results to the one-shot functions, and
+// PreprocessStats + per-query Stats sum to exactly the one-shot totals
+// (the one-shot functions are thin wrappers over an Engine); DESIGN.md
+// §8 documents the contract.
+//
+//	eng, err := ccsp.NewEngine(g, ccsp.Options{Epsilon: 0.5})
+//	if err != nil { ... }
+//	res, err := eng.MSSP([]int{3, 7, 11}) // no hopset rebuild
 package ccsp

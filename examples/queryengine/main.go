@@ -1,0 +1,113 @@
+// Query engine: serve many distance queries from one preprocessing pass.
+// The paper's pipeline is two-phase - build a (β, ε)-hopset once (§4),
+// answer queries with cheap β-hop computations (Theorems 3/28) - and
+// ccsp.Engine exposes exactly that split. This example preprocesses a
+// 64-node network once, then answers a stream of multi-source, diameter
+// and all-pairs queries, printing the amortization ledger: the one-time
+// preprocessing rounds vs the per-query rounds, and what the same stream
+// would have cost with one-shot calls.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/congestedclique/ccsp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "queryengine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 64-node weighted network: a random connected core with a few
+	// heavy long-haul links.
+	const n = 64
+	rng := rand.New(rand.NewSource(7))
+	g := ccsp.NewGraph(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, rng.Intn(v), rng.Int63n(9)+1)
+	}
+	for e := 0; e < 2*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, rng.Int63n(9)+1)
+		}
+	}
+
+	// Preprocess once. NewEngine runs the hopset construction - the
+	// expensive phase every one-shot call used to repeat - and caches the
+	// artifact for all queries that follow.
+	eng, err := ccsp.NewEngine(g, ccsp.Options{Epsilon: 0.5})
+	if err != nil {
+		return err
+	}
+	pre := eng.PreprocessStats()
+	fmt.Printf("preprocessing: %d rounds, %d artifact(s)\n", pre.Total.TotalRounds, len(pre.Builds))
+	for _, b := range pre.Builds {
+		fmt.Printf("  %-14s ε'=%.2g β=%d |H|=%d edges: %d rounds\n",
+			b.Kind, b.Eps, b.Beta, b.Edges, b.Stats.TotalRounds)
+	}
+
+	// A query stream: 6 MSSP queries (think: rotating landmark sets), a
+	// diameter probe, and one all-pairs refresh.
+	queryRounds := 0
+	for i := 0; i < 6; i++ {
+		sources := []int{(7*i + 1) % n, (13*i + 5) % n}
+		res, err := eng.MSSP(sources)
+		if err != nil {
+			return err
+		}
+		d, _ := res.Distance((i*11)%n, res.Sources[0])
+		fmt.Printf("mssp %v: d(%d,%d)=%d in %d rounds\n",
+			res.Sources, (i*11)%n, res.Sources[0], d, res.Stats.TotalRounds)
+		queryRounds += res.Stats.TotalRounds
+	}
+	diam, err := eng.Diameter()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("diameter ≈ %d in %d rounds\n", diam.Estimate, diam.Stats.TotalRounds)
+	queryRounds += diam.Stats.TotalRounds
+	apsp, err := eng.APSPWeighted()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("apsp refresh: d(0,%d)=%d in %d rounds\n", n-1, apsp.Distance(0, n-1), apsp.Stats.TotalRounds)
+	queryRounds += apsp.Stats.TotalRounds
+
+	// The ledger. The APSP query lazily added its ε/2 artifact, so re-read
+	// the preprocessing stats for the final total.
+	pre = eng.PreprocessStats()
+	fmt.Printf("\ntotal: %d preprocessing + %d query rounds = %d\n",
+		pre.Total.TotalRounds, queryRounds, pre.Total.TotalRounds+queryRounds)
+
+	// What the same stream costs without reuse: every one-shot call
+	// rebuilds its hopset (preprocess + query merged into its Stats).
+	oneShot := 0
+	for i := 0; i < 6; i++ {
+		sources := []int{(7*i + 1) % n, (13*i + 5) % n}
+		res, err := ccsp.MSSP(g, sources, ccsp.Options{Epsilon: 0.5})
+		if err != nil {
+			return err
+		}
+		oneShot += res.Stats.TotalRounds
+	}
+	d1, err := ccsp.Diameter(g, ccsp.Options{Epsilon: 0.5})
+	if err != nil {
+		return err
+	}
+	a1, err := ccsp.APSPWeighted(g, ccsp.Options{Epsilon: 0.5})
+	if err != nil {
+		return err
+	}
+	oneShot += d1.Stats.TotalRounds + a1.Stats.TotalRounds
+	engTotal := pre.Total.TotalRounds + queryRounds
+	fmt.Printf("one-shot equivalent: %d rounds → engine saves %d (%.1f×)\n",
+		oneShot, oneShot-engTotal, float64(oneShot)/float64(engTotal))
+	return nil
+}

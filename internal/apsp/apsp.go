@@ -154,10 +154,31 @@ func sqrtCeil(n int) int {
 	return k
 }
 
+// HopsetParams derives the hopset parameterization the §6 APSP
+// algorithms use from the target stretch ε: the inner MSSP runs at
+// ε' = ε/2 (Lemma 27 / Lemma 30). Preprocessing that wants to reuse one
+// hopset across the ...WithHopset variants must build it with these
+// params.
+func HopsetParams(hp hopset.Params, eps float64) hopset.Params {
+	hp.Eps = eps / 2
+	return hp
+}
+
 // ThreePlusEps computes the (3+ε)-approximate weighted APSP of §6.1,
 // returning this node's dense estimate row. All nodes pass identical eps
 // and params; boards supplies the hitting-set invocations.
 func ThreePlusEps(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq, hp hopset.Params) ([]int64, error) {
+	// δ(u,v) <= d(u,p(u)) + (1+ε')(2d) <= (3+2ε')d for ε' = ε/2.
+	hs, err := hopset.Build(nd, sr, wrow, boards.Next(nd.ID), HopsetParams(hp, eps))
+	if err != nil {
+		return nil, err
+	}
+	return ThreePlusEpsWithHopset(nd, sr, wrow, eps, boards, hs)
+}
+
+// ThreePlusEpsWithHopset is the query stage of ThreePlusEps against a
+// previously built hopset (params HopsetParams(hp, eps) on G).
+func ThreePlusEpsWithHopset(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq, hs *hopset.Result) ([]int64, error) {
 	n := nd.N
 	e := newEst(n, nd.ID)
 	for _, en := range wrow {
@@ -169,8 +190,7 @@ func ThreePlusEps(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.
 	sv := colsOf(knear)
 	inA := boards.Next(nd.ID).Hit(nd, sv)
 
-	hp.Eps = eps / 2 // δ(u,v) <= d(u,p(u)) + (1+ε')(2d) <= (3+2ε')d
-	res, err := mssp.Run(nd, sr, wrow, inA, boards.Next(nd.ID), hp)
+	res, err := mssp.RunWithHopset(nd, sr, wrow, inA, hs)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +221,19 @@ func colsOf(r matrix.Row[semiring.WH]) []int32 {
 // of §6.2 (Theorem 28): for every pair, the estimate is at most
 // (2+ε)d(u,v) + (1+ε)W where W is the heaviest edge on a shortest u-v path.
 func TwoPlusEpsWeighted(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq, hp hopset.Params) ([]int64, error) {
+	// The hopset backing line (5)'s MSSP runs at ε' = ε/2 (Lemma 27
+	// yields (2+2ε')d + (1+ε')W); building it up front keeps it reusable.
+	hs, err := hopset.Build(nd, sr, wrow, boards.Next(nd.ID), HopsetParams(hp, eps))
+	if err != nil {
+		return nil, err
+	}
+	return TwoPlusEpsWeightedWithHopset(nd, sr, wrow, eps, boards, hs)
+}
+
+// TwoPlusEpsWeightedWithHopset is the query stage of TwoPlusEpsWeighted
+// against a previously built hopset (params HopsetParams(hp, eps) on G):
+// everything except the §4 hopset construction.
+func TwoPlusEpsWeightedWithHopset(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq, hs *hopset.Result) ([]int64, error) {
 	n := nd.N
 	// Line (1): edge estimates.
 	e := newEst(n, nd.ID)
@@ -221,10 +254,8 @@ func TwoPlusEpsWeighted(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[sem
 	// Line (4): hitting set A of the N_k sets.
 	nd.Phase("apsp/hitting-set")
 	inA := boards.Next(nd.ID).Hit(nd, colsOf(knear))
-	// Line (5): (1+ε')-approximate MSSP from A, ε' = ε/2 (Lemma 27 yields
-	// (2+2ε')d + (1+ε')W).
-	hp.Eps = eps / 2
-	res, err := mssp.Run(nd, sr, wrow, inA, boards.Next(nd.ID), hp)
+	// Line (5): (1+ε')-approximate MSSP from A over the prebuilt hopset.
+	res, err := mssp.RunWithHopset(nd, sr, wrow, inA, hs)
 	if err != nil {
 		return nil, err
 	}

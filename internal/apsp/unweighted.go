@@ -21,8 +21,51 @@ import (
 // sparse MSSP from an O~(n^{3/4}) hitting set, and the 3-hop triple product
 // M1·M2·M3 (second phase).
 func TwoPlusEpsUnweighted(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq, hp hopset.Params) ([]int64, error) {
+	// Both MSSP stages run at ε' = ε/2 (Lemma 30 yields (2+2ε')). Their
+	// hopsets - one on G, one on the low-degree subgraph G' - are built up
+	// front so queries can reuse them.
+	hpIn := HopsetParams(hp, eps)
+	degs := nd.BroadcastVal(int64(len(wrow))) // wrow includes the diagonal: |N(v)|
+	hsG, err := hopset.Build(nd, sr, wrow, boards.Next(nd.ID), hpIn)
+	if err != nil {
+		return nil, err
+	}
+	lowRow := LowDegreeRow(nd.ID, wrow, degs, DegreeThreshold(nd.N))
+	hsLow, err := hopset.Build(nd, sr, lowRow, boards.Next(nd.ID), hpIn)
+	if err != nil {
+		return nil, err
+	}
+	return TwoPlusEpsUnweightedWithHopsets(nd, sr, wrow, eps, boards, degs, hsG, hsLow)
+}
+
+// DegreeThreshold returns the §6.3 high/low degree threshold k = ⌈√n⌉
+// (neighborhoods of size >= k are "high-degree"; |N(v)| counts v itself).
+func DegreeThreshold(n int) int { return sqrtCeil(n) }
+
+// LowDegreeRow restricts node self's augmented weight row (diagonal
+// included) to the subgraph G' induced on nodes of degree < k, where
+// degs[v] = |N(v)| is the broadcast neighborhood-size vector.
+// High-degree nodes are outside G' and get a nil row.
+func LowDegreeRow(self int, wrow matrix.Row[semiring.WH], degs []int64, k int) matrix.Row[semiring.WH] {
+	if int(degs[self]) >= k {
+		return nil
+	}
+	low := make(matrix.Row[semiring.WH], 0, len(wrow))
+	for _, en := range wrow {
+		if int(degs[en.Col]) < k {
+			low = append(low, en)
+		}
+	}
+	return low
+}
+
+// TwoPlusEpsUnweightedWithHopsets is the query stage of
+// TwoPlusEpsUnweighted against previously built hopsets: hsG on G and
+// hsLow on the low-degree subgraph G' (both with params
+// HopsetParams(hp, eps)), with degs the broadcast |N(v)| vector from the
+// same preprocessing (no degree broadcast happens here).
+func TwoPlusEpsUnweightedWithHopsets(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq, degs []int64, hsG, hsLow *hopset.Result) ([]int64, error) {
 	n := nd.N
-	epsIn := eps / 2 // Lemma 30 yields (2+2ε') with ε' the MSSP parameter
 
 	// Line (1): edge estimates.
 	e := newEst(n, nd.ID)
@@ -33,19 +76,16 @@ func TwoPlusEpsUnweighted(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[s
 	// --- First phase: shortest paths with a high-degree node. ---
 
 	// Degree threshold k = √n; |N(v)| counts v itself (§6.3).
-	k := sqrtCeil(n)
+	k := DegreeThreshold(n)
 	degPlus := len(wrow) // wrow includes the diagonal, so this is |N(v)|
-	degs := nd.BroadcastVal(int64(degPlus))
 	highSet := make([]int32, 0, degPlus)
 	if degPlus >= k {
 		highSet = colsOf(wrow)
 	}
 	// Line (2): A hits every high-degree neighborhood.
 	inA := boards.Next(nd.ID).Hit(nd, highSet)
-	// Line (3): MSSP from A.
-	hp1 := hp
-	hp1.Eps = epsIn
-	res, err := mssp.Run(nd, sr, wrow, inA, boards.Next(nd.ID), hp1)
+	// Line (3): MSSP from A over the prebuilt G hopset.
+	res, err := mssp.RunWithHopset(nd, sr, wrow, inA, hsG)
 	if err != nil {
 		return nil, err
 	}
@@ -66,16 +106,7 @@ func TwoPlusEpsUnweighted(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[s
 
 	// G' is induced on nodes of degree < k; high-degree nodes have empty
 	// rows (they are not in G').
-	meLow := degPlus < k
-	var lowRow matrix.Row[semiring.WH]
-	if meLow {
-		lowRow = make(matrix.Row[semiring.WH], 0, len(wrow))
-		for _, en := range wrow {
-			if int(degs[en.Col]) < k {
-				lowRow = append(lowRow, en)
-			}
-		}
-	}
+	lowRow := LowDegreeRow(nd.ID, wrow, degs, k)
 	// Line (5): n^{1/4}-nearest in G' (exact G'-distances, which upper
 	// bound d_G and equal it for all-low shortest paths).
 	kq := int(math.Ceil(math.Pow(float64(n), 0.25)))
@@ -89,11 +120,9 @@ func TwoPlusEpsUnweighted(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[s
 	e.updRow(dts2)
 	// Line (7): A' hits the N_{k'} sets of G' nodes.
 	inA2 := boards.Next(nd.ID).Hit(nd, colsOf(knearLow))
-	// Line (8): sparse MSSP from A' in G' - a hopset of G' followed by
-	// β-hop source detection (the G' ∪ H graph has O~(n^{3/2}) edges).
-	hp2 := hp
-	hp2.Eps = epsIn
-	res2, err := mssp.Run(nd, sr, lowRow, inA2, boards.Next(nd.ID), hp2)
+	// Line (8): sparse MSSP from A' in G' over the prebuilt G' hopset
+	// (the G' ∪ H graph has O~(n^{3/2}) edges).
+	res2, err := mssp.RunWithHopset(nd, sr, lowRow, inA2, hsLow)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,18 @@ import (
 // Approx returns the diameter estimate (identical at all nodes). eps is
 // the MSSP approximation parameter; hp configures the shared hopset.
 func Approx(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], eps float64, boards *hitting.BoardSeq, hp hopset.Params) (int64, error) {
+	hp.Eps = eps
+	hs, err := hopset.Build(nd, sr, wrow, boards.Next(nd.ID), hp)
+	if err != nil {
+		return 0, fmt.Errorf("diameter: %w", err)
+	}
+	return ApproxWithHopset(nd, sr, wrow, boards, hs)
+}
+
+// ApproxWithHopset is the query stage of Approx against a previously
+// built hopset on G (built at the target ε): both MSSP stages reuse it,
+// so the run pays zero hopset-construction rounds.
+func ApproxWithHopset(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq, hs *hopset.Result) (int64, error) {
 	n := nd.N
 	// Line (1): distances to the k nearest, k = O~(√n) so that the
 	// hitting set has size O~(√n).
@@ -37,9 +49,8 @@ func Approx(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], e
 	}
 	// Line (2): hitting set S.
 	inS := boards.Next(nd.ID).Hit(nd, sv)
-	// Line (3): MSSP from S (builds the hopset, reused by line (5)).
-	hp.Eps = eps
-	res, err := mssp.Run(nd, sr, wrow, inS, boards.Next(nd.ID), hp)
+	// Line (3): MSSP from S over the shared hopset (reused by line (5)).
+	res, err := mssp.RunWithHopset(nd, sr, wrow, inS, hs)
 	if err != nil {
 		return 0, fmt.Errorf("diameter: %w", err)
 	}
@@ -81,7 +92,7 @@ func Approx(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], e
 	for v := range inNkwAll {
 		inNkwAll[v] = members[v] == 1
 	}
-	res2, err := mssp.RunWithHopset(nd, sr, wrow, inNkwAll, res.Hopset)
+	res2, err := mssp.RunWithHopset(nd, sr, wrow, inNkwAll, hs)
 	if err != nil {
 		return 0, fmt.Errorf("diameter: second MSSP: %w", err)
 	}

@@ -227,3 +227,63 @@ func TestBuildRejectsBadEps(t *testing.T) {
 		t.Fatal("want error for eps=0")
 	}
 }
+
+// TestArtifactRoundTrip: Collect followed by At must reproduce every
+// node's Result exactly, and the artifact's shared fields must match.
+func TestArtifactRoundTrip(t *testing.T) {
+	g := randGraph(24, 30, 8, 9)
+	results, _ := buildHopset(t, g, Practical(0.5))
+	art, err := Collect(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.N != g.N || art.Beta != results[0].Beta || art.K != results[0].K {
+		t.Errorf("artifact metadata wrong: %+v", art)
+	}
+	edges := 0
+	for v, want := range results {
+		got := art.At(v)
+		if got.Beta != want.Beta || got.K != want.K || got.PV != want.PV || got.DPV != want.DPV {
+			t.Errorf("node %d: rehydrated scalars differ: %+v vs %+v", v, got, want)
+		}
+		if len(got.Row) != len(want.Row) {
+			t.Fatalf("node %d: row length %d vs %d", v, len(got.Row), len(want.Row))
+		}
+		for i := range got.Row {
+			if got.Row[i] != want.Row[i] {
+				t.Fatalf("node %d row[%d]: %+v vs %+v", v, i, got.Row[i], want.Row[i])
+			}
+		}
+		for u, in := range got.InA1 {
+			if in != want.InA1[u] {
+				t.Fatalf("node %d: InA1[%d] differs", v, u)
+			}
+		}
+		edges += len(want.Row)
+	}
+	if art.Edges() != edges/2 {
+		t.Errorf("Edges() = %d, want %d", art.Edges(), edges/2)
+	}
+}
+
+// TestArtifactCollectErrors: Collect rejects empty, incomplete and
+// inconsistent result sets.
+func TestArtifactCollectErrors(t *testing.T) {
+	if _, err := Collect(nil); err == nil {
+		t.Error("want error for empty results")
+	}
+	g := randGraph(9, 6, 4, 10)
+	results, _ := buildHopset(t, g, Practical(0.5))
+	hole := append([]*Result(nil), results...)
+	hole[4] = nil
+	if _, err := Collect(hole); err == nil {
+		t.Error("want error for missing node result")
+	}
+	bad := append([]*Result(nil), results...)
+	cp := *results[2]
+	cp.Beta++
+	bad[2] = &cp
+	if _, err := Collect(bad); err == nil {
+		t.Error("want error for inconsistent beta")
+	}
+}

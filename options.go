@@ -36,7 +36,9 @@ type Options struct {
 	// deterministic and ignore it.
 	Seed int64
 	// MaxRounds overrides the simulator's round guard; 0 keeps the
-	// default.
+	// default. The guard applies to each simulator run individually: a
+	// call that preprocesses and queries (or an Engine serving several
+	// queries) runs the budget per run, not over the combined total.
 	MaxRounds int
 	// Workers sizes the simulator's worker pool, which executes each
 	// collective sharded across destination nodes (DESIGN.md §5). 0 uses
@@ -73,6 +75,19 @@ func (o Options) hopsetParams() hopset.Params {
 
 func (o Options) config(n int) cc.Config {
 	return cc.Config{N: n, Seed: o.Seed, MaxRounds: o.MaxRounds, Workers: o.Workers}
+}
+
+// prepare validates the graph and normalizes the options - the
+// precondition chain shared by every public entry point.
+func prepare(gr *Graph, opts Options) (Options, error) {
+	if err := gr.validate(); err != nil {
+		return opts, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return opts, err
+	}
+	return opts, nil
 }
 
 // Stats reports the communication cost of a run in the Congested Clique
@@ -126,4 +141,39 @@ func statsFrom(s cc.Stats) Stats {
 func (s Stats) String() string {
 	return fmt.Sprintf("n=%d rounds=%d (sim=%d charged=%d) msgs=%d",
 		s.Nodes, s.TotalRounds, s.SimRounds, s.TotalRounds-s.SimRounds, s.Messages)
+}
+
+// Merge returns the element-wise sum of s and o: rounds, messages and the
+// per-tag breakdowns add; Nodes is carried over (the runs must be on the
+// same clique). Use it to combine an Engine's PreprocessStats with
+// per-query Stats into the end-to-end totals a one-shot call would
+// report.
+func (s Stats) Merge(o Stats) Stats {
+	out := Stats{
+		Nodes:          s.Nodes,
+		TotalRounds:    s.TotalRounds + o.TotalRounds,
+		SimRounds:      s.SimRounds + o.SimRounds,
+		Messages:       s.Messages + o.Messages,
+		Words:          s.Words + o.Words,
+		ChargedRounds:  addMaps(s.ChargedRounds, o.ChargedRounds),
+		PhaseRounds:    addMaps(s.PhaseRounds, o.PhaseRounds),
+		CollectiveTime: addMaps(s.CollectiveTime, o.CollectiveTime),
+	}
+	if out.Nodes == 0 {
+		out.Nodes = o.Nodes
+	}
+	return out
+}
+
+// addMaps sums two breakdown maps into a fresh map, leaving both inputs
+// untouched.
+func addMaps[V int | time.Duration](a, b map[string]V) map[string]V {
+	out := make(map[string]V, len(a)+len(b))
+	for k, v := range a {
+		out[k] += v
+	}
+	for k, v := range b {
+		out[k] += v
+	}
+	return out
 }

@@ -1,0 +1,85 @@
+package ccsp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestOptionsValidateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr bool
+	}{
+		{"negative epsilon", Options{Epsilon: -0.1}, true},
+		{"epsilon above one", Options{Epsilon: 1.0001}, true},
+		{"epsilon exactly one", Options{Epsilon: 1}, false},
+		{"negative workers", Options{Epsilon: 0.5, Workers: -1}, true},
+		{"zero value after defaults", Options{}.withDefaults(), false},
+	}
+	for _, tc := range cases {
+		if err := tc.opts.validate(); (err != nil) != tc.wantErr {
+			t.Errorf("%s: validate() err=%v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+	if got := (Options{}).withDefaults().Epsilon; got != 0.5 {
+		t.Errorf("default epsilon %v, want 0.5", got)
+	}
+	// prepare chains graph validation, defaulting and option validation.
+	if _, err := prepare(nil, Options{}); err == nil {
+		t.Error("prepare(nil graph): want error")
+	}
+	if _, err := prepare(NewGraph(0), Options{}); err == nil {
+		t.Error("prepare(empty graph): want error")
+	}
+	if _, err := prepare(NewGraph(3), Options{Epsilon: -1}); err == nil {
+		t.Error("prepare(bad epsilon): want error")
+	}
+	opts, err := prepare(NewGraph(3), Options{})
+	if err != nil || opts.Epsilon != 0.5 {
+		t.Errorf("prepare defaults: opts=%+v err=%v", opts, err)
+	}
+}
+
+func TestStatsStringFormat(t *testing.T) {
+	s := Stats{Nodes: 5, TotalRounds: 10, SimRounds: 4, Messages: 100}
+	if got, want := s.String(), "n=5 rounds=10 (sim=4 charged=6) msgs=100"; got != want {
+		t.Errorf("Stats.String() = %q, want %q", got, want)
+	}
+	if got := (Stats{}).String(); got != "n=0 rounds=0 (sim=0 charged=0) msgs=0" {
+		t.Errorf("zero Stats.String() = %q", got)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{
+		Nodes: 8, TotalRounds: 10, SimRounds: 6, Messages: 100, Words: 400,
+		ChargedRounds:  map[string]int{"route": 3, "sort": 1},
+		PhaseRounds:    map[string]int{"hopset/levels": 9, "": 1},
+		CollectiveTime: map[string]time.Duration{"sync": time.Millisecond},
+	}
+	b := Stats{
+		Nodes: 8, TotalRounds: 5, SimRounds: 2, Messages: 40, Words: 160,
+		ChargedRounds: map[string]int{"route": 2, "hitting-set": 1},
+		PhaseRounds:   map[string]int{"mssp/source-detect": 5},
+	}
+	got := a.Merge(b)
+	want := Stats{
+		Nodes: 8, TotalRounds: 15, SimRounds: 8, Messages: 140, Words: 560,
+		ChargedRounds:  map[string]int{"route": 5, "sort": 1, "hitting-set": 1},
+		PhaseRounds:    map[string]int{"hopset/levels": 9, "": 1, "mssp/source-detect": 5},
+		CollectiveTime: map[string]time.Duration{"sync": time.Millisecond},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Merge = %+v, want %+v", got, want)
+	}
+	// Inputs are untouched.
+	if a.ChargedRounds["route"] != 3 || b.ChargedRounds["route"] != 2 {
+		t.Error("Merge mutated its inputs")
+	}
+	// Nodes is taken from the non-empty side.
+	if m := (Stats{}).Merge(b); m.Nodes != 8 {
+		t.Errorf("zero.Merge(b).Nodes = %d, want 8", m.Nodes)
+	}
+}
