@@ -1,10 +1,10 @@
-// Command ccsp computes shortest-path structures on an edge-list graph
-// using the paper's Congested Clique algorithms and reports the simulated
+// Command ccsp computes shortest-path structures on a graph file using
+// the paper's Congested Clique algorithms and reports the simulated
 // round complexity.
 //
-// The input format is one edge per line: "u v [w]" (0-based node IDs,
-// optional positive integer weight, default 1). Lines starting with '#'
-// are ignored. The node count is one more than the largest ID seen.
+// Graphs are read as whitespace edge lists ("u v [w]", 0-based IDs,
+// optional weight, '#' comments) or the DIMACS shortest-path format
+// (.gr), auto-detected; pass the path positionally or via -graph.
 //
 // Usage:
 //
@@ -14,6 +14,14 @@
 //	ccsp -algo diameter graph.txt           # near-3/2 diameter (§7.2)
 //	ccsp -algo knearest -k 4 graph.txt      # k nearest + routing witnesses
 //	ccsp -batch queries.txt graph.txt       # preprocess once, answer many
+//	ccsp -graph road.gr -save warm.snap -algo mssp -sources 3   # persist the engine
+//	ccsp -load warm.snap -algo diameter     # reuse it: zero preprocessing rounds
+//
+// With -save or -load, queries run through a persistent ccsp.Engine
+// snapshot (the format cmd/ccspd serves from): -save builds the engine
+// and writes it after answering, -load restores one and pays no
+// preprocessing; the reported stats then cover the query run only, with
+// the preprocessing cost printed separately.
 //
 // Batch mode loads the graph once, preprocesses it into a reusable
 // hopset artifact (ccsp.Engine), and answers one query per line of the
@@ -47,36 +55,41 @@ func main() {
 
 func run() error {
 	var (
-		algo    = flag.String("algo", "apsp", "apsp | sssp | mssp | diameter | knearest")
-		eps     = flag.Float64("eps", 0.5, "approximation parameter ε")
-		src     = flag.Int("src", 0, "source for sssp")
-		sources = flag.String("sources", "0", "comma-separated sources for mssp")
-		k       = flag.Int("k", 4, "k for knearest")
-		batch   = flag.String("batch", "", "batch query file ('-' for stdin): preprocess once, answer every line")
-		quiet   = flag.Bool("quiet", false, "print only the stats line")
+		algo      = flag.String("algo", "apsp", "apsp | sssp | mssp | diameter | knearest")
+		eps       = flag.Float64("eps", 0.5, "approximation parameter ε")
+		src       = flag.Int("src", 0, "source for sssp")
+		sources   = flag.String("sources", "0", "comma-separated sources for mssp")
+		k         = flag.Int("k", 4, "k for knearest")
+		batch     = flag.String("batch", "", "batch query file ('-' for stdin): preprocess once, answer every line")
+		quiet     = flag.Bool("quiet", false, "print only the stats line")
+		graphPath = flag.String("graph", "", "graph file (edge list or DIMACS .gr); alternative to the positional argument")
+		savePath  = flag.String("save", "", "write the preprocessed engine snapshot here after answering")
+		loadPath  = flag.String("load", "", "restore a preprocessed engine snapshot instead of building one")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: ccsp [flags] <edge-list-file>")
-	}
-	g, err := load(flag.Arg(0))
+	opts := ccsp.Options{Epsilon: *eps}
+
+	g, eng, err := loadInput(*graphPath, *loadPath)
 	if err != nil {
 		return err
 	}
-	opts := ccsp.Options{Epsilon: *eps}
 
 	if *batch != "" {
-		return runBatch(g, opts, *batch, *quiet)
+		return runBatch(g, eng, opts, *batch, *quiet, *savePath)
 	}
+	// -save needs an engine even when -load didn't provide one; building
+	// it up front also moves the preprocessing cost out of the query
+	// stats, which is the point of the snapshot.
+	if eng == nil && *savePath != "" {
+		if eng, err = ccsp.NewEngine(g, opts); err != nil {
+			return err
+		}
+	}
+	q := newQueries(g, eng, opts)
 
 	switch *algo {
 	case "apsp":
-		var res *ccsp.APSPResult
-		if g.Unweighted() {
-			res, err = ccsp.APSPUnweighted(g, opts)
-		} else {
-			res, err = ccsp.APSPWeighted(g, opts)
-		}
+		res, err := q.apsp()
 		if err != nil {
 			return err
 		}
@@ -85,7 +98,7 @@ func run() error {
 		}
 		fmt.Println(res.Stats)
 	case "sssp":
-		res, err := ccsp.SSSP(g, *src, opts)
+		res, err := q.sssp(*src)
 		if err != nil {
 			return err
 		}
@@ -100,7 +113,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := ccsp.MSSP(g, srcList, opts)
+		res, err := q.mssp(srcList)
 		if err != nil {
 			return err
 		}
@@ -115,14 +128,14 @@ func run() error {
 		}
 		fmt.Println(res.Stats)
 	case "diameter":
-		res, err := ccsp.Diameter(g, opts)
+		res, err := q.diameter()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("diameter estimate: %d\n", res.Estimate)
 		fmt.Println(res.Stats)
 	case "knearest":
-		res, err := ccsp.KNearest(g, *k, opts)
+		res, err := q.knearest(*k)
 		if err != nil {
 			return err
 		}
@@ -139,13 +152,111 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
+	if eng != nil && !*quiet {
+		fmt.Printf("preprocess (not in the stats line above): %s\n", eng.PreprocessStats().Total)
+	}
+	return saveEngine(eng, *savePath, *quiet)
+}
+
+// loadInput resolves the graph source: a snapshot (-load, which carries
+// its graph and a warm engine) or a graph file (-graph or the positional
+// argument).
+func loadInput(graphPath, loadPath string) (*ccsp.Graph, *ccsp.Engine, error) {
+	if loadPath != "" {
+		if graphPath != "" || flag.NArg() != 0 {
+			return nil, nil, fmt.Errorf("-load restores the snapshot's own graph; drop the graph argument")
+		}
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		eng, err := ccsp.LoadEngine(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("load %s: %w", loadPath, err)
+		}
+		return eng.Graph(), eng, nil
+	}
+	switch {
+	case graphPath != "" && flag.NArg() == 0:
+	case graphPath == "" && flag.NArg() == 1:
+		graphPath = flag.Arg(0)
+	default:
+		return nil, nil, fmt.Errorf("usage: ccsp [flags] <graph-file> (or -graph/-load)")
+	}
+	g, err := ccsp.ReadGraphFile(graphPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, nil, nil
+}
+
+// queries dispatches each algorithm either through a persistent engine
+// (-save/-load: query-only stats) or the historical one-shot calls
+// (stats include preprocessing).
+type queries struct {
+	apsp     func() (*ccsp.APSPResult, error)
+	sssp     func(src int) (*ccsp.SSSPResult, error)
+	mssp     func(srcs []int) (*ccsp.MSSPResult, error)
+	diameter func() (*ccsp.DiameterResult, error)
+	knearest func(k int) (*ccsp.KNearestResult, error)
+}
+
+func newQueries(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options) queries {
+	if eng != nil {
+		return queries{
+			apsp:     eng.APSP,
+			sssp:     eng.SSSP,
+			mssp:     eng.MSSP,
+			diameter: eng.Diameter,
+			knearest: eng.KNearest,
+		}
+	}
+	return queries{
+		apsp: func() (*ccsp.APSPResult, error) {
+			if g.Unweighted() {
+				return ccsp.APSPUnweighted(g, opts)
+			}
+			return ccsp.APSPWeighted(g, opts)
+		},
+		sssp:     func(src int) (*ccsp.SSSPResult, error) { return ccsp.SSSP(g, src, opts) },
+		mssp:     func(srcs []int) (*ccsp.MSSPResult, error) { return ccsp.MSSP(g, srcs, opts) },
+		diameter: func() (*ccsp.DiameterResult, error) { return ccsp.Diameter(g, opts) },
+		knearest: func(k int) (*ccsp.KNearestResult, error) { return ccsp.KNearest(g, k, opts) },
+	}
+}
+
+// saveEngine writes the engine snapshot to path (no-op for empty path);
+// quiet suppresses the confirmation line.
+func saveEngine(eng *ccsp.Engine, path string, quiet bool) error {
+	if path == "" {
+		return nil
+	}
+	if eng == nil {
+		return fmt.Errorf("internal: -save without an engine")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("saved engine snapshot to %s\n", path)
+	}
 	return nil
 }
 
-// runBatch preprocesses the graph once and answers every query line from
-// the batch file, reporting per-query stats and the amortization summary:
-// total rounds actually paid vs what one-shot calls would have cost.
-func runBatch(g *ccsp.Graph, opts ccsp.Options, path string, quiet bool) error {
+// runBatch preprocesses the graph once (or reuses a -load'ed engine) and
+// answers every query line from the batch file, reporting per-query stats
+// and the amortization summary: total rounds actually paid vs what
+// one-shot calls would have cost.
+func runBatch(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, quiet bool, savePath string) error {
 	in := os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -156,9 +267,11 @@ func runBatch(g *ccsp.Graph, opts ccsp.Options, path string, quiet bool) error {
 		in = f
 	}
 
-	eng, err := ccsp.NewEngine(g, opts)
-	if err != nil {
-		return err
+	if eng == nil {
+		var err error
+		if eng, err = ccsp.NewEngine(g, opts); err != nil {
+			return err
+		}
 	}
 	pre := eng.PreprocessStats()
 	fmt.Printf("preprocess: %s\n", pre.Total)
@@ -167,7 +280,7 @@ func runBatch(g *ccsp.Graph, opts ccsp.Options, path string, quiet bool) error {
 	}
 
 	queryRounds := 0
-	queries := 0
+	nq := 0
 	sc := bufio.NewScanner(in)
 	line := 0
 	for sc.Scan() {
@@ -268,15 +381,15 @@ func runBatch(g *ccsp.Graph, opts ccsp.Options, path string, quiet bool) error {
 		}
 		fmt.Printf("query %q: %s\n", text, stats)
 		queryRounds += stats.TotalRounds
-		queries++
+		nq++
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
 	pre = eng.PreprocessStats() // lazy artifacts may have been added
 	fmt.Printf("batch: %d queries, %d preprocessing rounds (%d builds) + %d query rounds = %d total\n",
-		queries, pre.Total.TotalRounds, len(pre.Builds), queryRounds, pre.Total.TotalRounds+queryRounds)
-	return nil
+		nq, pre.Total.TotalRounds, len(pre.Builds), queryRounds, pre.Total.TotalRounds+queryRounds)
+	return saveEngine(eng, savePath, false)
 }
 
 func parseSources(csv string) ([]int, error) {
@@ -306,54 +419,4 @@ func printMatrix(dist [][]int64) {
 		}
 		fmt.Println(strings.Join(parts, "\t"))
 	}
-}
-
-func load(path string) (*ccsp.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-
-	var edges [][3]int64
-	maxID := 0
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 || len(fields) > 3 {
-			return nil, fmt.Errorf("%s:%d: want 'u v [w]'", path, line)
-		}
-		u, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
-		}
-		v, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
-		}
-		w := int64(1)
-		if len(fields) == 3 {
-			w, err = strconv.ParseInt(fields[2], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-		}
-		if u > maxID {
-			maxID = u
-		}
-		if v > maxID {
-			maxID = v
-		}
-		edges = append(edges, [3]int64{int64(u), int64(v), w})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return ccsp.FromEdges(maxID+1, edges)
 }

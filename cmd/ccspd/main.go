@@ -1,0 +1,171 @@
+// Command ccspd is the distance-serving daemon: it loads (or builds,
+// then saves) a preprocessed snapshot of a graph and serves approximate
+// shortest-path queries over HTTP/JSON from one shared query engine.
+//
+// Startup sources (exactly one required):
+//
+//	ccspd -load warm.snap                       # restore a saved engine: no preprocessing
+//	ccspd -graph g.txt                          # build from an edge-list or DIMACS .gr file
+//	ccspd -graph g.gr -save warm.snap           # build once, persist for the next restart
+//
+// Serving:
+//
+//	ccspd -graph g.txt -addr :8080 -timeout 30s -cache 128 -workers 0
+//
+// Endpoints: /healthz, /v1/sssp?source=S, /v1/mssp?sources=A,B,
+// /v1/distance?from=U&to=V, /v1/diameter, /v1/stats. Distances are -1
+// for unreachable pairs. SIGINT/SIGTERM drains in-flight requests and
+// exits cleanly.
+//
+// Example:
+//
+//	$ ccspd -graph graph.txt -save warm.snap &
+//	$ curl -s 'localhost:8080/v1/distance?from=0&to=41'
+//	{"from":0,"to":41,"distance":12,"reachable":true,...}
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ccspd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		graphPath = flag.String("graph", "", "graph file (edge list or DIMACS .gr) to build an engine from")
+		loadPath  = flag.String("load", "", "snapshot file to restore a preprocessed engine from")
+		savePath  = flag.String("save", "", "write the preprocessed engine to this snapshot file after building")
+		eps       = flag.Float64("eps", 0.5, "approximation parameter ε (ignored with -load: the snapshot pins it)")
+		workers   = flag.Int("workers", 0, "simulator worker-pool size (0 = GOMAXPROCS; ignored with -load)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request query timeout (0 = none)")
+		cacheSize = flag.Int("cache", 128, "response cache capacity in entries (negative = disabled)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v (use -graph/-load)", flag.Args())
+	}
+
+	eng, err := buildEngine(*graphPath, *loadPath, *savePath, ccsp.Options{Epsilon: *eps, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{Engine: eng, Timeout: *timeout, CacheSize: *cacheSize})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ccspd: serving on %s (n=%d, m=%d)", *addr, eng.Graph().N(), eng.Graph().M())
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("ccspd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// buildEngine realizes the startup contract: restore from a snapshot, or
+// build from a graph file (optionally persisting the warm engine).
+func buildEngine(graphPath, loadPath, savePath string, opts ccsp.Options) (*ccsp.Engine, error) {
+	switch {
+	case loadPath != "" && graphPath != "":
+		return nil, fmt.Errorf("use -graph or -load, not both")
+	case loadPath != "":
+		if savePath != "" {
+			return nil, fmt.Errorf("-save with -load would rewrite an identical snapshot; drop one")
+		}
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		start := time.Now()
+		eng, err := ccsp.LoadEngine(f)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", loadPath, err)
+		}
+		log.Printf("ccspd: restored snapshot %s in %v (%d artifacts, %d preprocessing rounds skipped)",
+			loadPath, time.Since(start).Round(time.Millisecond),
+			len(eng.PreprocessStats().Builds), eng.PreprocessStats().Total.TotalRounds)
+		return eng, nil
+	case graphPath != "":
+		g, err := ccsp.ReadGraphFile(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		eng, err := ccsp.NewEngine(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("ccspd: preprocessed %s in %v (%d rounds)",
+			graphPath, time.Since(start).Round(time.Millisecond), eng.PreprocessStats().Total.TotalRounds)
+		if savePath != "" {
+			if err := saveSnapshot(eng, savePath); err != nil {
+				return nil, err
+			}
+			log.Printf("ccspd: saved snapshot to %s", savePath)
+		}
+		return eng, nil
+	default:
+		return nil, fmt.Errorf("one of -graph or -load is required")
+	}
+}
+
+// saveSnapshot writes atomically: temp file + rename, so a crash mid-save
+// never leaves a truncated snapshot at the target path (the decoder would
+// reject it anyway, but the previous good snapshot should survive).
+func saveSnapshot(eng *ccsp.Engine, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ccspd-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := eng.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

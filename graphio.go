@@ -1,0 +1,55 @@
+package ccsp
+
+import (
+	"io"
+
+	"github.com/congestedclique/ccsp/internal/graphio"
+)
+
+// GraphFormat selects a graph file encoding for ReadGraph and
+// Graph.Write.
+type GraphFormat int
+
+const (
+	// GraphFormatAuto detects the format from content (DIMACS lines start
+	// with a 'c'/'p'/'a' token; everything else parses as an edge list).
+	GraphFormatAuto GraphFormat = GraphFormat(graphio.FormatAuto)
+	// GraphFormatEdgeList is a whitespace edge list: "u v [w]" per line,
+	// 0-based node IDs, optional weight (default 1), '#' comments.
+	GraphFormatEdgeList GraphFormat = GraphFormat(graphio.FormatEdgeList)
+	// GraphFormatDIMACS is the 9th DIMACS Challenge shortest-path format
+	// (.gr): 'p sp <n> <m>' then 1-based 'a <u> <v> <w>' arc lines.
+	GraphFormatDIMACS GraphFormat = GraphFormat(graphio.FormatDIMACS)
+)
+
+// ReadGraph parses a graph from r, auto-detecting the format. Use
+// ReadGraphFormat to pin one.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	return ReadGraphFormat(r, GraphFormatAuto)
+}
+
+// ReadGraphFormat parses a graph from r in the given format.
+func ReadGraphFormat(r io.Reader, f GraphFormat) (*Graph, error) {
+	g, err := graphio.Read(r, graphio.Format(f))
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// ReadGraphFile parses the graph file at path, inferring DIMACS from a
+// ".gr" extension and auto-detecting otherwise.
+func ReadGraphFile(path string) (*Graph, error) {
+	g, err := graphio.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Write renders the graph to w in the given format; GraphFormatAuto
+// writes an edge list. Write → ReadGraph round-trips to an equivalent
+// graph.
+func (gr *Graph) Write(w io.Writer, f GraphFormat) error {
+	return graphio.Write(w, gr.g, graphio.Format(f))
+}

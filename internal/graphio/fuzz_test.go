@@ -1,0 +1,48 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the parser's hardening contract for both text formats:
+// arbitrary input must parse into a structurally valid graph or return an
+// error - never panic. The committed seed corpus (testdata/fuzz/FuzzRead)
+// plus the seeds below cover both formats and the error classes the unit
+// tests exercise.
+func FuzzRead(f *testing.F) {
+	f.Add("0 1 2\n1 2 3\n")
+	f.Add("# comment\n0 1\n")
+	f.Add("c x\np sp 3 2\na 1 2 7\na 2 3 1\n")
+	f.Add("p sp 2 5\na 1 2 1\n")
+	f.Add("0 1 99999999999999999999\n")
+	f.Add("a 1 2 3\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in), FormatAuto)
+		if err != nil {
+			return
+		}
+		// A successful parse must produce a graph the rest of the system
+		// can rely on: positive n, in-range symmetric adjacency, and the
+		// ability to re-serialize in both formats.
+		if g.N < 1 {
+			t.Fatalf("parsed graph has n=%d", g.N)
+		}
+		for v, adj := range g.Adj {
+			for _, e := range adj {
+				if int(e.To) < 0 || int(e.To) >= g.N || int(e.To) == v || e.W < 0 {
+					t.Fatalf("invalid half-edge %d->%d (w=%d)", v, e.To, e.W)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g, FormatEdgeList); err != nil {
+			t.Fatalf("re-serialize edge list: %v", err)
+		}
+		if err := Write(&buf, g, FormatDIMACS); err != nil {
+			t.Fatalf("re-serialize DIMACS: %v", err)
+		}
+	})
+}

@@ -1,0 +1,330 @@
+// Package graphio reads and writes graphs in the two interchange formats
+// real shortest-path datasets come in: whitespace edge lists ("u v [w]",
+// 0-based, '#' comments) and the 9th DIMACS Implementation Challenge
+// format (.gr: 'c' comments, one 'p sp <n> <m>' problem line, 'a <u> <v>
+// <w>' arcs, 1-based). It exists so cmd/ccsp and cmd/ccspd can serve
+// published road-network and benchmark graphs, not just graphgen
+// synthetics. Parsing is hardened: malformed input returns an error with
+// a line number, never a panic (asserted by the fuzz harness).
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/congestedclique/ccsp/internal/graph"
+)
+
+// Format identifies a graph file encoding.
+type Format int
+
+const (
+	// FormatAuto detects the format from content: a 'p'/'a'/'c' leading
+	// token means DIMACS, anything else is read as an edge list.
+	FormatAuto Format = iota
+	// FormatEdgeList is "u v [w]" per line, 0-based IDs, optional weight
+	// (default 1), '#' comments. The node count is one more than the
+	// largest ID seen.
+	FormatEdgeList
+	// FormatDIMACS is the DIMACS shortest-path format: 'p sp <n> <m>',
+	// then 'a <u> <v> <w>' arc lines with 1-based IDs. The two arcs of an
+	// undirected edge collapse to one.
+	FormatDIMACS
+)
+
+// maxNodes caps parsed graph sizes: the simulator is quadratic in n, so
+// anything beyond this is a malformed or hostile input, not a workload.
+const maxNodes = 1 << 20
+
+// Read parses a graph from r in the given format.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	if f == FormatAuto {
+		detected, err := detect(br)
+		if err != nil {
+			return nil, err
+		}
+		f = detected
+	}
+	switch f {
+	case FormatEdgeList:
+		return readEdgeList(br)
+	case FormatDIMACS:
+		return readDIMACS(br)
+	default:
+		return nil, fmt.Errorf("graphio: unknown format %d", f)
+	}
+}
+
+// ReadFile parses the graph file at path, inferring DIMACS from a ".gr"
+// extension and auto-detecting otherwise.
+func ReadFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	format := FormatAuto
+	if strings.EqualFold(filepath.Ext(path), ".gr") {
+		format = FormatDIMACS
+	}
+	g, err := Read(f, format)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// detect peeks at the first non-blank, non-'#' line: DIMACS lines start
+// with a single-letter 'c', 'p' or 'a' token, edge-list lines with a
+// node ID.
+func detect(br *bufio.Reader) (Format, error) {
+	peek, err := br.Peek(4096)
+	if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+		return FormatAuto, fmt.Errorf("graphio: %w", err)
+	}
+	for _, line := range strings.Split(string(peek), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch fields := strings.Fields(line); fields[0] {
+		case "c", "p", "a":
+			return FormatDIMACS, nil
+		default:
+			return FormatEdgeList, nil
+		}
+	}
+	return FormatEdgeList, nil
+}
+
+// edge is one parsed undirected edge.
+type edge struct {
+	u, v int
+	w    int64
+}
+
+// build materializes parsed edges into a graph, deduplicating exact
+// (endpoints, weight) repeats - in DIMACS files every undirected edge
+// appears as two arcs - while keeping genuinely parallel edges of
+// different weight (AddEdge's lighter-wins semantics resolves them at
+// query time).
+func build(n int, edges []edge) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graphio: empty graph")
+	}
+	if n > maxNodes {
+		return nil, fmt.Errorf("graphio: %d nodes exceeds the %d limit", n, maxNodes)
+	}
+	g := graph.New(n)
+	seen := make(map[[3]int64]bool, len(edges))
+	for _, e := range edges {
+		lo, hi := e.u, e.v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := [3]int64{int64(lo), int64(hi), e.w}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			return nil, fmt.Errorf("graphio: %w", err)
+		}
+	}
+	return g, nil
+}
+
+func readEdgeList(br *bufio.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var edges []edge
+	maxID := 0
+	headerN := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			// The edge list itself cannot express trailing isolated
+			// nodes; honor the "# <n> nodes, ..." header our own Write
+			// emits so Write → Read round-trips the node count exactly.
+			if headerN == 0 {
+				f := strings.Fields(strings.TrimPrefix(text, "#"))
+				if len(f) >= 2 && (f[1] == "nodes," || f[1] == "nodes") {
+					if n, err := parseID(f[0], 1); err == nil {
+						headerN = n
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graphio: line %d: want 'u v [w]', got %d fields", line, len(fields))
+		}
+		u, err := parseID(fields[0], 0)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+		}
+		v, err := parseID(fields[1], 0)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+		}
+		w := int64(1)
+		if len(fields) == 3 {
+			if w, err = parseWeight(fields[2]); err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+			}
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, edge{u, v, w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if len(edges) == 0 && headerN == 0 {
+		return nil, fmt.Errorf("graphio: no edges in edge-list input")
+	}
+	n := maxID + 1
+	if headerN > n {
+		n = headerN
+	}
+	return build(n, edges)
+}
+
+func readDIMACS(br *bufio.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var edges []edge
+	n, declaredArcs := 0, 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "c": // comment
+		case "p":
+			if n > 0 {
+				return nil, fmt.Errorf("graphio: line %d: duplicate problem line", line)
+			}
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, fmt.Errorf("graphio: line %d: want 'p sp <n> <m>'", line)
+			}
+			var err error
+			if n, err = parseID(fields[2], 1); err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+			}
+			if declaredArcs, err = parseID(fields[3], 0); err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+			}
+			if n > maxNodes {
+				return nil, fmt.Errorf("graphio: line %d: %d nodes exceeds the %d limit", line, n, maxNodes)
+			}
+		case "a":
+			if n == 0 {
+				return nil, fmt.Errorf("graphio: line %d: arc before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graphio: line %d: want 'a <u> <v> <w>'", line)
+			}
+			u, err := parseID(fields[1], 1)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+			}
+			v, err := parseID(fields[2], 1)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+			}
+			w, err := parseWeight(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %w", line, err)
+			}
+			if u > n || v > n {
+				return nil, fmt.Errorf("graphio: line %d: arc (%d,%d) outside 1..%d", line, u, v, n)
+			}
+			edges = append(edges, edge{u - 1, v - 1, w})
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unknown DIMACS line type %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("graphio: missing 'p sp' problem line")
+	}
+	if declaredArcs != len(edges) {
+		return nil, fmt.Errorf("graphio: problem line declares %d arcs, file has %d", declaredArcs, len(edges))
+	}
+	return build(n, edges)
+}
+
+// parseID parses a non-negative node ID or count with the given minimum.
+func parseID(s string, min int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if v < min {
+		return 0, fmt.Errorf("value %d below minimum %d", v, min)
+	}
+	return v, nil
+}
+
+// parseWeight parses a non-negative edge weight.
+func parseWeight(s string) (int64, error) {
+	w, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad weight %q", s)
+	}
+	if w < 0 {
+		return 0, fmt.Errorf("negative weight %d", w)
+	}
+	return w, nil
+}
+
+// Write renders g in the given format (FormatAuto writes an edge list).
+// Each undirected edge is written once in edge-list form and as the
+// conventional arc pair in DIMACS form. Both formats carry the node
+// count (the edge list as the "# <n> nodes" header readEdgeList honors),
+// so Write → Read round-trips to an equivalent graph, trailing isolated
+// nodes included.
+func Write(w io.Writer, g *graph.Graph, f Format) error {
+	bw := bufio.NewWriter(w)
+	switch f {
+	case FormatAuto, FormatEdgeList:
+		fmt.Fprintf(bw, "# %d nodes, %d edges\n", g.N, g.M())
+		for v := 0; v < g.N; v++ {
+			for _, e := range g.Adj[v] {
+				if int(e.To) > v {
+					fmt.Fprintf(bw, "%d %d %d\n", v, e.To, e.W)
+				}
+			}
+		}
+	case FormatDIMACS:
+		fmt.Fprintf(bw, "c generated by ccsp graphio\np sp %d %d\n", g.N, 2*g.M())
+		for v := 0; v < g.N; v++ {
+			for _, e := range g.Adj[v] {
+				fmt.Fprintf(bw, "a %d %d %d\n", v+1, e.To+1, e.W)
+			}
+		}
+	default:
+		return fmt.Errorf("graphio: unknown format %d", f)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,448 @@
+// Package server implements the HTTP/JSON serving layer of cmd/ccspd: a
+// set of handlers over one shared, concurrency-safe ccsp.Engine. This is
+// the process boundary the ROADMAP's serving goal needs - the engine
+// preprocesses (or loads a snapshot) once, then every HTTP request is a
+// cheap query-only run, optionally short-circuited by a small LRU cache
+// of repeated queries.
+//
+// Endpoints (all GET, all JSON; distances use -1 for unreachable pairs):
+//
+//	/healthz                     liveness + graph shape
+//	/v1/sssp?source=S            exact single-source distances
+//	/v1/mssp?sources=A,B,...     (1+ε)-approximate multi-source distances
+//	/v1/distance?from=U&to=V     one (1+ε)-approximate pair, via MSSP
+//	/v1/diameter                 near-3/2 diameter estimate
+//	/v1/stats                    server, cache, graph and preprocessing stats
+//
+// Every query accepts the request context: a per-request timeout
+// (Config.Timeout) or a dropped client connection abandons the wait and
+// answers 504/499 while the underlying run finishes in the background
+// (simulator runs are not cancellable mid-collective; the result is
+// still cached for the retry).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/congestedclique/ccsp"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine serves every query. Required.
+	Engine *ccsp.Engine
+	// Timeout bounds each request's query; 0 means no timeout.
+	Timeout time.Duration
+	// CacheSize is the LRU capacity in responses; 0 picks the default
+	// (128), negative disables caching.
+	CacheSize int
+}
+
+// Server holds the shared engine and per-process serving state.
+type Server struct {
+	eng        *ccsp.Engine
+	timeout    time.Duration
+	cache      *lru
+	cacheCap   int
+	start      time.Time
+	unweighted bool
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	timeouts atomic.Int64
+}
+
+// New returns a Server over cfg.Engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 128
+	}
+	if size < 0 {
+		size = 0
+	}
+	return &Server{
+		eng:        cfg.Engine,
+		timeout:    cfg.Timeout,
+		cache:      newLRU(size),
+		cacheCap:   size,
+		start:      time.Now(),
+		unweighted: cfg.Engine.Graph().Unweighted(),
+	}, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/sssp", s.handleSSSP)
+	mux.HandleFunc("/v1/mssp", s.handleMSSP)
+	mux.HandleFunc("/v1/distance", s.handleDistance)
+	mux.HandleFunc("/v1/diameter", s.handleDiameter)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// statsJSON is the deterministic core of a run's cost, embedded in query
+// responses.
+type statsJSON struct {
+	TotalRounds int   `json:"total_rounds"`
+	SimRounds   int   `json:"sim_rounds"`
+	Messages    int64 `json:"messages"`
+	Words       int64 `json:"words"`
+}
+
+func toStatsJSON(s ccsp.Stats) statsJSON {
+	return statsJSON{TotalRounds: s.TotalRounds, SimRounds: s.SimRounds, Messages: s.Messages, Words: s.Words}
+}
+
+// unreachable is the JSON stand-in for disconnected pairs.
+const unreachable = -1
+
+func jsonDist(d int64) int64 {
+	if d >= ccsp.Unreachable {
+		return unreachable
+	}
+	return d
+}
+
+type ssspResponse struct {
+	Source     int       `json:"source"`
+	Dist       []int64   `json:"dist"`
+	Iterations int       `json:"iterations"`
+	Stats      statsJSON `json:"stats"`
+	Cached     bool      `json:"cached"`
+}
+
+type msspResponse struct {
+	Sources []int     `json:"sources"`
+	Dist    [][]int64 `json:"dist"`
+	Stats   statsJSON `json:"stats"`
+	Cached  bool      `json:"cached"`
+}
+
+type distanceResponse struct {
+	From      int       `json:"from"`
+	To        int       `json:"to"`
+	Distance  int64     `json:"distance"`
+	Reachable bool      `json:"reachable"`
+	Stats     statsJSON `json:"stats"`
+	Cached    bool      `json:"cached"`
+}
+
+type diameterResponse struct {
+	Estimate int64     `json:"estimate"`
+	Stats    statsJSON `json:"stats"`
+	Cached   bool      `json:"cached"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"nodes":  s.eng.Graph().N(),
+		"edges":  s.eng.Graph().M(),
+	})
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, func() (string, func() (interface{}, error), error) {
+		src, err := intParam(r, "source")
+		if err != nil {
+			return "", nil, err
+		}
+		return "sssp:" + strconv.Itoa(src), func() (interface{}, error) {
+			res, err := s.eng.SSSP(src)
+			if err != nil {
+				return nil, err
+			}
+			dist := make([]int64, len(res.Dist))
+			for i, d := range res.Dist {
+				dist[i] = jsonDist(d)
+			}
+			return ssspResponse{Source: src, Dist: dist, Iterations: res.Iterations, Stats: toStatsJSON(res.Stats)}, nil
+		}, nil
+	})
+}
+
+func (s *Server) handleMSSP(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, func() (string, func() (interface{}, error), error) {
+		sources, err := sourcesParam(r, "sources")
+		if err != nil {
+			return "", nil, err
+		}
+		return msspKey(sources), func() (interface{}, error) { return s.msspQuery(sources) }, nil
+	})
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	from, errF := intParam(r, "from")
+	to, errT := intParam(r, "to")
+	s.serve(w, r, func() (string, func() (interface{}, error), error) {
+		if errF != nil {
+			return "", nil, errF
+		}
+		if errT != nil {
+			return "", nil, errT
+		}
+		if to < 0 || to >= s.eng.Graph().N() {
+			return "", nil, fmt.Errorf("node %d out of range", to)
+		}
+		// One pair is an MSSP query from a single source; sharing the
+		// MSSP cache key means repeated lookups from a hot source node
+		// (and explicit /v1/mssp calls) all hit the same entry.
+		return msspKey([]int{from}), func() (interface{}, error) { return s.msspQuery([]int{from}) }, nil
+	}, func(v interface{}, cached bool) interface{} {
+		m := v.(msspResponse)
+		d := m.Dist[to][0]
+		return distanceResponse{From: from, To: to, Distance: d, Reachable: d != unreachable,
+			Stats: m.Stats, Cached: cached}
+	})
+}
+
+func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, func() (string, func() (interface{}, error), error) {
+		return "diameter", func() (interface{}, error) {
+			res, err := s.eng.Diameter()
+			if err != nil {
+				return nil, err
+			}
+			return diameterResponse{Estimate: res.Estimate, Stats: toStatsJSON(res.Stats)}, nil
+		}, nil
+	})
+}
+
+func (s *Server) msspQuery(sources []int) (interface{}, error) {
+	res, err := s.eng.MSSP(sources)
+	if err != nil {
+		return nil, err
+	}
+	dist := make([][]int64, len(res.Dist))
+	for v, row := range res.Dist {
+		dist[v] = make([]int64, len(row))
+		for i, d := range row {
+			dist[v][i] = jsonDist(d)
+		}
+	}
+	return msspResponse{Sources: res.Sources, Dist: dist, Stats: toStatsJSON(res.Stats)}, nil
+}
+
+// msspKey normalizes a source set into a cache key (sorted, deduplicated
+// - the same normalization Engine.MSSP applies to the query itself).
+func msspKey(sources []int) string {
+	seen := map[int]bool{}
+	uniq := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Ints(uniq)
+	parts := make([]string, len(uniq))
+	for i, s := range uniq {
+		parts[i] = strconv.Itoa(s)
+	}
+	return "mssp:" + strings.Join(parts, ",")
+}
+
+// serve is the shared request path: parse (prepare), consult the cache,
+// run the query under the request context + timeout, cache and render.
+// The optional project function derives the response from the cached
+// value (used by /v1/distance to slice one pair out of an MSSP row).
+func (s *Server) serve(w http.ResponseWriter, r *http.Request,
+	prepare func() (string, func() (interface{}, error), error),
+	project ...func(v interface{}, cached bool) interface{}) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		s.errors.Add(1)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	key, query, err := prepare()
+	if err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	render := func(v interface{}, cached bool) {
+		for _, p := range project {
+			v = p(v, cached)
+		}
+		v = withCached(v, cached)
+		writeJSON(w, http.StatusOK, v)
+	}
+	if v, ok := s.cache.Get(key); ok {
+		render(v, true)
+		return
+	}
+	v, err := s.runBounded(r.Context(), key, query)
+	switch {
+	case err == nil:
+		render(v, false)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query exceeded the %s request timeout", s.timeout))
+	case errors.Is(err, context.Canceled):
+		// Client went away mid-query; report it as 499 (nginx's "client
+		// closed request") so logs and proxies don't see an implicit 200.
+		s.errors.Add(1)
+		writeError(w, statusClientClosedRequest, fmt.Errorf("client closed the request"))
+	default:
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499, the
+// conventional status for "the client went away before we could answer".
+const statusClientClosedRequest = 499
+
+// runBounded runs query under ctx plus the server timeout. The query
+// goroutine is not cancellable (a simulator run always completes), so on
+// timeout it keeps running and caches its own result under key when it
+// finishes - a retry after a 504 hits the cache instead of restarting
+// the run; only this request's wait is abandoned.
+func (s *Server) runBounded(ctx context.Context, key string, query func() (interface{}, error)) (interface{}, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		v   interface{}
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := query()
+		if err == nil {
+			s.cache.Put(key, v)
+		}
+		done <- outcome{v, err}
+	}()
+	select {
+	case o := <-done:
+		return o.v, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// withCached stamps the Cached field on the typed responses.
+func withCached(v interface{}, cached bool) interface{} {
+	switch resp := v.(type) {
+	case ssspResponse:
+		resp.Cached = cached
+		return resp
+	case msspResponse:
+		resp.Cached = cached
+		return resp
+	case distanceResponse:
+		resp.Cached = cached
+		return resp
+	case diameterResponse:
+		resp.Cached = cached
+		return resp
+	default:
+		return v
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	entries, hits, misses := s.cache.Stats()
+	pre := s.eng.PreprocessStats()
+	builds := make([]map[string]interface{}, 0, len(pre.Builds))
+	for _, b := range pre.Builds {
+		builds = append(builds, map[string]interface{}{
+			"kind":   b.Kind,
+			"eps":    b.Eps,
+			"beta":   b.Beta,
+			"edges":  b.Edges,
+			"rounds": b.Stats.TotalRounds,
+		})
+	}
+	gr := s.eng.Graph()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"requests": map[string]int64{
+			"total":    s.requests.Load(),
+			"errors":   s.errors.Load(),
+			"timeouts": s.timeouts.Load(),
+		},
+		"cache": map[string]interface{}{
+			"capacity": s.cacheCap,
+			"entries":  entries,
+			"hits":     hits,
+			"misses":   misses,
+		},
+		"graph": map[string]interface{}{
+			"nodes":      gr.N(),
+			"edges":      gr.M(),
+			"max_weight": gr.MaxWeight(),
+			"unweighted": s.unweighted,
+		},
+		"options": map[string]interface{}{
+			"epsilon": s.eng.Options().Epsilon,
+			"workers": s.eng.Options().Workers,
+		},
+		"preprocess": map[string]interface{}{
+			"builds":       builds,
+			"total_rounds": pre.Total.TotalRounds,
+		},
+	})
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad parameter %s=%q: not an integer", name, raw)
+	}
+	return v, nil
+}
+
+func sourcesParam(r *http.Request, name string) ([]int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return nil, fmt.Errorf("missing required parameter %q", name)
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter %s=%q: %q is not an integer", name, raw, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

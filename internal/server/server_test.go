@@ -1,0 +1,394 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/congestedclique/ccsp"
+)
+
+// testEngine builds a small connected weighted graph and a warm engine.
+func testEngine(t testing.TB, n int) (*ccsp.Graph, *ccsp.Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n) + 5))
+	gr := ccsp.NewGraph(n)
+	for v := 1; v < n; v++ {
+		gr.MustAddEdge(v, rng.Intn(v), rng.Int63n(9)+1)
+	}
+	for e := 0; e < n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			gr.MustAddEdge(u, v, rng.Int63n(9)+1)
+		}
+	}
+	eng, err := ccsp.NewEngine(gr, ccsp.Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gr, eng
+}
+
+func newTestServer(t testing.TB, eng *ccsp.Engine, cfg Config) *httptest.Server {
+	t.Helper()
+	cfg.Engine = eng
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// getJSON fetches url and decodes the response into out, asserting the
+// status code.
+func getJSON(t *testing.T, url string, wantCode int, out interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d (want %d): %s", url, resp.StatusCode, wantCode, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, body)
+		}
+	}
+}
+
+func TestEndpointsMatchEngine(t *testing.T) {
+	gr, eng := testEngine(t, 16)
+	ts := newTestServer(t, eng, Config{})
+
+	var h struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Edges  int    `json:"edges"`
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &h)
+	if h.Status != "ok" || h.Nodes != gr.N() || h.Edges != gr.M() {
+		t.Errorf("healthz = %+v, want ok/%d/%d", h, gr.N(), gr.M())
+	}
+
+	// SSSP matches a direct engine call (with -1 for unreachable).
+	want, err := eng.SSSP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr ssspResponse
+	getJSON(t, ts.URL+"/v1/sssp?source=3", http.StatusOK, &sr)
+	if sr.Source != 3 || sr.Iterations != want.Iterations || len(sr.Dist) != gr.N() {
+		t.Errorf("sssp shape: %+v", sr)
+	}
+	for v, d := range want.Dist {
+		if sr.Dist[v] != jsonDist(d) {
+			t.Errorf("sssp dist[%d] = %d, want %d", v, sr.Dist[v], jsonDist(d))
+		}
+	}
+	if sr.Stats.TotalRounds != want.Stats.TotalRounds {
+		t.Errorf("sssp rounds %d, want %d", sr.Stats.TotalRounds, want.Stats.TotalRounds)
+	}
+
+	// MSSP matches, and /v1/distance agrees with the MSSP row.
+	wantM, err := eng.MSSP([]int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr msspResponse
+	getJSON(t, ts.URL+"/v1/mssp?sources=5,2,5", http.StatusOK, &mr)
+	if !reflect.DeepEqual(mr.Sources, wantM.Sources) {
+		t.Errorf("mssp sources %v, want %v", mr.Sources, wantM.Sources)
+	}
+	for v := range wantM.Dist {
+		for i := range wantM.Dist[v] {
+			if mr.Dist[v][i] != jsonDist(wantM.Dist[v][i]) {
+				t.Errorf("mssp dist[%d][%d] mismatch", v, i)
+			}
+		}
+	}
+
+	wantP, err := eng.MSSP([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr distanceResponse
+	getJSON(t, ts.URL+"/v1/distance?from=2&to=9", http.StatusOK, &dr)
+	if wd := jsonDist(wantP.Dist[9][0]); dr.Distance != wd || !dr.Reachable {
+		t.Errorf("distance 2->9 = %+v, want %d", dr, wd)
+	}
+
+	// Diameter matches.
+	wantD, err := eng.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er diameterResponse
+	getJSON(t, ts.URL+"/v1/diameter", http.StatusOK, &er)
+	if er.Estimate != wantD.Estimate {
+		t.Errorf("diameter %d, want %d", er.Estimate, wantD.Estimate)
+	}
+
+	// Stats reports the serving state.
+	var st struct {
+		Requests map[string]int64 `json:"requests"`
+		Cache    struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+		Graph struct {
+			Nodes int `json:"nodes"`
+		} `json:"graph"`
+		Preprocess struct {
+			TotalRounds int `json:"total_rounds"`
+		} `json:"preprocess"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.Graph.Nodes != gr.N() || st.Requests["total"] == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Preprocess.TotalRounds != eng.PreprocessStats().Total.TotalRounds {
+		t.Errorf("stats preprocess rounds %d, want %d", st.Preprocess.TotalRounds, eng.PreprocessStats().Total.TotalRounds)
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	_, eng := testEngine(t, 12)
+	ts := newTestServer(t, eng, Config{CacheSize: 8})
+
+	var first, second ssspResponse
+	getJSON(t, ts.URL+"/v1/sssp?source=1", http.StatusOK, &first)
+	getJSON(t, ts.URL+"/v1/sssp?source=1", http.StatusOK, &second)
+	if first.Cached || !second.Cached {
+		t.Errorf("cached flags: first=%v second=%v, want false/true", first.Cached, second.Cached)
+	}
+	if !reflect.DeepEqual(first.Dist, second.Dist) {
+		t.Error("cached response differs")
+	}
+
+	// /v1/distance shares the MSSP cache: an mssp query for the same
+	// single source must be a hit.
+	var dr distanceResponse
+	getJSON(t, ts.URL+"/v1/distance?from=4&to=7", http.StatusOK, &dr)
+	var mr msspResponse
+	getJSON(t, ts.URL+"/v1/mssp?sources=4", http.StatusOK, &mr)
+	if dr.Cached || !mr.Cached {
+		t.Errorf("distance/mssp cache sharing: distance.cached=%v mssp.cached=%v", dr.Cached, mr.Cached)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, eng := testEngine(t, 10)
+	ts := newTestServer(t, eng, Config{})
+
+	for _, url := range []string{
+		"/v1/sssp",                    // missing source
+		"/v1/sssp?source=x",           // not an integer
+		"/v1/sssp?source=99",          // out of range
+		"/v1/mssp",                    // missing sources
+		"/v1/mssp?sources=1,x",        // bad list
+		"/v1/mssp?sources=-2",         // out of range
+		"/v1/distance?from=0",         // missing to
+		"/v1/distance?from=0&to=1000", // out of range
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		getJSON(t, ts.URL+url, http.StatusBadRequest, &e)
+		if e.Error == "" {
+			t.Errorf("%s: empty error message", url)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/diameter", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	_, eng := testEngine(t, 24)
+	// A nanosecond budget: every fresh query times out.
+	ts := newTestServer(t, eng, Config{Timeout: time.Nanosecond})
+	var e struct {
+		Error string `json:"error"`
+	}
+	getJSON(t, ts.URL+"/v1/diameter", http.StatusGatewayTimeout, &e)
+	if e.Error == "" {
+		t.Error("timeout: empty error message")
+	}
+
+	// The abandoned run caches its result when it finishes, so a retry
+	// eventually succeeds from the cache despite the hopeless timeout.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/diameter")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if code != http.StatusGatewayTimeout {
+			t.Fatalf("retry after timeout: status %d", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed-out query's result never reached the cache")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestConcurrentHandlers is the race-enabled acceptance test for the
+// serving layer: many goroutines hit SSSP/MSSP/distance/diameter/stats
+// endpoints against one shared engine, and every response must match the
+// corresponding direct Engine call.
+func TestConcurrentHandlers(t *testing.T) {
+	gr, eng := testEngine(t, 16)
+	ts := newTestServer(t, eng, Config{CacheSize: 4}) // small cache: exercise eviction under load
+
+	// Direct-engine expectations, computed once up front and converted to
+	// the JSON convention (-1 for unreachable).
+	wantSSSP := map[int][]int64{}
+	wantMSSP := map[int][][]int64{}
+	wantPair := map[int][][]int64{} // MSSP({s}): what /v1/distance?from=s slices
+	for s := 0; s < 4; s++ {
+		r, err := eng.SSSP(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSSSP[s] = jsonVec(r.Dist)
+		m, err := eng.MSSP([]int{s, s + 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMSSP[s] = jsonMat(m.Dist)
+		p, err := eng.MSSP([]int{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPair[s] = jsonMat(p.Dist)
+	}
+	wantD, err := eng.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s := (g + i) % 4
+				switch g % 4 {
+				case 0:
+					var sr ssspResponse
+					if err := fetch(ts.URL+fmt.Sprintf("/v1/sssp?source=%d", s), &sr); err != nil {
+						errs <- err
+						continue
+					}
+					if !reflect.DeepEqual(sr.Dist, wantSSSP[s]) {
+						errs <- fmt.Errorf("sssp(%d) distances differ from direct engine call", s)
+					}
+				case 1:
+					var mr msspResponse
+					if err := fetch(ts.URL+fmt.Sprintf("/v1/mssp?sources=%d,%d", s, s+4), &mr); err != nil {
+						errs <- err
+						continue
+					}
+					if !reflect.DeepEqual(mr.Dist, wantMSSP[s]) {
+						errs <- fmt.Errorf("mssp(%d,%d) distances differ from direct engine call", s, s+4)
+					}
+				case 2:
+					to := (s + 7) % gr.N()
+					var dr distanceResponse
+					if err := fetch(ts.URL+fmt.Sprintf("/v1/distance?from=%d&to=%d", s, to), &dr); err != nil {
+						errs <- err
+						continue
+					}
+					if want := wantPair[s][to][0]; dr.Distance != want {
+						errs <- fmt.Errorf("distance(%d,%d) = %d, want %d", s, to, dr.Distance, want)
+					}
+				default:
+					var er diameterResponse
+					if err := fetch(ts.URL+"/v1/diameter", &er); err != nil {
+						errs <- err
+						continue
+					}
+					if er.Estimate != wantD.Estimate {
+						errs <- fmt.Errorf("diameter = %d, want %d", er.Estimate, wantD.Estimate)
+					}
+				}
+				// Interleave stats reads: they take the same locks.
+				if i%3 == 0 {
+					if err := fetch(ts.URL+"/v1/stats", &struct{}{}); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func jsonVec(dist []int64) []int64 {
+	out := make([]int64, len(dist))
+	for i, d := range dist {
+		out[i] = jsonDist(d)
+	}
+	return out
+}
+
+func jsonMat(dist [][]int64) [][]int64 {
+	out := make([][]int64, len(dist))
+	for i, row := range dist {
+		out[i] = jsonVec(row)
+	}
+	return out
+}
+
+// fetch GETs url and decodes JSON into out, returning an error for any
+// non-200.
+func fetch(url string, out interface{}) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}

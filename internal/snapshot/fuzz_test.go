@@ -1,0 +1,49 @@
+package snapshot
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode asserts the decoder's hardening contract: arbitrary bytes
+// must either decode into a snapshot that re-encodes cleanly or return an
+// error - never panic, and never allocate unboundedly. The committed seed
+// corpus (testdata/fuzz/FuzzDecode) plus the seeds below cover the valid
+// encoding and each corruption class the unit tests exercise.
+func FuzzDecode(f *testing.F) {
+	valid := encodeToBytes(f, testSnapshot(f))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])               // truncated mid-section
+	f.Add([]byte{})                           // empty
+	f.Add([]byte(Magic))                      // magic only
+	f.Add(append([]byte(nil), valid[:10]...)) // header only
+
+	mut := append([]byte(nil), valid...)
+	mut[8] = 0x7F // version skew
+	f.Add(mut)
+
+	mut = append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0xFF // corrupt payload byte
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode to the same
+		// structure (the decoder only accepts canonical encodings).
+		var buf bytes.Buffer
+		if err := snap.Encode(&buf); err != nil {
+			t.Fatalf("decoded snapshot fails to re-encode: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, snap) {
+			t.Fatal("decode/encode/decode not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,461 @@
+// Package snapshot defines the versioned, checksummed binary format that
+// persists a warm query engine: the input graph, the normalized options,
+// and one section per cached hopset artifact parameterization (including
+// its preprocessing round-stats). Saving after preprocessing and loading
+// at startup turns the paper's preprocess-once/query-many split into
+// preprocess-once-ever: a restarted server pays file I/O instead of the
+// full hopset construction.
+//
+// Wire layout (all multi-byte integers are varints unless noted; see
+// DESIGN.md §9 for the field-by-field table):
+//
+//	magic   [8]byte  "ccspsnap"
+//	version uint16   little-endian, currently 1
+//	section*         type byte, payload length uint32 LE, payload,
+//	                 CRC32-IEEE (uint32 LE) over type byte + payload
+//	end section      type 0xFF, payload = uvarint count of prior sections
+//
+// Sections: 0x01 graph (exactly one, first), 0x02 options (exactly one),
+// 0x03 artifact (zero or more, in engine completion order). The end
+// section's count makes silent truncation at a section boundary
+// detectable; the per-section CRC makes any byte flip detectable. Decoding
+// is strict: unknown section types, duplicate singletons, missing
+// sections, trailing bytes and version skew all fail loudly - the format
+// is versioned, not forgiving.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/congestedclique/ccsp/internal/graph"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/wire"
+)
+
+// Magic identifies a snapshot file.
+const Magic = "ccspsnap"
+
+// Version is the current format version. Bump it on any incompatible
+// layout change; decoders reject snapshots from other versions rather
+// than guessing (the compat policy of DESIGN.md §9).
+const Version = 1
+
+// Section type tags.
+const (
+	secGraph    = 0x01
+	secOptions  = 0x02
+	secArtifact = 0x03
+	secEnd      = 0xFF
+)
+
+// maxSectionLen caps a single section payload (1 GiB); lengths beyond it
+// are treated as corruption rather than allocation requests.
+const maxSectionLen = 1 << 30
+
+// Options is the engine configuration persisted with a snapshot,
+// mirroring the public ccsp.Options after normalization.
+type Options struct {
+	Epsilon   float64
+	Preset    uint8
+	Seed      int64
+	MaxRounds int
+	Workers   int
+}
+
+// Stats mirrors the public ccsp.Stats; preprocessing stats are persisted
+// so a loaded engine reports the same PreprocessStats as the engine that
+// was saved.
+type Stats struct {
+	Nodes          int
+	TotalRounds    int
+	SimRounds      int
+	ChargedRounds  map[string]int
+	Messages       int64
+	Words          int64
+	PhaseRounds    map[string]int
+	CollectiveTime map[string]time.Duration
+}
+
+// Artifact is one persisted hopset parameterization: the cache key
+// (variant + params), the artifact itself, the low-degree variant's
+// degree broadcast, and the preprocessing cost of the build.
+type Artifact struct {
+	// Variant is the graph the hopset was built on (the ccsp artVariant:
+	// 0 = G, 1 = the low-degree subgraph G').
+	Variant uint8
+	// Params is the hopset parameterization (the cache key's second half).
+	Params hopset.Params
+	// Degs is the broadcast degree vector defining G' (variant 1 only).
+	Degs []int64
+	// Stats is the cost of the preprocessing run that built the artifact.
+	Stats Stats
+	// Art is the artifact payload.
+	Art *hopset.Artifact
+}
+
+// Snapshot is the decoded form of a snapshot file.
+type Snapshot struct {
+	Graph     *graph.Graph
+	Opts      Options
+	Artifacts []Artifact
+}
+
+// writeSection frames one section: type, length, payload, CRC over
+// type + payload.
+func writeSection(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxSectionLen {
+		return fmt.Errorf("snapshot: section %#x payload too large (%d bytes)", typ, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:1])
+	crc.Write(payload)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	for _, b := range [][]byte{hdr[:], payload, sum[:]} {
+		if _, err := w.Write(b); err != nil {
+			return fmt.Errorf("snapshot: write: %w", err)
+		}
+	}
+	return nil
+}
+
+// encodeGraph encodes the exact adjacency structure - every half-edge in
+// storage order - so a decoded graph is DeepEqual to the original and
+// queries on it are byte-identical.
+func encodeGraph(g *graph.Graph) []byte {
+	var w wire.Writer
+	w.Int(g.N)
+	for _, adj := range g.Adj {
+		w.Uvarint(uint64(len(adj)))
+		for _, e := range adj {
+			w.Uvarint(uint64(e.To))
+			w.Varint(e.W)
+		}
+	}
+	return w.Bytes()
+}
+
+func decodeGraph(payload []byte) (*graph.Graph, error) {
+	r := wire.NewReader(payload)
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	// Each node needs at least its degree byte.
+	if n < 1 || n > r.Remaining()+1 {
+		return nil, fmt.Errorf("snapshot: graph node count %d out of range", n)
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		deg := r.Count(2) // each half-edge is at least 2 varint bytes
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		adj := make([]graph.Edge, 0, deg)
+		for i := 0; i < deg; i++ {
+			to := r.Uvarint()
+			wgt := r.Varint()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if to >= uint64(n) {
+				return nil, fmt.Errorf("snapshot: edge endpoint %d out of range [0, %d)", to, n)
+			}
+			if uint64(v) == to {
+				return nil, fmt.Errorf("snapshot: self-loop at node %d", v)
+			}
+			if wgt < 0 {
+				return nil, fmt.Errorf("snapshot: negative edge weight %d", wgt)
+			}
+			adj = append(adj, graph.Edge{To: int32(to), W: wgt})
+		}
+		g.Adj[v] = adj
+	}
+	r.Expect(0)
+	return g, r.Err()
+}
+
+func encodeOptions(o Options) []byte {
+	var w wire.Writer
+	w.Float64(o.Epsilon)
+	w.Byte(o.Preset)
+	w.Varint(o.Seed)
+	w.Int(o.MaxRounds)
+	w.Int(o.Workers)
+	return w.Bytes()
+}
+
+func decodeOptions(payload []byte) (Options, error) {
+	r := wire.NewReader(payload)
+	o := Options{
+		Epsilon:   r.Float64(),
+		Preset:    r.Byte(),
+		Seed:      r.Varint(),
+		MaxRounds: r.Int(),
+		Workers:   r.Int(),
+	}
+	r.Expect(0)
+	return o, r.Err()
+}
+
+// encodeStats writes s with map keys sorted, so the encoding is
+// deterministic and snapshot round-trips are byte-identical.
+func encodeStats(w *wire.Writer, s Stats) {
+	w.Int(s.Nodes)
+	w.Int(s.TotalRounds)
+	w.Int(s.SimRounds)
+	w.Varint(s.Messages)
+	w.Varint(s.Words)
+	encodeIntMap(w, s.ChargedRounds)
+	encodeIntMap(w, s.PhaseRounds)
+	w.Uvarint(uint64(len(s.CollectiveTime)))
+	for _, k := range sortedKeys(s.CollectiveTime) {
+		w.String(k)
+		w.Varint(int64(s.CollectiveTime[k]))
+	}
+}
+
+func decodeStats(r *wire.Reader) (Stats, error) {
+	s := Stats{
+		Nodes:       r.Int(),
+		TotalRounds: r.Int(),
+		SimRounds:   r.Int(),
+		Messages:    r.Varint(),
+		Words:       r.Varint(),
+	}
+	var err error
+	if s.ChargedRounds, err = decodeIntMap(r); err != nil {
+		return s, err
+	}
+	if s.PhaseRounds, err = decodeIntMap(r); err != nil {
+		return s, err
+	}
+	cnt := r.Count(2)
+	if cnt > 0 {
+		s.CollectiveTime = make(map[string]time.Duration, cnt)
+		for i := 0; i < cnt; i++ {
+			k := r.String()
+			v := r.Varint()
+			if r.Err() != nil {
+				return s, r.Err()
+			}
+			s.CollectiveTime[k] = time.Duration(v)
+		}
+	}
+	return s, r.Err()
+}
+
+func encodeIntMap(w *wire.Writer, m map[string]int) {
+	w.Uvarint(uint64(len(m)))
+	for _, k := range sortedKeys(m) {
+		w.String(k)
+		w.Int(m[k])
+	}
+}
+
+func decodeIntMap(r *wire.Reader) (map[string]int, error) {
+	cnt := r.Count(2)
+	if r.Err() != nil || cnt == 0 {
+		return nil, r.Err()
+	}
+	m := make(map[string]int, cnt)
+	for i := 0; i < cnt; i++ {
+		k := r.String()
+		v := r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func encodeArtifact(a Artifact) []byte {
+	var w wire.Writer
+	w.Byte(a.Variant)
+	hopset.EncodeParams(&w, a.Params)
+	w.Uvarint(uint64(len(a.Degs)))
+	for _, d := range a.Degs {
+		w.Varint(d)
+	}
+	encodeStats(&w, a.Stats)
+	hopset.EncodeArtifact(&w, a.Art)
+	return w.Bytes()
+}
+
+func decodeArtifact(payload []byte) (Artifact, error) {
+	r := wire.NewReader(payload)
+	a := Artifact{Variant: r.Byte()}
+	var err error
+	if a.Params, err = hopset.DecodeParams(r); err != nil {
+		return a, err
+	}
+	if cnt := r.Count(1); cnt > 0 {
+		a.Degs = make([]int64, cnt)
+		for i := range a.Degs {
+			a.Degs[i] = r.Varint()
+		}
+	}
+	if a.Stats, err = decodeStats(r); err != nil {
+		return a, err
+	}
+	if a.Art, err = hopset.DecodeArtifact(r); err != nil {
+		return a, err
+	}
+	r.Expect(0)
+	return a, r.Err()
+}
+
+// Encode writes the snapshot to w. The encoding is deterministic: the
+// same snapshot always produces the same bytes, so Save → Load → Save
+// round-trips are byte-identical.
+func (s *Snapshot) Encode(w io.Writer) error {
+	if s.Graph == nil {
+		return fmt.Errorf("snapshot: nil graph")
+	}
+	var hdr [10]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint16(hdr[8:], Version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snapshot: write: %w", err)
+	}
+	if err := writeSection(w, secGraph, encodeGraph(s.Graph)); err != nil {
+		return err
+	}
+	if err := writeSection(w, secOptions, encodeOptions(s.Opts)); err != nil {
+		return err
+	}
+	for i, a := range s.Artifacts {
+		if a.Art == nil {
+			return fmt.Errorf("snapshot: artifact %d has nil payload", i)
+		}
+		if err := writeSection(w, secArtifact, encodeArtifact(a)); err != nil {
+			return err
+		}
+	}
+	var end wire.Writer
+	end.Uvarint(uint64(2 + len(s.Artifacts)))
+	return writeSection(w, secEnd, end.Bytes())
+}
+
+// Decode reads a snapshot from r, validating magic, version, section
+// structure and every CRC. Corrupt, truncated or version-skewed input
+// returns an error; Decode never panics on malformed bytes.
+func Decode(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	if len(data) < 10 {
+		return nil, fmt.Errorf("snapshot: truncated header (%d bytes)", len(data))
+	}
+	if string(data[:8]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file?)", data[:8])
+	}
+	if v := binary.LittleEndian.Uint16(data[8:10]); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
+	}
+	data = data[10:]
+
+	snap := &Snapshot{}
+	sections := 0
+	sawEnd := false
+	sawOptions := false
+	for !sawEnd {
+		if len(data) < 9 {
+			return nil, fmt.Errorf("snapshot: truncated section header (%d bytes left, no end marker)", len(data))
+		}
+		typ := data[0]
+		plen := binary.LittleEndian.Uint32(data[1:5])
+		if plen > maxSectionLen {
+			return nil, fmt.Errorf("snapshot: section %#x length %d exceeds limit", typ, plen)
+		}
+		if uint64(len(data)) < 9+uint64(plen) {
+			return nil, fmt.Errorf("snapshot: truncated section %#x (want %d payload bytes, have %d)", typ, plen, len(data)-9)
+		}
+		payload := data[5 : 5+plen]
+		wantCRC := binary.LittleEndian.Uint32(data[5+plen : 9+plen])
+		crc := crc32.NewIEEE()
+		crc.Write(data[:1])
+		crc.Write(payload)
+		if got := crc.Sum32(); got != wantCRC {
+			return nil, fmt.Errorf("snapshot: section %#x CRC mismatch (got %#x, want %#x): corrupt snapshot", typ, got, wantCRC)
+		}
+		data = data[9+plen:]
+
+		switch typ {
+		case secGraph:
+			if snap.Graph != nil {
+				return nil, fmt.Errorf("snapshot: duplicate graph section")
+			}
+			if snap.Graph, err = decodeGraph(payload); err != nil {
+				return nil, err
+			}
+		case secOptions:
+			if snap.Graph == nil {
+				return nil, fmt.Errorf("snapshot: options section before graph section")
+			}
+			if sawOptions {
+				return nil, fmt.Errorf("snapshot: duplicate options section")
+			}
+			sawOptions = true
+			if snap.Opts, err = decodeOptions(payload); err != nil {
+				return nil, err
+			}
+		case secArtifact:
+			a, err := decodeArtifact(payload)
+			if err != nil {
+				return nil, err
+			}
+			if snap.Graph == nil || a.Art.N != snap.Graph.N {
+				return nil, fmt.Errorf("snapshot: artifact built for n=%d does not match graph", a.Art.N)
+			}
+			if a.Degs != nil && len(a.Degs) != snap.Graph.N {
+				return nil, fmt.Errorf("snapshot: artifact degree vector has %d entries, graph has %d nodes", len(a.Degs), snap.Graph.N)
+			}
+			snap.Artifacts = append(snap.Artifacts, a)
+		case secEnd:
+			er := wire.NewReader(payload)
+			cnt := er.Uvarint()
+			er.Expect(0)
+			if er.Err() != nil {
+				return nil, fmt.Errorf("snapshot: bad end section: %w", er.Err())
+			}
+			if cnt != uint64(sections) {
+				return nil, fmt.Errorf("snapshot: end marker counts %d sections, decoded %d: truncated or spliced snapshot", cnt, sections)
+			}
+			sawEnd = true
+			continue
+		default:
+			return nil, fmt.Errorf("snapshot: unknown section type %#x", typ)
+		}
+		sections++
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after end marker", len(data))
+	}
+	if snap.Graph == nil {
+		return nil, fmt.Errorf("snapshot: missing graph section")
+	}
+	if !sawOptions {
+		return nil, fmt.Errorf("snapshot: missing options section")
+	}
+	return snap, nil
+}

@@ -1,0 +1,167 @@
+package snapshot
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/congestedclique/ccsp/internal/graph"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// testSnapshot builds a small but fully populated snapshot: a 4-node
+// graph, non-default options, and two artifact sections (one per
+// variant).
+func testSnapshot(t testing.TB) *Snapshot {
+	t.Helper()
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(0, 3, 9)
+	art := &hopset.Artifact{
+		N:    4,
+		Beta: 6,
+		K:    3,
+		InA1: []bool{true, false, true, false},
+		Rows: []matrix.Row[semiring.WH]{
+			{{Col: 2, Val: semiring.WH{W: 5, H: 1}}},
+			{},
+			{{Col: 0, Val: semiring.WH{W: 5, H: 1}}, {Col: 3, Val: semiring.WH{W: 1, H: 1}}},
+			{{Col: 2, Val: semiring.WH{W: 1, H: 1}}},
+		},
+		PV:  []int32{0, 0, 2, 2},
+		DPV: []semiring.WH{{}, {W: 2, H: 1}, {}, {W: 1, H: 1}},
+	}
+	stats := Stats{
+		Nodes:          4,
+		TotalRounds:    120,
+		SimRounds:      80,
+		ChargedRounds:  map[string]int{"route": 30, "hitting": 10},
+		Messages:       512,
+		Words:          1024,
+		PhaseRounds:    map[string]int{"hopset/levels": 100, "": 20},
+		CollectiveTime: map[string]time.Duration{"sync": 3 * time.Millisecond},
+	}
+	return &Snapshot{
+		Graph: g,
+		Opts:  Options{Epsilon: 0.25, Preset: 1, Seed: 7, MaxRounds: 100000, Workers: 2},
+		Artifacts: []Artifact{
+			{Variant: 0, Params: hopset.Params{Eps: 0.125, BetaFactor: 2}, Stats: stats, Art: art},
+			{Variant: 1, Params: hopset.Params{Eps: 0.125, BetaFactor: 12}, Degs: []int64{1, 2, 2, 1}, Stats: stats, Art: art},
+		},
+	}
+}
+
+func encodeToBytes(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSnapshot(t)
+	data := encodeToBytes(t, s)
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty rows decode as empty (non-nil) slices, matching the encoder
+	// input here, so the whole structure is directly comparable.
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+
+	// Determinism: re-encoding the decoded snapshot is byte-identical.
+	if again := encodeToBytes(t, got); !bytes.Equal(again, data) {
+		t.Error("re-encode of decoded snapshot differs from original bytes")
+	}
+}
+
+// TestDecodeDetectsEveryByteFlip flips every single byte of a valid
+// snapshot and asserts the decoder rejects each mutant: the per-section
+// CRC (plus header validation) leaves no silently-correctable byte.
+func TestDecodeDetectsEveryByteFlip(t *testing.T) {
+	data := encodeToBytes(t, testSnapshot(t))
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5A
+		if _, err := Decode(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d of %d decoded successfully", i, len(data))
+		}
+	}
+}
+
+// TestDecodeRejectsEveryTruncation decodes every strict prefix of a valid
+// snapshot; all must fail (the end marker catches section-boundary
+// truncation, lengths catch mid-section truncation).
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	data := encodeToBytes(t, testSnapshot(t))
+	for i := 0; i < len(data); i++ {
+		if _, err := Decode(bytes.NewReader(data[:i])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", i, len(data))
+		}
+	}
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	data := encodeToBytes(t, testSnapshot(t))
+	mut := append([]byte(nil), data...)
+	mut[8], mut[9] = 0x02, 0x00 // version 2
+	_, err := Decode(bytes.NewReader(mut))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version skew: err = %v, want version error", err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	data := encodeToBytes(t, testSnapshot(t))
+	mut := append([]byte("NOTASNAP"), data[8:]...)
+	_, err := Decode(bytes.NewReader(mut))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err = %v, want magic error", err)
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	data := encodeToBytes(t, testSnapshot(t))
+	if _, err := Decode(bytes.NewReader(append(data, 0x00))); err == nil {
+		t.Error("trailing garbage: no error")
+	}
+}
+
+func TestDecodeRejectsMissingSections(t *testing.T) {
+	// A header with only an end marker: no graph, no options.
+	var buf bytes.Buffer
+	s := &Snapshot{Graph: graph.New(1)}
+	buf.Write(encodeToBytes(t, s)[:10]) // magic + version
+	if err := writeSection(&buf, secEnd, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("missing sections: no error")
+	}
+}
+
+func TestDecodeRejectsMismatchedArtifact(t *testing.T) {
+	s := testSnapshot(t)
+	s.Artifacts[0].Art = &hopset.Artifact{
+		N: 2, Beta: 1, K: 1,
+		InA1: []bool{true, false},
+		Rows: []matrix.Row[semiring.WH]{{}, {}},
+		PV:   []int32{0, 0},
+		DPV:  []semiring.WH{{}, {}},
+	}
+	data := encodeToBytes(t, s)
+	_, err := Decode(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "does not match graph") {
+		t.Errorf("artifact/graph size mismatch: err = %v", err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package wire provides the low-level binary encoding shared by the
+// snapshot format (internal/snapshot) and the hopset artifact codec
+// (internal/hopset): varint primitives over an in-memory buffer, with a
+// sticky-error reader hardened against malformed input. Every read is
+// bounds-checked and every count-prefixed allocation is capped by the
+// bytes actually remaining, so decoding adversarial input returns an
+// error instead of panicking or over-allocating (the property the fuzz
+// harnesses assert).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer appends primitive values to a byte buffer. The zero value is
+// ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(u uint64) { w.buf = binary.AppendUvarint(w.buf, u) }
+
+// Varint appends a signed (zig-zag) varint.
+func (w *Writer) Varint(i int64) { w.buf = binary.AppendVarint(w.buf, i) }
+
+// Int appends an int as a signed varint.
+func (w *Writer) Int(i int) { w.Varint(int64(i)) }
+
+// Float64 appends the IEEE-754 bits of f as a fixed 8-byte little-endian
+// word (bit-exact round-trips, including negative zero and NaN payloads).
+func (w *Writer) Float64(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes primitive values from a byte slice. Errors are sticky:
+// after the first failure every subsequent read returns the zero value,
+// so decoders can read a whole structure and check Err once (interleaved
+// validation still short-circuits at the first error).
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("wire: bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return u
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	i, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("wire: bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return i
+}
+
+// Int reads a signed varint as an int, rejecting values outside the
+// platform int range.
+func (r *Reader) Int() int {
+	i := r.Varint()
+	if int64(int(i)) != i {
+		r.fail("wire: varint %d overflows int", i)
+		return 0
+	}
+	return int(i)
+}
+
+// Float64 reads a fixed 8-byte little-endian IEEE-754 value.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail("wire: truncated float64 at offset %d", r.off)
+		return 0
+	}
+	u := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return math.Float64frombits(u)
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 1 {
+		r.fail("wire: truncated byte at offset %d", r.off)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Count(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Count reads a uvarint element count and validates it against the bytes
+// remaining: each element needs at least minBytes (>= 1) of input, so any
+// count exceeding Remaining()/minBytes is malformed. This caps the slice
+// allocations of count-prefixed decoders at the input size.
+func (r *Reader) Count(minBytes int) int {
+	u := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if u > uint64(r.Remaining()/minBytes) {
+		r.fail("wire: count %d exceeds remaining input (%d bytes, >=%d each)", u, r.Remaining(), minBytes)
+		return 0
+	}
+	return int(u)
+}
+
+// Expect consumes exactly the remaining input; trailing garbage after a
+// complete structure is an error.
+func (r *Reader) Expect(remaining int) {
+	if r.err != nil {
+		return
+	}
+	if r.Remaining() != remaining {
+		r.fail("wire: %d trailing bytes after structure", r.Remaining()-remaining)
+	}
+}

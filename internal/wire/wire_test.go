@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uvarint(0)
+	w.Uvarint(1 << 40)
+	w.Varint(-12345)
+	w.Int(42)
+	w.Float64(0.5)
+	w.Float64(math.Inf(1))
+	w.Byte(0xAB)
+	w.String("hopset")
+	w.String("")
+
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint: got %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<40 {
+		t.Errorf("uvarint: got %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("varint: got %d", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Errorf("int: got %d", got)
+	}
+	if got := r.Float64(); got != 0.5 {
+		t.Errorf("float64: got %v", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, 1) {
+		t.Errorf("float64: got %v, want +Inf", got)
+	}
+	if got := r.Byte(); got != 0xAB {
+		t.Errorf("byte: got %#x", got)
+	}
+	if got := r.String(); got != "hopset" {
+		t.Errorf("string: got %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("string: got %q", got)
+	}
+	r.Expect(0)
+	if err := r.Err(); err != nil {
+		t.Fatalf("round-trip error: %v", err)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Truncated varint: continuation bit set on the last byte.
+	r := NewReader([]byte{0x80})
+	r.Uvarint()
+	if r.Err() == nil {
+		t.Error("truncated uvarint: no error")
+	}
+
+	// Reads past the end.
+	r = NewReader(nil)
+	r.Byte()
+	if r.Err() == nil {
+		t.Error("byte past end: no error")
+	}
+	r = NewReader([]byte{1, 2, 3})
+	r.Float64()
+	if r.Err() == nil {
+		t.Error("truncated float64: no error")
+	}
+
+	// String length exceeding the buffer.
+	var w Writer
+	w.Uvarint(1000)
+	r = NewReader(w.Bytes())
+	_ = r.String()
+	if r.Err() == nil {
+		t.Error("oversized string: no error")
+	}
+
+	// Count bounded by remaining bytes.
+	w = Writer{}
+	w.Uvarint(50)
+	w.Byte(0)
+	r = NewReader(w.Bytes())
+	r.Count(2)
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "count") {
+		t.Errorf("oversized count: err = %v", r.Err())
+	}
+
+	// Trailing garbage.
+	r = NewReader([]byte{7, 7})
+	r.Byte()
+	r.Expect(0)
+	if r.Err() == nil {
+		t.Error("trailing bytes: no error")
+	}
+
+	// Errors are sticky: later reads keep the first error.
+	r = NewReader(nil)
+	r.Byte()
+	first := r.Err()
+	r.Uvarint()
+	r.Float64()
+	if r.Err() != first {
+		t.Errorf("error not sticky: %v then %v", first, r.Err())
+	}
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the snapshot + serving pipeline (run by CI,
+# runnable locally): build a graph, answer an MSSP query with the one-shot
+# CLI, persist the engine as a snapshot, serve it with ccspd, and assert
+# the daemon's /v1/distance answers match the CLI's distances exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+addr=127.0.0.1:8947
+
+cat > "$tmp/g.txt" <<'EOF'
+# smoke graph: a weighted ring with chords
+0 1 2
+1 2 3
+2 3 1
+3 4 4
+4 5 2
+5 6 5
+6 7 1
+7 0 3
+0 4 9
+1 5 2
+2 6 7
+EOF
+
+go build -o "$tmp/ccsp" ./cmd/ccsp
+go build -o "$tmp/ccspd" ./cmd/ccspd
+
+echo "== one-shot CLI MSSP from node 0 (and snapshot save)"
+"$tmp/ccsp" -graph "$tmp/g.txt" -algo mssp -sources 0 -save "$tmp/warm.snap" | tee "$tmp/cli.out"
+test -s "$tmp/warm.snap"
+
+echo "== serving the snapshot"
+"$tmp/ccspd" -load "$tmp/warm.snap" -addr "$addr" &
+pid=$!
+
+for _ in $(seq 50); do
+  curl -fs "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs "http://$addr/healthz" | grep -q '"status": "ok"'
+echo "healthz ok"
+
+# Every node's distance-to-0 from the daemon must equal the CLI's MSSP
+# column (both run the same Theorem 3 query over the same artifact).
+fail=0
+for v in 0 1 2 3 4 5 6 7; do
+  cli=$(awk -v v="$v" '$1 == v { print $2 }' "$tmp/cli.out")
+  http=$(curl -fs "http://$addr/v1/distance?from=0&to=$v" \
+    | tr -d ' \n' | grep -o '"distance":-\?[0-9]*' | cut -d: -f2)
+  if [ "$cli" != "$http" ]; then
+    echo "MISMATCH node $v: cli=$cli http=$http"
+    fail=1
+  fi
+done
+[ "$fail" = 0 ]
+echo "distance agreement ok (8 pairs)"
+
+curl -fs "http://$addr/v1/diameter" | grep -q '"estimate"'
+curl -fs "http://$addr/v1/stats" | grep -q '"preprocess"'
+echo "diameter + stats ok"
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+echo "graceful shutdown ok"
+echo "SMOKE PASS"

@@ -1,0 +1,133 @@
+package ccsp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/congestedclique/ccsp/internal/snapshot"
+)
+
+// Save persists the engine - graph, normalized options, and every
+// preprocessing artifact completed so far, with its round-stats - to w in
+// the versioned, checksummed binary format of internal/snapshot
+// (DESIGN.md §9). A LoadEngine of the written bytes answers every query
+// with results and Stats identical to this engine, reports the same
+// PreprocessStats, and re-Saves to byte-identical output.
+//
+// Save is safe to call concurrently with queries; artifacts whose builds
+// are still in flight are not included (they will be rebuilt lazily by
+// the loaded engine, preserving results).
+func (e *Engine) Save(w io.Writer) error {
+	snap := &snapshot.Snapshot{
+		Graph: e.gr.g,
+		Opts: snapshot.Options{
+			Epsilon:   e.opts.Epsilon,
+			Preset:    uint8(e.opts.Preset),
+			Seed:      e.opts.Seed,
+			MaxRounds: e.opts.MaxRounds,
+			Workers:   e.opts.Workers,
+		},
+	}
+	e.pre.mu.Lock()
+	for _, key := range e.pre.order {
+		ent := e.pre.arts[key]
+		snap.Artifacts = append(snap.Artifacts, snapshot.Artifact{
+			Variant: uint8(key.variant),
+			Params:  key.params,
+			Degs:    ent.degs,
+			Stats:   toSnapStats(ent.stats),
+			Art:     ent.art,
+		})
+	}
+	e.pre.mu.Unlock()
+	return snap.Encode(w)
+}
+
+// LoadEngine reconstructs an Engine from a snapshot written by Save: the
+// graph, options and all persisted artifacts are rehydrated without any
+// simulator run, so startup pays file I/O instead of hopset
+// construction. The loaded engine answers queries byte-identically to the
+// saved one (and to a freshly preprocessed engine on the same graph and
+// options), and its PreprocessStats reports the original builds.
+// Artifacts the snapshot does not contain are built lazily on first use,
+// exactly as on a fresh engine.
+//
+// Corrupt, truncated or version-skewed input returns an error.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	snap, err := snapshot.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if p := Preset(snap.Opts.Preset); p != PresetPractical && p != PresetPaper {
+		return nil, fmt.Errorf("ccsp: snapshot has unknown preset %d", snap.Opts.Preset)
+	}
+	gr := &Graph{g: snap.Graph}
+	opts := Options{
+		Epsilon:   snap.Opts.Epsilon,
+		Preset:    Preset(snap.Opts.Preset),
+		Seed:      snap.Opts.Seed,
+		MaxRounds: snap.Opts.MaxRounds,
+		Workers:   snap.Opts.Workers,
+	}
+	e, err := newEngine(gr, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range snap.Artifacts {
+		if a.Variant > uint8(artLowDegree) {
+			return nil, fmt.Errorf("ccsp: snapshot artifact %d has unknown variant %d", i, a.Variant)
+		}
+		key := artifactKey{artVariant(a.Variant), a.Params}
+		if _, dup := e.pre.arts[key]; dup {
+			return nil, fmt.Errorf("ccsp: snapshot has duplicate artifact (%s, ε'=%g)", key.variant, a.Params.Eps)
+		}
+		if key.variant == artLowDegree && a.Degs == nil {
+			return nil, fmt.Errorf("ccsp: snapshot low-degree artifact %d is missing its degree vector", i)
+		}
+		ent := &artifactEntry{art: a.Art, degs: a.Degs, stats: fromSnapStats(a.Stats)}
+		ent.once.Do(func() {}) // mark built: queries use the artifact as-is
+		e.pre.arts[key] = ent
+		e.pre.order = append(e.pre.order, key)
+	}
+	return e, nil
+}
+
+func toSnapStats(s Stats) snapshot.Stats {
+	return snapshot.Stats{
+		Nodes:          s.Nodes,
+		TotalRounds:    s.TotalRounds,
+		SimRounds:      s.SimRounds,
+		ChargedRounds:  s.ChargedRounds,
+		Messages:       s.Messages,
+		Words:          s.Words,
+		PhaseRounds:    s.PhaseRounds,
+		CollectiveTime: s.CollectiveTime,
+	}
+}
+
+// fromSnapStats converts back, normalizing absent breakdown maps to empty
+// ones (Stats built by statsFrom always carry non-nil maps, and the wire
+// format does not distinguish nil from empty).
+func fromSnapStats(s snapshot.Stats) Stats {
+	out := Stats{
+		Nodes:          s.Nodes,
+		TotalRounds:    s.TotalRounds,
+		SimRounds:      s.SimRounds,
+		ChargedRounds:  s.ChargedRounds,
+		Messages:       s.Messages,
+		Words:          s.Words,
+		PhaseRounds:    s.PhaseRounds,
+		CollectiveTime: s.CollectiveTime,
+	}
+	if out.ChargedRounds == nil {
+		out.ChargedRounds = map[string]int{}
+	}
+	if out.PhaseRounds == nil {
+		out.PhaseRounds = map[string]int{}
+	}
+	if out.CollectiveTime == nil {
+		out.CollectiveTime = map[string]time.Duration{}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package ccsp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// unweightedTestGraph builds a connected unit-weight graph (for the
+// low-degree APSP artifact).
+func unweightedTestGraph(n int) *Graph {
+	gr := NewGraph(n)
+	for v := 1; v < n; v++ {
+		gr.MustAddEdge(v, v-1, 1)
+	}
+	for v := 0; v+5 < n; v += 3 {
+		gr.MustAddEdge(v, v+5, 1)
+	}
+	return gr
+}
+
+// TestSnapshotRoundTrip is the acceptance criterion of the snapshot
+// subsystem: Save → Load round-trips byte-identically, and the loaded
+// engine answers every query with results and round-stats equal to the
+// freshly preprocessed engine it was saved from.
+func TestSnapshotRoundTrip(t *testing.T) {
+	gr := testGraph(24, 30, 8, 77)
+	opts := Options{Epsilon: 0.5}
+	sources := []int{2, 7, 13}
+
+	warm, err := NewEngine(gr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate both weighted artifacts (base + ε/2) before saving.
+	wantM, err := warm.MSSP(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := warm.APSPWeighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD, err := warm.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS, err := warm.SSSP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+
+	// Save is deterministic: saving again produces identical bytes.
+	var buf2 bytes.Buffer
+	if err := warm.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, buf2.Bytes()) {
+		t.Error("two Saves of the same engine differ")
+	}
+
+	loaded, err := LoadEngine(bytes.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded engine re-Saves byte-identically (the round-trip
+	// fingerprint).
+	var buf3 bytes.Buffer
+	if err := loaded.Save(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, buf3.Bytes()) {
+		t.Error("Save → Load → Save is not byte-identical")
+	}
+
+	// Preprocessing stats survive verbatim (including wall-clock, which
+	// is data once recorded).
+	if !reflect.DeepEqual(loaded.PreprocessStats(), warm.PreprocessStats()) {
+		t.Errorf("loaded PreprocessStats differ:\n got %+v\nwant %+v",
+			loaded.PreprocessStats(), warm.PreprocessStats())
+	}
+	if loaded.Graph().N() != gr.N() || loaded.Graph().M() != gr.M() {
+		t.Errorf("loaded graph is %d nodes / %d edges, want %d / %d",
+			loaded.Graph().N(), loaded.Graph().M(), gr.N(), gr.M())
+	}
+	if loaded.Options() != warm.Options() {
+		t.Errorf("loaded options %+v, want %+v", loaded.Options(), warm.Options())
+	}
+
+	// Every query on the loaded engine matches the warm engine: same
+	// distances, same deterministic round-stats, and no new builds.
+	gotM, err := loaded.MSSP(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotM.Dist, wantM.Dist) || !reflect.DeepEqual(gotM.Sources, wantM.Sources) {
+		t.Error("loaded MSSP distances differ")
+	}
+	statsEqual(t, "loaded MSSP", gotM.Stats, wantM.Stats)
+
+	gotA, err := loaded.APSPWeighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA.Dist, wantA.Dist) {
+		t.Error("loaded APSP distances differ")
+	}
+	statsEqual(t, "loaded APSP", gotA.Stats, wantA.Stats)
+
+	gotD, err := loaded.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotD.Estimate != wantD.Estimate {
+		t.Errorf("loaded diameter %d, want %d", gotD.Estimate, wantD.Estimate)
+	}
+	statsEqual(t, "loaded diameter", gotD.Stats, wantD.Stats)
+
+	gotS, err := loaded.SSSP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotS.Dist, wantS.Dist) {
+		t.Error("loaded SSSP distances differ")
+	}
+	statsEqual(t, "loaded SSSP", gotS.Stats, wantS.Stats)
+
+	if n := len(loaded.PreprocessStats().Builds); n != 2 {
+		t.Errorf("loaded engine ran %d builds after queries, want the snapshot's 2", n)
+	}
+
+	// And against a cold engine built from scratch: the snapshot is
+	// indistinguishable from fresh preprocessing.
+	cold, err := NewEngine(testGraph(24, 30, 8, 77), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldM, err := cold.MSSP(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotM.Dist, coldM.Dist) {
+		t.Error("loaded MSSP differs from cold-engine MSSP")
+	}
+	statsEqual(t, "loaded vs cold MSSP", gotM.Stats, coldM.Stats)
+}
+
+// TestSnapshotLowDegreeArtifact round-trips the §6.3 low-degree variant:
+// its artifact carries the degree broadcast alongside the hopset.
+func TestSnapshotLowDegreeArtifact(t *testing.T) {
+	gr := unweightedTestGraph(20)
+	warm, err := NewEngine(gr, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := warm.APSPUnweighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(warm.PreprocessStats().Builds); n != 3 {
+		t.Fatalf("unweighted APSP engine has %d builds, want 3 (base, ε/2, ε/2 low-degree)", n)
+	}
+
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.APSPUnweighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Dist, want.Dist) {
+		t.Error("loaded unweighted APSP distances differ")
+	}
+	statsEqual(t, "loaded unweighted APSP", got.Stats, want.Stats)
+	if n := len(loaded.PreprocessStats().Builds); n != 3 {
+		t.Errorf("loaded engine ran %d builds, want the snapshot's 3", n)
+	}
+}
+
+// TestSnapshotLazyAfterLoad: artifacts missing from a snapshot are built
+// lazily by the loaded engine, preserving one-shot-equal results.
+func TestSnapshotLazyAfterLoad(t *testing.T) {
+	gr := testGraph(18, 20, 5, 42)
+	opts := Options{Epsilon: 0.5}
+	warm, err := NewEngine(gr, opts) // base artifact only
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(loaded.PreprocessStats().Builds); n != 1 {
+		t.Fatalf("loaded engine has %d builds, want 1", n)
+	}
+	got, err := loaded.APSPWeighted() // needs the ε/2 artifact: lazy build
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(loaded.PreprocessStats().Builds); n != 2 {
+		t.Errorf("lazy build after load: %d builds, want 2", n)
+	}
+	want, err := APSPWeighted(gr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Dist, want.Dist) {
+		t.Error("lazily-built APSP after load differs from one-shot")
+	}
+}
+
+// TestLoadEngineRejectsBadInput: corruption, truncation and version skew
+// all surface as errors through the public API.
+func TestLoadEngineRejectsBadInput(t *testing.T) {
+	warm, err := NewEngine(testGraph(12, 10, 4, 9), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := warm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	if _, err := LoadEngine(bytes.NewReader(valid[:len(valid)-7])); err == nil {
+		t.Error("truncated snapshot loaded without error")
+	}
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0x01
+	if _, err := LoadEngine(bytes.NewReader(mut)); err == nil {
+		t.Error("corrupt snapshot loaded without error")
+	}
+	mut = append([]byte(nil), valid...)
+	mut[8] = 0x63
+	if _, err := LoadEngine(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version-skewed snapshot: err = %v, want version error", err)
+	}
+	if _, err := LoadEngine(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input loaded without error")
+	}
+}
