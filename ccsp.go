@@ -1,6 +1,7 @@
 package ccsp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -21,21 +22,21 @@ func (r *APSPResult) Distance(u, v int) int64 { return r.Dist[u][v] }
 // (Theorem 31) in O(log²n/ε) rounds. The guarantee requires unit weights;
 // on weighted inputs the estimates are still sound upper bounds but only
 // the weighted guarantee of APSPWeighted applies.
-func APSPUnweighted(gr *Graph, opts Options) (*APSPResult, error) {
-	return oneShot(gr, opts, (*Engine).APSPUnweighted, apspStats)
+func APSPUnweighted(ctx context.Context, gr *Graph, opts Options) (*APSPResult, error) {
+	return oneShot(ctx, gr, opts, (*Engine).APSPUnweighted, apspStats)
 }
 
 // APSPWeighted computes (2+ε, (1+ε)W)-approximate APSP on a weighted graph
 // (Theorem 28): each estimate is at most (2+ε)·d(u,v) + (1+ε)·W, where W
 // is the heaviest edge on a shortest u-v path.
-func APSPWeighted(gr *Graph, opts Options) (*APSPResult, error) {
-	return oneShot(gr, opts, (*Engine).APSPWeighted, apspStats)
+func APSPWeighted(ctx context.Context, gr *Graph, opts Options) (*APSPResult, error) {
+	return oneShot(ctx, gr, opts, (*Engine).APSPWeighted, apspStats)
 }
 
 // APSPWeighted3 computes the simpler (3+ε)-approximate weighted APSP of
 // §6.1 (fewer phases; kept for ablation against APSPWeighted).
-func APSPWeighted3(gr *Graph, opts Options) (*APSPResult, error) {
-	return oneShot(gr, opts, (*Engine).APSPWeighted3, apspStats)
+func APSPWeighted3(ctx context.Context, gr *Graph, opts Options) (*APSPResult, error) {
+	return oneShot(ctx, gr, opts, (*Engine).APSPWeighted3, apspStats)
 }
 
 func apspStats(r *APSPResult) *Stats { return &r.Stats }
@@ -56,15 +57,15 @@ type MSSPResult struct {
 func (r *MSSPResult) Distance(v, s int) (int64, error) {
 	i := sort.SearchInts(r.Sources, s)
 	if i >= len(r.Sources) || r.Sources[i] != s {
-		return 0, fmt.Errorf("ccsp: %d is not a source", s)
+		return 0, fmt.Errorf("%w: %d is not a source of this result", ErrInvalidSource, s)
 	}
 	return r.Dist[v][i], nil
 }
 
 // MSSP computes (1+ε)-approximate distances from every node to every
 // source (Theorem 3): polylogarithmic rounds for |sources| up to ~√n.
-func MSSP(gr *Graph, sources []int, opts Options) (*MSSPResult, error) {
-	return oneShot(gr, opts, func(e *Engine) (*MSSPResult, error) { return e.MSSP(sources) },
+func MSSP(ctx context.Context, gr *Graph, sources []int, opts Options) (*MSSPResult, error) {
+	return oneShot(ctx, gr, opts, func(e *Engine, ctx context.Context) (*MSSPResult, error) { return e.MSSP(ctx, sources) },
 		func(r *MSSPResult) *Stats { return &r.Stats })
 }
 
@@ -111,8 +112,8 @@ func (r *SSSPResult) PathTo(gr *Graph, v int) []int {
 
 // SSSP computes exact single-source shortest paths (Theorem 33) in
 // O~(n^{1/6}) rounds via the n^{5/6}-shortcut graph and Bellman-Ford.
-func SSSP(gr *Graph, source int, opts Options) (*SSSPResult, error) {
-	return oneShot(gr, opts, func(e *Engine) (*SSSPResult, error) { return e.SSSP(source) },
+func SSSP(ctx context.Context, gr *Graph, source int, opts Options) (*SSSPResult, error) {
+	return oneShot(ctx, gr, opts, func(e *Engine, ctx context.Context) (*SSSPResult, error) { return e.SSSP(ctx, source) },
 		func(r *SSSPResult) *Stats { return &r.Stats })
 }
 
@@ -127,8 +128,8 @@ type DiameterResult struct {
 }
 
 // Diameter computes the near-3/2 diameter approximation of §7.2.
-func Diameter(gr *Graph, opts Options) (*DiameterResult, error) {
-	return oneShot(gr, opts, (*Engine).Diameter,
+func Diameter(ctx context.Context, gr *Graph, opts Options) (*DiameterResult, error) {
+	return oneShot(ctx, gr, opts, (*Engine).Diameter,
 		func(r *DiameterResult) *Stats { return &r.Stats })
 }
 
@@ -156,8 +157,8 @@ type KNearestResult struct {
 
 // KNearest computes, for every node, exact distances and routing witnesses
 // to its k closest nodes (Theorem 18 over the witness-tracking semiring).
-func KNearest(gr *Graph, k int, opts Options) (*KNearestResult, error) {
-	return oneShot(gr, opts, func(e *Engine) (*KNearestResult, error) { return e.KNearest(k) },
+func KNearest(ctx context.Context, gr *Graph, k int, opts Options) (*KNearestResult, error) {
+	return oneShot(ctx, gr, opts, func(e *Engine, ctx context.Context) (*KNearestResult, error) { return e.KNearest(ctx, k) },
 		func(r *KNearestResult) *Stats { return &r.Stats })
 }
 
@@ -172,7 +173,9 @@ type SourceDetectionResult struct {
 
 // SourceDetection solves the (S, d, k)-source detection problem
 // (Theorem 19): every node learns its k nearest sources within d hops.
-func SourceDetection(gr *Graph, sources []int, d, k int, opts Options) (*SourceDetectionResult, error) {
-	return oneShot(gr, opts, func(e *Engine) (*SourceDetectionResult, error) { return e.SourceDetection(sources, d, k) },
+func SourceDetection(ctx context.Context, gr *Graph, sources []int, d, k int, opts Options) (*SourceDetectionResult, error) {
+	return oneShot(ctx, gr, opts, func(e *Engine, ctx context.Context) (*SourceDetectionResult, error) {
+		return e.SourceDetection(ctx, sources, d, k)
+	},
 		func(r *SourceDetectionResult) *Stats { return &r.Stats })
 }

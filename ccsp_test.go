@@ -2,6 +2,7 @@ package ccsp
 
 import (
 	"container/heap"
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -95,26 +96,26 @@ func TestGraphBuilder(t *testing.T) {
 
 func TestOptionsValidation(t *testing.T) {
 	gr := testGraph(8, 4, 5, 1)
-	if _, err := APSPWeighted(gr, Options{Epsilon: 2}); err == nil {
+	if _, err := APSPWeighted(context.Background(), gr, Options{Epsilon: 2}); err == nil {
 		t.Error("want epsilon validation error")
 	}
-	if _, err := MSSP(gr, nil, Options{}); err == nil {
+	if _, err := MSSP(context.Background(), gr, nil, Options{}); err == nil {
 		t.Error("want no-sources error")
 	}
-	if _, err := MSSP(gr, []int{99}, Options{}); err == nil {
+	if _, err := MSSP(context.Background(), gr, []int{99}, Options{}); err == nil {
 		t.Error("want source range error")
 	}
-	if _, err := SSSP(gr, -1, Options{}); err == nil {
+	if _, err := SSSP(context.Background(), gr, -1, Options{}); err == nil {
 		t.Error("want source range error")
 	}
-	if _, err := KNearest(gr, 0, Options{}); err == nil {
+	if _, err := KNearest(context.Background(), gr, 0, Options{}); err == nil {
 		t.Error("want k validation error")
 	}
-	if _, err := SourceDetection(gr, []int{0}, 0, 1, Options{}); err == nil {
+	if _, err := SourceDetection(context.Background(), gr, []int{0}, 0, 1, Options{}); err == nil {
 		t.Error("want d validation error")
 	}
 	var nilGraph *Graph
-	if _, err := SSSP(nilGraph, 0, Options{}); err == nil {
+	if _, err := SSSP(context.Background(), nilGraph, 0, Options{}); err == nil {
 		t.Error("want nil graph error")
 	}
 }
@@ -122,7 +123,7 @@ func TestOptionsValidation(t *testing.T) {
 func TestAPSPWeightedPublic(t *testing.T) {
 	gr := testGraph(24, 30, 8, 2)
 	eps := 0.5
-	res, err := APSPWeighted(gr, Options{Epsilon: eps})
+	res, err := APSPWeighted(context.Background(), gr, Options{Epsilon: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestAPSPUnweightedPublic(t *testing.T) {
 		t.Fatal("test graph must be unweighted")
 	}
 	eps := 0.5
-	res, err := APSPUnweighted(gr, Options{Epsilon: eps})
+	res, err := APSPUnweighted(context.Background(), gr, Options{Epsilon: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestAPSPUnweightedPublic(t *testing.T) {
 func TestAPSPWeighted3Public(t *testing.T) {
 	gr := testGraph(20, 24, 6, 3)
 	eps := 0.5
-	res, err := APSPWeighted3(gr, Options{Epsilon: eps})
+	res, err := APSPWeighted3(context.Background(), gr, Options{Epsilon: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestMSSPPublic(t *testing.T) {
 	gr := testGraph(25, 30, 10, 4)
 	sources := []int{3, 7, 11, 19}
 	eps := 0.5
-	res, err := MSSP(gr, sources, Options{Epsilon: eps})
+	res, err := MSSP(context.Background(), gr, sources, Options{Epsilon: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestMSSPPublic(t *testing.T) {
 		t.Error("want error for non-source query")
 	}
 	// Duplicate sources are deduplicated.
-	res2, err := MSSP(gr, []int{3, 3, 3}, Options{})
+	res2, err := MSSP(context.Background(), gr, []int{3, 3, 3}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestMSSPPublic(t *testing.T) {
 func TestSSSPPublicExactAndPath(t *testing.T) {
 	gr := testGraph(30, 40, 10, 6)
 	src := 4
-	res, err := SSSP(gr, src, Options{})
+	res, err := SSSP(context.Background(), gr, src, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestSSSPPathToUnit(t *testing.T) {
 	gr := NewGraph(4)
 	gr.MustAddEdge(0, 1, 2)
 	gr.MustAddEdge(1, 2, 3)
-	res, err := SSSP(gr, 0, Options{})
+	res, err := SSSP(context.Background(), gr, 0, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestDiameterPublic(t *testing.T) {
 		gr.MustAddEdge(v, v+1, 1)
 	}
 	eps := 0.5
-	res, err := Diameter(gr, Options{Epsilon: eps})
+	res, err := Diameter(context.Background(), gr, Options{Epsilon: eps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestDiameterPublic(t *testing.T) {
 func TestKNearestPublic(t *testing.T) {
 	gr := testGraph(20, 25, 8, 7)
 	k := 6
-	res, err := KNearest(gr, k, Options{})
+	res, err := KNearest(context.Background(), gr, k, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestSourceDetectionPublic(t *testing.T) {
 	for v := 0; v+1 < 12; v++ {
 		gr.MustAddEdge(v, v+1, 1)
 	}
-	res, err := SourceDetection(gr, []int{0, 11}, 3, 2, Options{})
+	res, err := SourceDetection(context.Background(), gr, []int{0, 11}, 3, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +391,7 @@ func TestSourceDetectionPublic(t *testing.T) {
 
 func TestStatsString(t *testing.T) {
 	gr := testGraph(10, 5, 3, 8)
-	res, err := SSSP(gr, 0, Options{})
+	res, err := SSSP(context.Background(), gr, 0, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	ccsp -algo apsp  -eps 0.5 graph.txt     # (2+ε)/(2+ε,(1+ε)W) APSP
+//	ccsp -timeout 30s -algo apsp big.gr     # bound the whole run; Ctrl-C also aborts cleanly
 //	ccsp -algo sssp  -src 0 graph.txt       # exact SSSP (Theorem 33)
 //	ccsp -algo mssp  -sources 0,5,9 g.txt   # (1+ε) MSSP (Theorem 3)
 //	ccsp -algo diameter graph.txt           # near-3/2 diameter (§7.2)
@@ -37,17 +38,31 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/congestedclique/ccsp"
 )
 
 func main() {
 	if err := run(); err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// -timeout expired: exit 124 like timeout(1), distinct from
+			// an operator Ctrl-C.
+			fmt.Fprintln(os.Stderr, "ccsp: timed out:", err)
+			os.Exit(124)
+		case errors.Is(err, ccsp.ErrCanceled):
+			fmt.Fprintln(os.Stderr, "ccsp: interrupted:", err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ccsp:", err)
 		os.Exit(1)
 	}
@@ -65,23 +80,34 @@ func run() error {
 		graphPath = flag.String("graph", "", "graph file (edge list or DIMACS .gr); alternative to the positional argument")
 		savePath  = flag.String("save", "", "write the preprocessed engine snapshot here after answering")
 		loadPath  = flag.String("load", "", "restore a preprocessed engine snapshot instead of building one")
+		timeout   = flag.Duration("timeout", 0, "abort preprocessing+queries after this long (0 = no limit)")
 	)
 	flag.Parse()
 	opts := ccsp.Options{Epsilon: *eps}
 
-	g, eng, err := loadInput(*graphPath, *loadPath)
+	// Ctrl-C (or -timeout) cancels the context; the simulator unwinds at
+	// its next barrier and the run exits cleanly instead of burning CPU.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	g, eng, err := loadInput(ctx, *graphPath, *loadPath)
 	if err != nil {
 		return err
 	}
 
 	if *batch != "" {
-		return runBatch(g, eng, opts, *batch, *quiet, *savePath)
+		return runBatch(ctx, g, eng, opts, *batch, *quiet, *savePath)
 	}
 	// -save needs an engine even when -load didn't provide one; building
 	// it up front also moves the preprocessing cost out of the query
 	// stats, which is the point of the snapshot.
 	if eng == nil && *savePath != "" {
-		if eng, err = ccsp.NewEngine(g, opts); err != nil {
+		if eng, err = ccsp.NewEngine(ctx, g, opts); err != nil {
 			return err
 		}
 	}
@@ -89,7 +115,7 @@ func run() error {
 
 	switch *algo {
 	case "apsp":
-		res, err := q.apsp()
+		res, err := q.apsp(ctx)
 		if err != nil {
 			return err
 		}
@@ -98,7 +124,7 @@ func run() error {
 		}
 		fmt.Println(res.Stats)
 	case "sssp":
-		res, err := q.sssp(*src)
+		res, err := q.sssp(ctx, *src)
 		if err != nil {
 			return err
 		}
@@ -113,7 +139,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := q.mssp(srcList)
+		res, err := q.mssp(ctx, srcList)
 		if err != nil {
 			return err
 		}
@@ -128,14 +154,14 @@ func run() error {
 		}
 		fmt.Println(res.Stats)
 	case "diameter":
-		res, err := q.diameter()
+		res, err := q.diameter(ctx)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("diameter estimate: %d\n", res.Estimate)
 		fmt.Println(res.Stats)
 	case "knearest":
-		res, err := q.knearest(*k)
+		res, err := q.knearest(ctx, *k)
 		if err != nil {
 			return err
 		}
@@ -161,7 +187,7 @@ func run() error {
 // loadInput resolves the graph source: a snapshot (-load, which carries
 // its graph and a warm engine) or a graph file (-graph or the positional
 // argument).
-func loadInput(graphPath, loadPath string) (*ccsp.Graph, *ccsp.Engine, error) {
+func loadInput(ctx context.Context, graphPath, loadPath string) (*ccsp.Graph, *ccsp.Engine, error) {
 	if loadPath != "" {
 		if graphPath != "" || flag.NArg() != 0 {
 			return nil, nil, fmt.Errorf("-load restores the snapshot's own graph; drop the graph argument")
@@ -171,7 +197,7 @@ func loadInput(graphPath, loadPath string) (*ccsp.Graph, *ccsp.Engine, error) {
 			return nil, nil, err
 		}
 		defer f.Close()
-		eng, err := ccsp.LoadEngine(f)
+		eng, err := ccsp.LoadEngine(ctx, f)
 		if err != nil {
 			return nil, nil, fmt.Errorf("load %s: %w", loadPath, err)
 		}
@@ -195,11 +221,11 @@ func loadInput(graphPath, loadPath string) (*ccsp.Graph, *ccsp.Engine, error) {
 // (-save/-load: query-only stats) or the historical one-shot calls
 // (stats include preprocessing).
 type queries struct {
-	apsp     func() (*ccsp.APSPResult, error)
-	sssp     func(src int) (*ccsp.SSSPResult, error)
-	mssp     func(srcs []int) (*ccsp.MSSPResult, error)
-	diameter func() (*ccsp.DiameterResult, error)
-	knearest func(k int) (*ccsp.KNearestResult, error)
+	apsp     func(ctx context.Context) (*ccsp.APSPResult, error)
+	sssp     func(ctx context.Context, src int) (*ccsp.SSSPResult, error)
+	mssp     func(ctx context.Context, srcs []int) (*ccsp.MSSPResult, error)
+	diameter func(ctx context.Context) (*ccsp.DiameterResult, error)
+	knearest func(ctx context.Context, k int) (*ccsp.KNearestResult, error)
 }
 
 func newQueries(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options) queries {
@@ -213,16 +239,20 @@ func newQueries(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options) queries {
 		}
 	}
 	return queries{
-		apsp: func() (*ccsp.APSPResult, error) {
+		apsp: func(ctx context.Context) (*ccsp.APSPResult, error) {
 			if g.Unweighted() {
-				return ccsp.APSPUnweighted(g, opts)
+				return ccsp.APSPUnweighted(ctx, g, opts)
 			}
-			return ccsp.APSPWeighted(g, opts)
+			return ccsp.APSPWeighted(ctx, g, opts)
 		},
-		sssp:     func(src int) (*ccsp.SSSPResult, error) { return ccsp.SSSP(g, src, opts) },
-		mssp:     func(srcs []int) (*ccsp.MSSPResult, error) { return ccsp.MSSP(g, srcs, opts) },
-		diameter: func() (*ccsp.DiameterResult, error) { return ccsp.Diameter(g, opts) },
-		knearest: func(k int) (*ccsp.KNearestResult, error) { return ccsp.KNearest(g, k, opts) },
+		sssp: func(ctx context.Context, src int) (*ccsp.SSSPResult, error) { return ccsp.SSSP(ctx, g, src, opts) },
+		mssp: func(ctx context.Context, srcs []int) (*ccsp.MSSPResult, error) {
+			return ccsp.MSSP(ctx, g, srcs, opts)
+		},
+		diameter: func(ctx context.Context) (*ccsp.DiameterResult, error) { return ccsp.Diameter(ctx, g, opts) },
+		knearest: func(ctx context.Context, k int) (*ccsp.KNearestResult, error) {
+			return ccsp.KNearest(ctx, g, k, opts)
+		},
 	}
 }
 
@@ -256,7 +286,7 @@ func saveEngine(eng *ccsp.Engine, path string, quiet bool) error {
 // answers every query line from the batch file, reporting per-query stats
 // and the amortization summary: total rounds actually paid vs what
 // one-shot calls would have cost.
-func runBatch(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, quiet bool, savePath string) error {
+func runBatch(ctx context.Context, g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, quiet bool, savePath string) error {
 	in := os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -269,7 +299,7 @@ func runBatch(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, q
 
 	if eng == nil {
 		var err error
-		if eng, err = ccsp.NewEngine(g, opts); err != nil {
+		if eng, err = ccsp.NewEngine(ctx, g, opts); err != nil {
 			return err
 		}
 	}
@@ -300,7 +330,7 @@ func runBatch(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, q
 			if err != nil {
 				return fmt.Errorf("%s:%d: %w", path, line, err)
 			}
-			res, err := eng.MSSP(srcList)
+			res, err := eng.MSSP(ctx, srcList)
 			if err != nil {
 				return fmt.Errorf("%s:%d: %w", path, line, err)
 			}
@@ -322,7 +352,7 @@ func runBatch(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, q
 			if err != nil {
 				return fmt.Errorf("%s:%d: %w", path, line, err)
 			}
-			res, err := eng.SSSP(s)
+			res, err := eng.SSSP(ctx, s)
 			if err != nil {
 				return fmt.Errorf("%s:%d: %w", path, line, err)
 			}
@@ -336,7 +366,7 @@ func runBatch(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, q
 			if len(fields) != 1 {
 				return fmt.Errorf("%s:%d: want 'apsp' with no arguments", path, line)
 			}
-			res, err := eng.APSP()
+			res, err := eng.APSP(ctx)
 			if err != nil {
 				return fmt.Errorf("%s:%d: %w", path, line, err)
 			}
@@ -348,7 +378,7 @@ func runBatch(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, q
 			if len(fields) != 1 {
 				return fmt.Errorf("%s:%d: want 'diameter' with no arguments", path, line)
 			}
-			res, err := eng.Diameter()
+			res, err := eng.Diameter(ctx)
 			if err != nil {
 				return fmt.Errorf("%s:%d: %w", path, line, err)
 			}
@@ -362,7 +392,7 @@ func runBatch(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, q
 			if err != nil {
 				return fmt.Errorf("%s:%d: %w", path, line, err)
 			}
-			res, err := eng.KNearest(kq)
+			res, err := eng.KNearest(ctx, kq)
 			if err != nil {
 				return fmt.Errorf("%s:%d: %w", path, line, err)
 			}

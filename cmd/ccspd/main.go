@@ -14,8 +14,12 @@
 //
 // Endpoints: /healthz, /v1/sssp?source=S, /v1/mssp?sources=A,B,
 // /v1/distance?from=U&to=V, /v1/diameter, /v1/stats. Distances are -1
-// for unreachable pairs. SIGINT/SIGTERM drains in-flight requests and
-// exits cleanly.
+// for unreachable pairs. SIGINT/SIGTERM during startup aborts a build in
+// flight at its next simulator barrier (a partial -save snapshot is never
+// left behind: the write is temp-file + rename, and an interrupted build
+// never reaches it); during serving it drains in-flight requests, then
+// cancels whatever is still running after the drain window, and exits
+// cleanly.
 //
 // Example:
 //
@@ -30,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,8 +69,19 @@ func run() error {
 		return fmt.Errorf("unexpected arguments %v (use -graph/-load)", flag.Args())
 	}
 
-	eng, err := buildEngine(*graphPath, *loadPath, *savePath, ccsp.Options{Epsilon: *eps, Workers: *workers})
+	// One signal context governs the whole lifecycle: SIGINT/SIGTERM
+	// during the (potentially minutes-long) preprocessing build aborts it
+	// at the next simulator barrier; during serving it triggers the
+	// graceful drain below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng, err := buildEngine(ctx, *graphPath, *loadPath, *savePath, ccsp.Options{Epsilon: *eps, Workers: *workers})
 	if err != nil {
+		if errors.Is(err, ccsp.ErrCanceled) {
+			log.Printf("ccspd: interrupted during startup, exiting (no snapshot written)")
+			return nil
+		}
 		return err
 	}
 	srv, err := server.New(server.Config{Engine: eng, Timeout: *timeout, CacheSize: *cacheSize})
@@ -73,13 +89,17 @@ func run() error {
 		return err
 	}
 
+	// Request contexts derive from serveCtx: if the drain window below
+	// expires with queries still running, canceling it stops them at
+	// their next barrier instead of leaking CPU-bound runs past exit.
+	serveCtx, cancelServe := context.WithCancel(context.Background())
+	defer cancelServe()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return serveCtx },
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
@@ -91,10 +111,17 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("ccspd: shutting down")
+	log.Printf("ccspd: shutting down (draining in-flight queries)")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil {
+	err = httpSrv.Shutdown(shutCtx)
+	cancelServe() // whatever outlived the drain window unwinds now
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// The doc contract: an expired drain window is still a clean
+		// exit - the base-context cancellation above stops the stragglers.
+		log.Printf("ccspd: drain window expired; canceled remaining queries")
+	case err != nil:
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
@@ -105,7 +132,9 @@ func run() error {
 
 // buildEngine realizes the startup contract: restore from a snapshot, or
 // build from a graph file (optionally persisting the warm engine).
-func buildEngine(graphPath, loadPath, savePath string, opts ccsp.Options) (*ccsp.Engine, error) {
+// Canceling ctx aborts a build in flight; the -save snapshot is only
+// written after a completed build, atomically.
+func buildEngine(ctx context.Context, graphPath, loadPath, savePath string, opts ccsp.Options) (*ccsp.Engine, error) {
 	switch {
 	case loadPath != "" && graphPath != "":
 		return nil, fmt.Errorf("use -graph or -load, not both")
@@ -119,7 +148,7 @@ func buildEngine(graphPath, loadPath, savePath string, opts ccsp.Options) (*ccsp
 		}
 		defer f.Close()
 		start := time.Now()
-		eng, err := ccsp.LoadEngine(f)
+		eng, err := ccsp.LoadEngine(ctx, f)
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", loadPath, err)
 		}
@@ -133,7 +162,7 @@ func buildEngine(graphPath, loadPath, savePath string, opts ccsp.Options) (*ccsp
 			return nil, err
 		}
 		start := time.Now()
-		eng, err := ccsp.NewEngine(g, opts)
+		eng, err := ccsp.NewEngine(ctx, g, opts)
 		if err != nil {
 			return nil, err
 		}

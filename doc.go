@@ -28,9 +28,24 @@
 //
 //	g := ccsp.NewGraph(64)
 //	g.MustAddEdge(0, 1, 1) // ... build an undirected weighted graph
-//	res, err := ccsp.APSPWeighted(g, ccsp.Options{Epsilon: 0.5})
+//	res, err := ccsp.APSPWeighted(context.Background(), g, ccsp.Options{Epsilon: 0.5})
 //	if err != nil { ... }
 //	fmt.Println(res.Distance(0, 1), res.Stats.TotalRounds)
+//
+// # Cancellation and errors
+//
+// Every entry point takes a leading context.Context, checked at every
+// simulator barrier: canceling it (or letting its deadline expire) aborts
+// the run cleanly - including a preprocessing build in flight - and the
+// returned error wraps ErrCanceled plus the context's own sentinel.
+// Errors are typed (ErrCanceled, ErrRoundLimit, ErrInvalidSource,
+// ErrInvalidOption) and matched with errors.Is; DESIGN.md §10 documents
+// the model.
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	res, err := ccsp.MSSP(ctx, g, sources, ccsp.Options{})
+//	if errors.Is(err, ccsp.ErrCanceled) { ... } // deadline hit mid-run
 //
 // # Serving many queries
 //
@@ -43,7 +58,7 @@
 // (the one-shot functions are thin wrappers over an Engine); DESIGN.md
 // §8 documents the contract.
 //
-//	eng, err := ccsp.NewEngine(g, ccsp.Options{Epsilon: 0.5})
+//	eng, err := ccsp.NewEngine(ctx, g, ccsp.Options{Epsilon: 0.5})
 //	if err != nil { ... }
-//	res, err := eng.MSSP([]int{3, 7, 11}) // no hopset rebuild
+//	res, err := eng.MSSP(ctx, []int{3, 7, 11}) // no hopset rebuild
 package ccsp

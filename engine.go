@@ -1,6 +1,8 @@
 package ccsp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -38,6 +40,14 @@ import (
 // queries from multiple goroutines. The graph must not be mutated after
 // NewEngine.
 //
+// Cancellation: every method takes a leading context.Context and unwinds
+// at the next simulator barrier when it fires, returning an error that
+// wraps ErrCanceled plus the context's own sentinel. Lazy artifact builds
+// follow the cache-poisoning rule of DESIGN.md §10: the build runs under
+// the context of the query that initiated it, concurrent waiters that
+// cancel only abandon their wait, and a build that fails (for any reason,
+// including cancellation) is not cached - the next query retries it.
+//
 // Cost reporting: each query's Stats covers only that query's run;
 // PreprocessStats reports the artifact constructions separately. MaxRounds
 // (if set) bounds each run individually rather than the one-shot total.
@@ -51,11 +61,24 @@ type Engine struct {
 // hopset rows, hitting-set membership and PV/DPV pivots, all host-side
 // data - keyed by hopset parameterization. Artifacts are built lazily on
 // first need (NewEngine builds the base one eagerly) and are immutable
-// afterwards.
+// afterwards. Only completed builds enter arts; an in-flight build is a
+// buildCall that concurrent queries wait on (cancelably), and a failed or
+// canceled build vanishes without poisoning the cache.
 type Preprocessed struct {
-	mu    sync.Mutex
-	arts  map[artifactKey]*artifactEntry
-	order []artifactKey // completion order, for PreprocessStats
+	mu       sync.Mutex
+	arts     map[artifactKey]*artifactEntry // completed, immutable entries
+	inflight map[artifactKey]*buildCall
+	order    []artifactKey // completion order, for PreprocessStats
+}
+
+// buildCall is one in-flight artifact build. The builder closes done after
+// publishing ent/err; waiters select on done against their own context, so
+// a waiter canceling never affects the build (the builder's context
+// governs it - the DESIGN.md §10 cache-poisoning rule).
+type buildCall struct {
+	done chan struct{}
+	ent  *artifactEntry
+	err  error
 }
 
 // artVariant selects the graph the hopset is built on.
@@ -83,11 +106,9 @@ type artifactKey struct {
 }
 
 type artifactEntry struct {
-	once  sync.Once
 	art   *hopset.Artifact
 	degs  []int64 // artLowDegree only: broadcast |N(v)| vector, read-only
 	stats Stats
-	err   error
 }
 
 // NewEngine validates the input and runs the preprocessing: one simulator
@@ -96,12 +117,15 @@ type artifactEntry struct {
 // need a hopset at ε/2; that artifact (and, for the unweighted algorithm,
 // a second one on the low-degree subgraph) is built lazily on the first
 // APSP call and cached like the rest.
-func NewEngine(gr *Graph, opts Options) (*Engine, error) {
+//
+// Canceling ctx aborts the preprocessing run at its next barrier and
+// NewEngine returns an error wrapping ErrCanceled; no engine is returned.
+func NewEngine(ctx context.Context, gr *Graph, opts Options) (*Engine, error) {
 	e, err := newEngine(gr, opts)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := e.artifact(e.baseKey()); err != nil {
+	if _, err := e.artifact(ctx, e.baseKey()); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -118,7 +142,10 @@ func newEngine(gr *Graph, opts Options) (*Engine, error) {
 	return &Engine{
 		gr:   gr,
 		opts: opts,
-		pre:  &Preprocessed{arts: make(map[artifactKey]*artifactEntry)},
+		pre: &Preprocessed{
+			arts:     make(map[artifactKey]*artifactEntry),
+			inflight: make(map[artifactKey]*buildCall),
+		},
 	}, nil
 }
 
@@ -142,37 +169,76 @@ func (e *Engine) apspLowKey() artifactKey {
 
 // artifact returns the cached artifact for key, building it in a
 // preprocessing run on first use. Concurrent callers of the same key
-// block until the single build completes.
-func (e *Engine) artifact(key artifactKey) (*artifactEntry, error) {
-	e.pre.mu.Lock()
-	ent, ok := e.pre.arts[key]
-	if !ok {
-		ent = &artifactEntry{}
-		e.pre.arts[key] = ent
-	}
-	e.pre.mu.Unlock()
-	ent.once.Do(func() {
-		ent.build(e, key)
-		if ent.err == nil {
-			e.pre.mu.Lock()
-			e.pre.order = append(e.pre.order, key)
+// block until the single build completes - cancelably: a waiter whose ctx
+// fires abandons the wait (and gets ErrCanceled) while the build, governed
+// by the initiating query's ctx, keeps running for everyone else. Failed
+// builds - including canceled ones - are not cached: a cancellation can
+// never poison the cache. And if the *initiating* query is canceled
+// mid-build, waiters whose own contexts are live take over and rebuild
+// instead of inheriting the initiator's cancellation (DESIGN.md §10).
+func (e *Engine) artifact(ctx context.Context, key artifactKey) (*artifactEntry, error) {
+	for {
+		e.pre.mu.Lock()
+		if ent, ok := e.pre.arts[key]; ok {
 			e.pre.mu.Unlock()
+			return ent, nil
 		}
-	})
-	return ent, ent.err
+		call, inflight := e.pre.inflight[key]
+		if !inflight {
+			call = &buildCall{done: make(chan struct{})}
+			e.pre.inflight[key] = call
+			e.pre.mu.Unlock()
+			e.build(ctx, key, call)
+			return call.ent, call.err
+		}
+		e.pre.mu.Unlock()
+		select {
+		case <-call.done:
+			if call.err != nil && errors.Is(call.err, ErrCanceled) && ctx.Err() == nil {
+				continue // the initiator was canceled, we were not: rebuild
+			}
+			return call.ent, call.err
+		case <-ctx.Done():
+			return nil, fmt.Errorf("ccsp: preprocess (%s): %w", key.variant, ctxErr(ctx))
+		}
+	}
 }
 
-// build runs the preprocessing simulator run for one artifact: the
+// build runs buildArtifact for the registered in-flight call and always -
+// even if buildArtifact panics - unregisters the call, publishes the
+// outcome, and closes done. Without the deferred cleanup a panic would
+// leave waiters blocked forever on a channel nobody will close and the
+// key permanently unbuildable.
+func (e *Engine) build(ctx context.Context, key artifactKey, call *buildCall) {
+	// Pessimistic default, overwritten on a normal return: a panicking
+	// build hands waiters a retryable failure, and the panic itself still
+	// propagates on the builder's goroutine.
+	call.err = fmt.Errorf("ccsp: preprocess (%s): build aborted by panic", key.variant)
+	defer func() {
+		e.pre.mu.Lock()
+		delete(e.pre.inflight, key)
+		if call.err == nil {
+			e.pre.arts[key] = call.ent
+			e.pre.order = append(e.pre.order, key)
+		}
+		e.pre.mu.Unlock()
+		close(call.done)
+	}()
+	call.ent, call.err = e.buildArtifact(ctx, key)
+}
+
+// buildArtifact runs the preprocessing simulator run for one artifact: the
 // collective hopset construction of §4 (plus, for the low-degree variant,
 // the one-round degree broadcast that defines G'), collected into
 // host-side form.
-func (ent *artifactEntry) build(e *Engine, key artifactKey) {
+func (e *Engine) buildArtifact(ctx context.Context, key artifactKey) (*artifactEntry, error) {
 	n := e.gr.N()
 	sr := e.gr.g.AugSemiring()
 	board := hitting.NewBoard(n)
 	results := make([]*hopset.Result, n)
 	var degsShared []int64
-	stats, err := cc.Run(e.opts.config(n), func(nd *cc.Node) error {
+	op := fmt.Sprintf("preprocess (%s)", key.variant)
+	stats, err := cc.Run(ctx, e.opts.config(n), func(nd *cc.Node) error {
 		row := e.gr.g.WeightRow(nd.ID)
 		if key.variant == artLowDegree {
 			degs := nd.BroadcastVal(int64(len(row)))
@@ -189,17 +255,13 @@ func (ent *artifactEntry) build(e *Engine, key artifactKey) {
 		return nil
 	})
 	if err != nil {
-		ent.err = fmt.Errorf("ccsp: preprocess (%s): %w", key.variant, err)
-		return
+		return nil, wrapRun(op, err)
 	}
 	art, err := hopset.Collect(results)
 	if err != nil {
-		ent.err = fmt.Errorf("ccsp: preprocess (%s): %w", key.variant, err)
-		return
+		return nil, wrapRun(op, err)
 	}
-	ent.art = art
-	ent.degs = degsShared
-	ent.stats = statsFrom(stats)
+	return &artifactEntry{art: art, degs: degsShared, stats: statsFrom(stats)}, nil
 }
 
 // ArtifactBuild describes one preprocessing run.
@@ -261,7 +323,7 @@ func normalizeSources(n int, sources []int) (inS []bool, srcList []int, srcIdx m
 	inS = make([]bool, n)
 	for _, s := range sources {
 		if s < 0 || s >= n {
-			return nil, nil, nil, fmt.Errorf("ccsp: source %d out of range", s)
+			return nil, nil, nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrInvalidSource, s, n)
 		}
 		inS[s] = true
 	}
@@ -272,7 +334,7 @@ func normalizeSources(n int, sources []int) (inS []bool, srcList []int, srcIdx m
 		}
 	}
 	if len(srcList) == 0 {
-		return nil, nil, nil, fmt.Errorf("ccsp: no sources")
+		return nil, nil, nil, fmt.Errorf("%w: empty source set", ErrInvalidSource)
 	}
 	srcIdx = make(map[int32]int, len(srcList))
 	for i, s := range srcList {
@@ -283,20 +345,21 @@ func normalizeSources(n int, sources []int) (inS []bool, srcList []int, srcIdx m
 
 // MSSP answers a (1+ε)-approximate multi-source query (Theorem 3) from
 // the cached hopset: one β-hop source detection on G ∪ H, no hopset
-// construction. Safe to call concurrently.
-func (e *Engine) MSSP(sources []int) (*MSSPResult, error) {
+// construction. Safe to call concurrently; canceling ctx aborts the query
+// run at its next barrier.
+func (e *Engine) MSSP(ctx context.Context, sources []int) (*MSSPResult, error) {
 	n := e.gr.N()
 	inS, srcList, srcIdx, err := normalizeSources(n, sources)
 	if err != nil {
 		return nil, err
 	}
-	ent, err := e.artifact(e.baseKey())
+	ent, err := e.artifact(ctx, e.baseKey())
 	if err != nil {
 		return nil, err
 	}
 	sr := e.gr.g.AugSemiring()
 	dist := make([][]int64, n)
-	stats, err := cc.Run(e.opts.config(n), func(nd *cc.Node) error {
+	stats, err := cc.Run(ctx, e.opts.config(n), func(nd *cc.Node) error {
 		res, err := mssp.RunWithHopset(nd, sr, e.gr.g.WeightRow(nd.ID), inS, ent.art.At(nd.ID))
 		if err != nil {
 			return err
@@ -314,7 +377,7 @@ func (e *Engine) MSSP(sources []int) (*MSSPResult, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ccsp: MSSP: %w", err)
+		return nil, wrapRun("MSSP", err)
 	}
 	return &MSSPResult{Sources: srcList, Dist: dist, Stats: statsFrom(stats)}, nil
 }
@@ -322,15 +385,15 @@ func (e *Engine) MSSP(sources []int) (*MSSPResult, error) {
 // SSSP answers an exact single-source query (Theorem 33). The shortcut
 // algorithm does not use a hopset, so the query needs no preprocessing
 // artifacts at all.
-func (e *Engine) SSSP(source int) (*SSSPResult, error) {
+func (e *Engine) SSSP(ctx context.Context, source int) (*SSSPResult, error) {
 	n := e.gr.N()
 	if source < 0 || source >= n {
-		return nil, fmt.Errorf("ccsp: source %d out of range", source)
+		return nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrInvalidSource, source, n)
 	}
 	sr := e.gr.g.AugSemiring()
 	var dist []int64
 	var iters int
-	stats, err := cc.Run(e.opts.config(n), func(nd *cc.Node) error {
+	stats, err := cc.Run(ctx, e.opts.config(n), func(nd *cc.Node) error {
 		d, it := sssp.Exact(nd, sr, e.gr.g.WeightRow(nd.ID), source, 0)
 		if nd.ID == 0 {
 			dist = append([]int64(nil), d...)
@@ -339,7 +402,7 @@ func (e *Engine) SSSP(source int) (*SSSPResult, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ccsp: SSSP: %w", err)
+		return nil, wrapRun("SSSP", err)
 	}
 	return &SSSPResult{Source: source, Dist: dist, Iterations: iters, Stats: statsFrom(stats)}, nil
 }
@@ -348,12 +411,12 @@ func (e *Engine) SSSP(source int) (*SSSPResult, error) {
 type apspQueryAlgo func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error)
 
 // runAPSPQuery launches the query-only run shared by the APSP methods.
-func (e *Engine) runAPSPQuery(name string, algo apspQueryAlgo) (*APSPResult, error) {
+func (e *Engine) runAPSPQuery(ctx context.Context, name string, algo apspQueryAlgo) (*APSPResult, error) {
 	n := e.gr.N()
 	sr := e.gr.g.AugSemiring()
 	boards := hitting.NewBoardSeq(n)
 	dist := make([][]int64, n)
-	stats, err := cc.Run(e.opts.config(n), func(nd *cc.Node) error {
+	stats, err := cc.Run(ctx, e.opts.config(n), func(nd *cc.Node) error {
 		row, err := algo(nd, sr, e.gr.g.WeightRow(nd.ID), boards)
 		if err != nil {
 			return err
@@ -362,7 +425,7 @@ func (e *Engine) runAPSPQuery(name string, algo apspQueryAlgo) (*APSPResult, err
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ccsp: %s APSP: %w", name, err)
+		return nil, wrapRun(name+" APSP", err)
 	}
 	return &APSPResult{Dist: dist, Stats: statsFrom(stats)}, nil
 }
@@ -370,35 +433,35 @@ func (e *Engine) runAPSPQuery(name string, algo apspQueryAlgo) (*APSPResult, err
 // APSP answers an all-pairs query with the strongest guarantee for the
 // input: the (2+ε) unweighted algorithm (Theorem 31) when all edges have
 // weight 1, the (2+ε, (1+ε)W) weighted algorithm (Theorem 28) otherwise.
-func (e *Engine) APSP() (*APSPResult, error) {
+func (e *Engine) APSP(ctx context.Context) (*APSPResult, error) {
 	if e.gr.Unweighted() {
-		return e.APSPUnweighted()
+		return e.APSPUnweighted(ctx)
 	}
-	return e.APSPWeighted()
+	return e.APSPWeighted(ctx)
 }
 
 // APSPWeighted answers a (2+ε, (1+ε)W)-approximate all-pairs query
 // (Theorem 28) from the cached ε/2 hopset.
-func (e *Engine) APSPWeighted() (*APSPResult, error) {
-	ent, err := e.artifact(e.apspKey())
+func (e *Engine) APSPWeighted(ctx context.Context) (*APSPResult, error) {
+	ent, err := e.artifact(ctx, e.apspKey())
 	if err != nil {
 		return nil, err
 	}
 	eps := e.opts.Epsilon
-	return e.runAPSPQuery("weighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
+	return e.runAPSPQuery(ctx, "weighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
 		return apsp.TwoPlusEpsWeightedWithHopset(nd, sr, wrow, eps, boards, ent.art.At(nd.ID))
 	})
 }
 
 // APSPWeighted3 answers the simpler (3+ε)-approximate weighted all-pairs
 // query of §6.1; it shares the ε/2 hopset artifact with APSPWeighted.
-func (e *Engine) APSPWeighted3() (*APSPResult, error) {
-	ent, err := e.artifact(e.apspKey())
+func (e *Engine) APSPWeighted3(ctx context.Context) (*APSPResult, error) {
+	ent, err := e.artifact(ctx, e.apspKey())
 	if err != nil {
 		return nil, err
 	}
 	eps := e.opts.Epsilon
-	return e.runAPSPQuery("3+eps", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
+	return e.runAPSPQuery(ctx, "3+eps", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
 		return apsp.ThreePlusEpsWithHopset(nd, sr, wrow, eps, boards, ent.art.At(nd.ID))
 	})
 }
@@ -406,25 +469,25 @@ func (e *Engine) APSPWeighted3() (*APSPResult, error) {
 // APSPUnweighted answers a (2+ε)-approximate all-pairs query on an
 // unweighted graph (Theorem 31). It uses two cached artifacts: the ε/2
 // hopset on G and the ε/2 hopset on the low-degree subgraph G'.
-func (e *Engine) APSPUnweighted() (*APSPResult, error) {
-	entG, err := e.artifact(e.apspKey())
+func (e *Engine) APSPUnweighted(ctx context.Context) (*APSPResult, error) {
+	entG, err := e.artifact(ctx, e.apspKey())
 	if err != nil {
 		return nil, err
 	}
-	entLow, err := e.artifact(e.apspLowKey())
+	entLow, err := e.artifact(ctx, e.apspLowKey())
 	if err != nil {
 		return nil, err
 	}
 	eps := e.opts.Epsilon
-	return e.runAPSPQuery("unweighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
+	return e.runAPSPQuery(ctx, "unweighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
 		return apsp.TwoPlusEpsUnweightedWithHopsets(nd, sr, wrow, eps, boards, entLow.degs, entG.art.At(nd.ID), entLow.art.At(nd.ID))
 	})
 }
 
 // Diameter answers a near-3/2 diameter query (§7.2) from the cached base
 // hopset: both MSSP stages reuse it.
-func (e *Engine) Diameter() (*DiameterResult, error) {
-	ent, err := e.artifact(e.baseKey())
+func (e *Engine) Diameter(ctx context.Context) (*DiameterResult, error) {
+	ent, err := e.artifact(ctx, e.baseKey())
 	if err != nil {
 		return nil, err
 	}
@@ -432,7 +495,7 @@ func (e *Engine) Diameter() (*DiameterResult, error) {
 	sr := e.gr.g.AugSemiring()
 	boards := hitting.NewBoardSeq(n)
 	var estimate int64
-	stats, err := cc.Run(e.opts.config(n), func(nd *cc.Node) error {
+	stats, err := cc.Run(ctx, e.opts.config(n), func(nd *cc.Node) error {
 		est, err := diameter.ApproxWithHopset(nd, sr, e.gr.g.WeightRow(nd.ID), boards, ent.art.At(nd.ID))
 		if err != nil {
 			return err
@@ -443,21 +506,21 @@ func (e *Engine) Diameter() (*DiameterResult, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ccsp: diameter: %w", err)
+		return nil, wrapRun("diameter", err)
 	}
 	return &DiameterResult{Estimate: estimate, Stats: statsFrom(stats)}, nil
 }
 
 // KNearest answers a k-nearest query (Theorem 18 over the
 // witness-tracking semiring). It needs no preprocessing artifacts.
-func (e *Engine) KNearest(k int) (*KNearestResult, error) {
+func (e *Engine) KNearest(ctx context.Context, k int) (*KNearestResult, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("ccsp: k must be positive, got %d", k)
+		return nil, fmt.Errorf("%w: k must be positive, got %d", ErrInvalidOption, k)
 	}
 	n := e.gr.N()
 	sr := e.gr.g.RoutedSemiring()
 	out := make([][]Neighbor, n)
-	stats, err := cc.Run(e.opts.config(n), func(nd *cc.Node) error {
+	stats, err := cc.Run(ctx, e.opts.config(n), func(nd *cc.Node) error {
 		row := disttools.KNearest[semiring.WHF](nd, sr, e.gr.g.WeightRowRouted(nd.ID), k)
 		nb := make([]Neighbor, 0, len(row))
 		for _, en := range row {
@@ -476,28 +539,28 @@ func (e *Engine) KNearest(k int) (*KNearestResult, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ccsp: k-nearest: %w", err)
+		return nil, wrapRun("k-nearest", err)
 	}
 	return &KNearestResult{Neighbors: out, Stats: statsFrom(stats)}, nil
 }
 
 // SourceDetection answers an (S, d, k)-source detection query
 // (Theorem 19). It needs no preprocessing artifacts.
-func (e *Engine) SourceDetection(sources []int, d, k int) (*SourceDetectionResult, error) {
+func (e *Engine) SourceDetection(ctx context.Context, sources []int, d, k int) (*SourceDetectionResult, error) {
 	if d < 1 || k < 1 {
-		return nil, fmt.Errorf("ccsp: d and k must be positive (d=%d, k=%d)", d, k)
+		return nil, fmt.Errorf("%w: d and k must be positive (d=%d, k=%d)", ErrInvalidOption, d, k)
 	}
 	n := e.gr.N()
 	inS := make([]bool, n)
 	for _, s := range sources {
 		if s < 0 || s >= n {
-			return nil, fmt.Errorf("ccsp: source %d out of range", s)
+			return nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrInvalidSource, s, n)
 		}
 		inS[s] = true
 	}
 	sr := e.gr.g.AugSemiring()
 	out := make([][]Neighbor, n)
-	stats, err := cc.Run(e.opts.config(n), func(nd *cc.Node) error {
+	stats, err := cc.Run(ctx, e.opts.config(n), func(nd *cc.Node) error {
 		row := disttools.SourceDetectK[semiring.WH](nd, sr, e.gr.g.WeightRow(nd.ID), inS, d, k)
 		nb := make([]Neighbor, 0, len(row))
 		for _, en := range row {
@@ -507,7 +570,7 @@ func (e *Engine) SourceDetection(sources []int, d, k int) (*SourceDetectionResul
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ccsp: source detection: %w", err)
+		return nil, wrapRun("source detection", err)
 	}
 	return &SourceDetectionResult{Detected: out, Stats: statsFrom(stats)}, nil
 }
@@ -515,13 +578,13 @@ func (e *Engine) SourceDetection(sources []int, d, k int) (*SourceDetectionResul
 // oneShot runs a single query on a fresh lazy Engine and folds the
 // preprocessing cost into the returned Stats, preserving the historical
 // one-shot accounting (preprocess + query = the single-run totals).
-func oneShot[R any](gr *Graph, opts Options, query func(*Engine) (R, error), stats func(R) *Stats) (R, error) {
+func oneShot[R any](ctx context.Context, gr *Graph, opts Options, query func(*Engine, context.Context) (R, error), stats func(R) *Stats) (R, error) {
 	var zero R
 	eng, err := newEngine(gr, opts)
 	if err != nil {
 		return zero, err
 	}
-	res, err := query(eng)
+	res, err := query(eng, ctx)
 	if err != nil {
 		return zero, err
 	}

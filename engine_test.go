@@ -1,6 +1,7 @@
 package ccsp
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -28,20 +29,20 @@ func TestEngineMatchesOneShot(t *testing.T) {
 	opts := Options{Epsilon: 0.5}
 	sources := []int{2, 7, 13}
 
-	oneM, err := MSSP(gr, sources, opts)
+	oneM, err := MSSP(context.Background(), gr, sources, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oneA, err := APSPWeighted(gr, opts)
+	oneA, err := APSPWeighted(context.Background(), gr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oneD, err := Diameter(gr, opts)
+	oneD, err := Diameter(context.Background(), gr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	eng, err := NewEngine(gr, opts)
+	eng, err := NewEngine(context.Background(), gr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestEngineMatchesOneShot(t *testing.T) {
 	}
 
 	// MSSP: same distances, and base preprocess + query = one-shot.
-	qm, err := eng.MSSP(sources)
+	qm, err := eng.MSSP(context.Background(), sources)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestEngineMatchesOneShot(t *testing.T) {
 	statsEqual(t, "MSSP", base.Total.Merge(qm.Stats), oneM.Stats)
 
 	// Diameter reuses the same base artifact: still one build.
-	qd, err := eng.Diameter()
+	qd, err := eng.Diameter(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestEngineMatchesOneShot(t *testing.T) {
 
 	// APSP needs the ε/2 artifact, built lazily as a second preprocessing
 	// run; that run + the query must equal the one-shot APSP exactly.
-	qa, err := eng.APSPWeighted()
+	qa, err := eng.APSPWeighted(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,13 +94,13 @@ func TestEngineMatchesOneShot(t *testing.T) {
 
 	// q=8 MSSP queries: hopset phases are charged exactly once, in the
 	// preprocessing; no query run contains any hopset construction.
-	eng2, err := NewEngine(gr, opts)
+	eng2, err := NewEngine(context.Background(), gr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	querySum := Stats{}
 	for i := 0; i < 8; i++ {
-		r, err := eng2.MSSP([]int{i, i + 8})
+		r, err := eng2.MSSP(context.Background(), []int{i, i + 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func TestEngineMatchesOneShotUnweighted(t *testing.T) {
 		t.Fatal("test graph must be unweighted")
 	}
 	opts := Options{Epsilon: 0.5}
-	one, err := APSPUnweighted(gr, opts)
+	one, err := APSPUnweighted(context.Background(), gr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestEngineMatchesOneShotUnweighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := eng.APSP() // unweighted input dispatches to APSPUnweighted
+	q, err := eng.APSP(context.Background()) // unweighted input dispatches to APSPUnweighted
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestEngineMatchesOneShotUnweighted(t *testing.T) {
 	statsEqual(t, "APSPUnweighted", ps.Total.Merge(q.Stats), one.Stats)
 
 	// A second query reuses both artifacts.
-	q2, err := eng.APSPUnweighted()
+	q2, err := eng.APSPUnweighted(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,11 +189,11 @@ func TestEngineQueryOnlyMethods(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	oneS, err := SSSP(gr, 3, opts)
+	oneS, err := SSSP(context.Background(), gr, 3, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qs, err := eng.SSSP(3)
+	qs, err := eng.SSSP(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,11 +202,11 @@ func TestEngineQueryOnlyMethods(t *testing.T) {
 	}
 	statsEqual(t, "SSSP", qs.Stats, oneS.Stats)
 
-	oneK, err := KNearest(gr, 4, opts)
+	oneK, err := KNearest(context.Background(), gr, 4, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qk, err := eng.KNearest(4)
+	qk, err := eng.KNearest(context.Background(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,11 +214,11 @@ func TestEngineQueryOnlyMethods(t *testing.T) {
 		t.Error("engine KNearest differs from one-shot")
 	}
 
-	oneSD, err := SourceDetection(gr, []int{0, 5}, 3, 2, opts)
+	oneSD, err := SourceDetection(context.Background(), gr, []int{0, 5}, 3, 2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	qsd, err := eng.SourceDetection([]int{0, 5}, 3, 2)
+	qsd, err := eng.SourceDetection(context.Background(), []int{0, 5}, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,18 +237,18 @@ func TestEngineQueryOnlyMethods(t *testing.T) {
 // under -race in CI.
 func TestEngineConcurrentQueries(t *testing.T) {
 	gr := testGraph(20, 24, 7, 123)
-	eng, err := NewEngine(gr, Options{Epsilon: 0.5})
+	eng, err := NewEngine(context.Background(), gr, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	srcSets := [][]int{{0, 5}, {1, 9, 17}, {3}, {2, 4, 6, 8}}
 	want := make([]*MSSPResult, len(srcSets))
 	for i, s := range srcSets {
-		if want[i], err = eng.MSSP(s); err != nil {
+		if want[i], err = eng.MSSP(context.Background(), s); err != nil {
 			t.Fatal(err)
 		}
 	}
-	wantD, err := eng.Diameter()
+	wantD, err := eng.Diameter(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,16 +260,16 @@ func TestEngineConcurrentQueries(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			i := g % len(srcSets)
-			res, err := eng.MSSP(srcSets[i])
+			res, err := eng.MSSP(context.Background(), srcSets[i])
 			if err != nil {
 				errs <- err
 				return
 			}
 			if !reflect.DeepEqual(res.Dist, want[i].Dist) {
-				errs <- fmt.Errorf("goroutine %d: MSSP(%v) differs from sequential", g, srcSets[i])
+				errs <- fmt.Errorf("goroutine %d: MSSP(context.Background(), %v) differs from sequential", g, srcSets[i])
 			}
 			if g%4 == 0 {
-				d, err := eng.Diameter()
+				d, err := eng.Diameter(context.Background())
 				if err != nil {
 					errs <- err
 					return
@@ -304,7 +305,7 @@ func TestEngineLazyAPSPBuildsConcurrently(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[g], errs[g] = eng.APSPWeighted()
+			results[g], errs[g] = eng.APSPWeighted(context.Background())
 		}()
 	}
 	wg.Wait()
@@ -324,32 +325,32 @@ func TestEngineLazyAPSPBuildsConcurrently(t *testing.T) {
 // TestEngineValidation: argument errors surface before any simulation.
 func TestEngineValidation(t *testing.T) {
 	var nilGraph *Graph
-	if _, err := NewEngine(nilGraph, Options{}); err == nil {
+	if _, err := NewEngine(context.Background(), nilGraph, Options{}); err == nil {
 		t.Error("want nil-graph error")
 	}
-	if _, err := NewEngine(testGraph(8, 4, 3, 1), Options{Epsilon: 2}); err == nil {
+	if _, err := NewEngine(context.Background(), testGraph(8, 4, 3, 1), Options{Epsilon: 2}); err == nil {
 		t.Error("want epsilon validation error")
 	}
 	eng, err := newEngine(testGraph(8, 4, 3, 1), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.MSSP(nil); err == nil {
+	if _, err := eng.MSSP(context.Background(), nil); err == nil {
 		t.Error("want no-sources error")
 	}
-	if _, err := eng.MSSP([]int{99}); err == nil {
+	if _, err := eng.MSSP(context.Background(), []int{99}); err == nil {
 		t.Error("want source-range error")
 	}
-	if _, err := eng.SSSP(-1); err == nil {
+	if _, err := eng.SSSP(context.Background(), -1); err == nil {
 		t.Error("want source-range error")
 	}
-	if _, err := eng.KNearest(0); err == nil {
+	if _, err := eng.KNearest(context.Background(), 0); err == nil {
 		t.Error("want k validation error")
 	}
-	if _, err := eng.SourceDetection([]int{0}, 0, 1); err == nil {
+	if _, err := eng.SourceDetection(context.Background(), []int{0}, 0, 1); err == nil {
 		t.Error("want d validation error")
 	}
-	if _, err := eng.SourceDetection([]int{-4}, 1, 1); err == nil {
+	if _, err := eng.SourceDetection(context.Background(), []int{-4}, 1, 1); err == nil {
 		t.Error("want source-range error")
 	}
 	if builds := eng.PreprocessStats().Builds; len(builds) != 0 {

@@ -1,0 +1,67 @@
+package ccsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+)
+
+// Typed errors. Every error returned from a public entry point wraps one of
+// these sentinels (or is a plain validation error), so callers dispatch
+// with errors.Is instead of matching message strings:
+//
+//	res, err := eng.MSSP(ctx, sources)
+//	switch {
+//	case errors.Is(err, ccsp.ErrCanceled):      // ctx canceled or deadline hit
+//	case errors.Is(err, ccsp.ErrRoundLimit):    // Options.MaxRounds exceeded
+//	case errors.Is(err, ccsp.ErrInvalidSource): // source ID out of range / empty set
+//	case errors.Is(err, ccsp.ErrInvalidOption): // bad Options or query parameter
+//	}
+//
+// ErrCanceled additionally wraps the context's own sentinel, so
+// errors.Is(err, context.Canceled) and errors.Is(err, context.DeadlineExceeded)
+// distinguish client cancellation from an expired deadline (the serving
+// layer maps them to 499 and 504 respectively).
+var (
+	// ErrCanceled is wrapped by every error caused by a canceled or
+	// deadline-expired context, at any stage: preprocessing, lazy artifact
+	// builds, and query runs.
+	ErrCanceled = errors.New("ccsp: canceled")
+	// ErrRoundLimit is wrapped when a simulator run exceeds
+	// Options.MaxRounds.
+	ErrRoundLimit = errors.New("ccsp: round budget exceeded")
+	// ErrInvalidSource is wrapped when a source (or target) node ID is out
+	// of range, or a query's source set is empty.
+	ErrInvalidSource = errors.New("ccsp: invalid source")
+	// ErrInvalidOption is wrapped when Options fail validation or a query
+	// parameter (k, d) is out of its domain.
+	ErrInvalidOption = errors.New("ccsp: invalid option")
+)
+
+// wrapRun translates a simulator-run error into the public error taxonomy,
+// prefixed with the failing operation. The cc sentinels stay in the chain,
+// so the context sentinels (which cc.ErrCanceled wraps) remain matchable.
+func wrapRun(op string, err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, cc.ErrCanceled):
+		return fmt.Errorf("ccsp: %s: %w: %w", op, ErrCanceled, err)
+	case errors.Is(err, cc.ErrRoundLimit):
+		return fmt.Errorf("ccsp: %s: %w: %w", op, ErrRoundLimit, err)
+	default:
+		return fmt.Errorf("ccsp: %s: %w", op, err)
+	}
+}
+
+// ctxErr reports a context that is already dead as an ErrCanceled wrap (nil
+// while the context is live). Entry points call it before starting work so
+// a canceled caller never launches a simulator run.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}

@@ -7,23 +7,30 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 
 	"github.com/congestedclique/ccsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the context; every ccsp call below aborts cleanly
+	// at its next simulator barrier instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "landmarks:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// A preferential-attachment network: a few high-degree hubs, many
 	// low-degree leaves - the overlay-network workload the congested
 	// clique models (§1).
@@ -57,7 +64,7 @@ func run() error {
 	sort.Ints(landmarks)
 
 	eps := 0.25
-	res, err := ccsp.MSSP(g, landmarks, ccsp.Options{Epsilon: eps})
+	res, err := ccsp.MSSP(ctx, g, landmarks, ccsp.Options{Epsilon: eps})
 	if err != nil {
 		return err
 	}

@@ -9,21 +9,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"github.com/congestedclique/ccsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the context; every ccsp call below aborts cleanly
+	// at its next simulator barrier instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "queryengine:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// A 64-node weighted network: a random connected core with a few
 	// heavy long-haul links.
 	const n = 64
@@ -42,7 +49,7 @@ func run() error {
 	// Preprocess once. NewEngine runs the hopset construction - the
 	// expensive phase every one-shot call used to repeat - and caches the
 	// artifact for all queries that follow.
-	eng, err := ccsp.NewEngine(g, ccsp.Options{Epsilon: 0.5})
+	eng, err := ccsp.NewEngine(ctx, g, ccsp.Options{Epsilon: 0.5})
 	if err != nil {
 		return err
 	}
@@ -58,7 +65,7 @@ func run() error {
 	queryRounds := 0
 	for i := 0; i < 6; i++ {
 		sources := []int{(7*i + 1) % n, (13*i + 5) % n}
-		res, err := eng.MSSP(sources)
+		res, err := eng.MSSP(ctx, sources)
 		if err != nil {
 			return err
 		}
@@ -67,13 +74,13 @@ func run() error {
 			res.Sources, (i*11)%n, res.Sources[0], d, res.Stats.TotalRounds)
 		queryRounds += res.Stats.TotalRounds
 	}
-	diam, err := eng.Diameter()
+	diam, err := eng.Diameter(ctx)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("diameter ≈ %d in %d rounds\n", diam.Estimate, diam.Stats.TotalRounds)
 	queryRounds += diam.Stats.TotalRounds
-	apsp, err := eng.APSPWeighted()
+	apsp, err := eng.APSPWeighted(ctx)
 	if err != nil {
 		return err
 	}
@@ -91,17 +98,17 @@ func run() error {
 	oneShot := 0
 	for i := 0; i < 6; i++ {
 		sources := []int{(7*i + 1) % n, (13*i + 5) % n}
-		res, err := ccsp.MSSP(g, sources, ccsp.Options{Epsilon: 0.5})
+		res, err := ccsp.MSSP(ctx, g, sources, ccsp.Options{Epsilon: 0.5})
 		if err != nil {
 			return err
 		}
 		oneShot += res.Stats.TotalRounds
 	}
-	d1, err := ccsp.Diameter(g, ccsp.Options{Epsilon: 0.5})
+	d1, err := ccsp.Diameter(ctx, g, ccsp.Options{Epsilon: 0.5})
 	if err != nil {
 		return err
 	}
-	a1, err := ccsp.APSPWeighted(g, ccsp.Options{Epsilon: 0.5})
+	a1, err := ccsp.APSPWeighted(ctx, g, ccsp.Options{Epsilon: 0.5})
 	if err != nil {
 		return err
 	}

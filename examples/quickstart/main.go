@@ -4,21 +4,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"github.com/congestedclique/ccsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the context; every ccsp call below aborts cleanly
+	// at its next simulator barrier instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// A 64-node unweighted "collaboration network": a sparse random core
 	// plus a popular hub - exactly the high/low-degree mix the §6.3
 	// algorithm splits on.
@@ -39,7 +46,7 @@ func run() error {
 	}
 
 	eps := 0.5
-	res, err := ccsp.APSPUnweighted(g, ccsp.Options{Epsilon: eps})
+	res, err := ccsp.APSPUnweighted(ctx, g, ccsp.Options{Epsilon: eps})
 	if err != nil {
 		return err
 	}

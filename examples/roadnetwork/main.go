@@ -5,21 +5,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"github.com/congestedclique/ccsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the context; every ccsp call below aborts cleanly
+	// at its next simulator barrier instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "roadnetwork:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// A 10x10 grid with travel-time weights: SPD is ~18 hops, so plain
 	// Bellman-Ford needs ~18 broadcast rounds while the n^{5/6}-shortcut
 	// construction collapses it to a handful of iterations.
@@ -40,7 +47,7 @@ func run() error {
 	}
 
 	depot := id(0, 0)
-	res, err := ccsp.SSSP(g, depot, ccsp.Options{})
+	res, err := ccsp.SSSP(ctx, g, depot, ccsp.Options{})
 	if err != nil {
 		return err
 	}
@@ -51,7 +58,7 @@ func run() error {
 	fmt.Printf("distance depot -> opposite corner: %d\n", res.Dist[dest])
 	fmt.Printf("route: %v\n\n", res.PathTo(g, dest))
 
-	diam, err := ccsp.Diameter(g, ccsp.Options{Epsilon: 0.5})
+	diam, err := ccsp.Diameter(ctx, g, ccsp.Options{Epsilon: 0.5})
 	if err != nil {
 		return err
 	}

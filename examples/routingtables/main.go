@@ -5,21 +5,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"github.com/congestedclique/ccsp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the context; every ccsp call below aborts cleanly
+	// at its next simulator barrier instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "routingtables:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// A weighted ring-with-chords network, small enough to print.
 	const n = 32
 	rng := rand.New(rand.NewSource(5))
@@ -35,7 +42,7 @@ func run() error {
 	}
 
 	const k = 6
-	res, err := ccsp.KNearest(g, k, ccsp.Options{})
+	res, err := ccsp.KNearest(ctx, g, k, ccsp.Options{})
 	if err != nil {
 		return err
 	}

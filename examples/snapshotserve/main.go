@@ -11,12 +11,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"reflect"
 	"time"
 
@@ -25,13 +27,18 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	// Ctrl-C cancels the context; every ccsp call below aborts cleanly
+	// at its next simulator barrier instead of running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "snapshotserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// A 48-node weighted network.
 	const n = 48
 	rng := rand.New(rand.NewSource(11))
@@ -48,7 +55,7 @@ func run() error {
 
 	// Cold start: preprocess and save the warm engine.
 	coldStart := time.Now()
-	eng, err := ccsp.NewEngine(g, ccsp.Options{Epsilon: 0.5})
+	eng, err := ccsp.NewEngine(ctx, g, ccsp.Options{Epsilon: 0.5})
 	if err != nil {
 		return err
 	}
@@ -64,7 +71,7 @@ func run() error {
 	// Restart: restore the engine from the snapshot instead of
 	// rebuilding. This is what `ccspd -load` does at boot.
 	warmStart := time.Now()
-	restored, err := ccsp.LoadEngine(bytes.NewReader(snap.Bytes()))
+	restored, err := ccsp.LoadEngine(ctx, bytes.NewReader(snap.Bytes()))
 	if err != nil {
 		return err
 	}
@@ -74,11 +81,11 @@ func run() error {
 	// The restored engine is indistinguishable: same distances, same
 	// round counts.
 	sources := []int{3, 17}
-	want, err := eng.MSSP(sources)
+	want, err := eng.MSSP(ctx, sources)
 	if err != nil {
 		return err
 	}
-	got, err := restored.MSSP(sources)
+	got, err := restored.MSSP(ctx, sources)
 	if err != nil {
 		return err
 	}

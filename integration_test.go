@@ -1,6 +1,7 @@
 package ccsp
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -9,11 +10,11 @@ import (
 // identical invocations must agree on every estimate and on the stats.
 func TestPublicDeterminism(t *testing.T) {
 	gr := testGraph(24, 30, 8, 11)
-	r1, err := APSPWeighted(gr, Options{Epsilon: 0.5})
+	r1, err := APSPWeighted(context.Background(), gr, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := APSPWeighted(gr, Options{Epsilon: 0.5})
+	r2, err := APSPWeighted(context.Background(), gr, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestPublicDeterminism(t *testing.T) {
 func TestPresetPaper(t *testing.T) {
 	gr := testGraph(16, 16, 5, 12)
 	eps := 1.0
-	res, err := APSPWeighted(gr, Options{Epsilon: eps, Preset: PresetPaper})
+	res, err := APSPWeighted(context.Background(), gr, Options{Epsilon: eps, Preset: PresetPaper})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestPresetPaper(t *testing.T) {
 func TestEndToEndPipeline(t *testing.T) {
 	gr := testGraph(30, 40, 6, 13)
 
-	kn, err := KNearest(gr, 5, Options{})
+	kn, err := KNearest(context.Background(), gr, 5, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,12 +77,12 @@ func TestEndToEndPipeline(t *testing.T) {
 			landmarks = append(landmarks, l)
 		}
 	}
-	ms, err := MSSP(gr, landmarks, Options{Epsilon: 0.25})
+	ms, err := MSSP(context.Background(), gr, landmarks, Options{Epsilon: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, l := range ms.Sources {
-		ss, err := SSSP(gr, l, Options{})
+		ss, err := SSSP(context.Background(), gr, l, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

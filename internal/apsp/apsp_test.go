@@ -1,6 +1,7 @@
 package apsp
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -67,7 +68,7 @@ func runWeighted2(t *testing.T, g *graph.Graph, eps float64, hp hopset.Params) (
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	rows := make([][]int64, g.N)
-	stats, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		row, err := TwoPlusEpsWeighted(nd, sr, g.WeightRow(nd.ID), eps, boards, hp)
 		if err != nil {
 			return err
@@ -86,7 +87,7 @@ func runThree(t *testing.T, g *graph.Graph, eps float64, hp hopset.Params) ([][]
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	rows := make([][]int64, g.N)
-	stats, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		row, err := ThreePlusEps(nd, sr, g.WeightRow(nd.ID), eps, boards, hp)
 		if err != nil {
 			return err
@@ -105,7 +106,7 @@ func runUnweighted2(t *testing.T, g *graph.Graph, eps float64, hp hopset.Params)
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	rows := make([][]int64, g.N)
-	stats, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		row, err := TwoPlusEpsUnweighted(nd, sr, g.WeightRow(nd.ID), eps, boards, hp)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestDenseAPSPExact(t *testing.T) {
 		g := randGraph(18, 25, 10, seed)
 		sr := g.AugSemiring()
 		rows := make([][]int64, g.N)
-		_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+		_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 			row, err := DenseAPSP(nd, sr, g.WeightRow(nd.ID))
 			if err != nil {
 				return err
@@ -73,7 +74,7 @@ func TestDenseAPSPRoundsPolynomial(t *testing.T) {
 	for _, n := range []int{27, 216} {
 		g := randGraph(n, 3*n, 5, int64(n))
 		sr := g.AugSemiring()
-		stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		stats, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 			_, err := DenseAPSP(nd, sr, g.WeightRow(nd.ID))
 			return err
 		})
@@ -91,7 +92,7 @@ func TestBellmanFordSSSPBaseline(t *testing.T) {
 	g := randGraph(20, 20, 10, 3)
 	want := g.Dijkstra(4)
 	var got []int64
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		dist, _ := BellmanFordSSSP(nd, g.WeightRow(nd.ID), 4)
 		if nd.ID == 0 {
 			got = append([]int64(nil), dist...)

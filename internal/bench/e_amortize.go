@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"time"
@@ -64,7 +65,7 @@ func e14(c Config) (*Table, error) {
 			oneStart := time.Now()
 			oneRes := make([]*ccsp.MSSPResult, q)
 			for i, s := range srcSets {
-				res, err := ccsp.MSSP(gr, s, opts)
+				res, err := ccsp.MSSP(context.Background(), gr, s, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -75,13 +76,13 @@ func e14(c Config) (*Table, error) {
 
 			// With reuse: one Engine, preprocessing charged once.
 			engStart := time.Now()
-			eng, err := ccsp.NewEngine(gr, opts)
+			eng, err := ccsp.NewEngine(context.Background(), gr, opts)
 			if err != nil {
 				return nil, err
 			}
 			engRounds := eng.PreprocessStats().Total.TotalRounds
 			for i, s := range srcSets {
-				res, err := eng.MSSP(s)
+				res, err := eng.MSSP(context.Background(), s)
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/congestedclique/ccsp/internal/cc"
+)
+
+func init() {
+	register(Experiment{ID: "E16", Title: "Cancellation latency: cancel() to cc.Run return, barrier granularity", Run: e16})
+}
+
+// e16 measures the responsiveness bound of the context plumbing (PR 4):
+// the simulator only observes cancellation at barrier steps (between
+// collectives), so the latency from cancel() to cc.Run returning is
+// bounded by the longest single collective in flight. The workload is the
+// E13 collective-heavy mix (route + sort + broadcast per round), canceled
+// mid-run; the table reports how much work the run completed before
+// cancellation and how fast it unwound - at n=256 a full preprocessing
+// run takes ~57s (E15), so milliseconds-scale unwind latency is what
+// makes server-side deadlines (504s) meaningful.
+func e16(c Config) (*Table, error) {
+	t := &Table{
+		ID:      "E16",
+		Title:   "Cancellation latency - cancel() to cc.Run return (collective-heavy workload)",
+		Columns: []string{"n", "workers", "cancel after", "rounds done", "latency ms", "typed error"},
+	}
+	const trials = 3
+	cancelAfter := 25 * time.Millisecond
+	for _, n := range sizes(c.Scale, []int{16, 32, 64}, []int{64, 128, 256}) {
+		best := time.Duration(-1)
+		var rounds int
+		var typed bool
+		for trial := 0; trial < trials; trial++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			canceledAt := make(chan time.Time, 1)
+			timer := time.AfterFunc(cancelAfter, func() {
+				canceledAt <- time.Now()
+				cancel()
+			})
+			// An effectively unbounded run: only cancellation ends it.
+			stats, err := cc.Run(ctx, cc.Config{N: n, Workers: c.Workers, MaxRounds: 1 << 30},
+				scalingWorkload(1<<30))
+			returned := time.Now()
+			timer.Stop()
+			cancel()
+			if err == nil {
+				return nil, fmt.Errorf("E16: n=%d: unbounded run returned without error", n)
+			}
+			if !errors.Is(err, cc.ErrCanceled) || !errors.Is(err, context.Canceled) {
+				return nil, fmt.Errorf("E16: n=%d: error is not the typed cancel chain: %w", n, err)
+			}
+			typed = true
+			latency := returned.Sub(<-canceledAt)
+			if best < 0 || latency < best {
+				best = latency
+				rounds = stats.TotalRounds()
+			}
+		}
+		t.Add(n, c.Workers, cancelAfter, rounds, ms(best), typed)
+	}
+	t.Note("latency = best of %d trials, wall-clock from cancel() to cc.Run return; bounded by the longest in-flight collective (barrier granularity).", trials)
+	t.Note("'rounds done' is the partial Stats prefix the canceled run still reports; 'typed error' asserts errors.Is(err, cc.ErrCanceled) and context.Canceled.")
+	return t, nil
+}

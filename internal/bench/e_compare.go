@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 
 	"github.com/congestedclique/ccsp/internal/apsp"
@@ -46,7 +47,7 @@ func e10(c Config) (*Table, error) {
 
 		var gotS []int64
 		var itS int
-		statsS, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+		statsS, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 			d, it := sssp.Exact(nd, sr, g.WeightRow(nd.ID), 0, 0)
 			if nd.ID == 0 {
 				gotS = append([]int64(nil), d...)
@@ -61,7 +62,7 @@ func e10(c Config) (*Table, error) {
 
 		var gotB []int64
 		var itB int
-		statsB, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+		statsB, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 			d, it := baseline.BellmanFordSSSP(nd, g.WeightRow(nd.ID), 0)
 			if nd.ID == 0 {
 				gotB = append([]int64(nil), d...)
@@ -112,7 +113,7 @@ func e11(c Config) (*Table, error) {
 			sr := fam.g.AugSemiring()
 			boards := hitting.NewBoardSeq(fam.g.N)
 			var est int64
-			stats, err := cc.Run(engineCfg(c, fam.g.N), func(nd *cc.Node) error {
+			stats, err := cc.Run(context.Background(), engineCfg(c, fam.g.N), func(nd *cc.Node) error {
 				e, err := diameter.Approx(nd, sr, fam.g.WeightRow(nd.ID), eps, boards, hopset.Practical(eps))
 				if err != nil {
 					return err
@@ -160,7 +161,7 @@ func e12(c Config) (*Table, error) {
 		// Ours: (3+ε) (§6.1).
 		boards := hitting.NewBoardSeq(n)
 		rows3 := make([][]int64, n)
-		stats3, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+		stats3, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 			row, err := apsp.ThreePlusEps(nd, sr, g.WeightRow(nd.ID), eps, boards, hopset.Practical(eps))
 			if err != nil {
 				return err
@@ -175,7 +176,7 @@ func e12(c Config) (*Table, error) {
 
 		// Baseline: exact APSP by iterated dense squaring [13].
 		rowsD := make([][]int64, n)
-		statsD, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+		statsD, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 			row, err := baseline.DenseAPSP(nd, sr, g.WeightRow(nd.ID))
 			if err != nil {
 				return err
@@ -198,7 +199,7 @@ func e12(c Config) (*Table, error) {
 		// Baseline: spanner APSP for k = 2, 3.
 		for _, k := range []int{2, 3} {
 			rowsS := make([][]int64, n)
-			statsS, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+			statsS, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 				res, err := spanner.APSP(nd, g.WeightRow(nd.ID), k, 7)
 				if err != nil {
 					return err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -67,7 +68,7 @@ func buildHopsetBench(c Config, g *graph.Graph, p hopset.Params) ([]*hopset.Resu
 	sr := g.AugSemiring()
 	board := hitting.NewBoard(g.N)
 	results := make([]*hopset.Result, g.N)
-	stats, err := cc.Run(engineCfg(c, g.N), func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), engineCfg(c, g.N), func(nd *cc.Node) error {
 		res, err := hopset.Build(nd, sr, g.WeightRow(nd.ID), board, p)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -47,7 +48,7 @@ func e1(c Config) (*Table, error) {
 			rhoHat := matrix.SupportDensity[int64](a, b)
 			want := matrix.MulRef[int64](sr, a, b)
 			got := matrix.New[int64](n)
-			stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+			stats, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 				row, err := matmul.Multiply(nd, sr, a.Rows[nd.ID], b.Rows[nd.ID], rhoHat)
 				if err != nil {
 					return err
@@ -83,7 +84,7 @@ func e2(c Config) (*Table, error) {
 			b := randSparse(n, rho, int64(n*43+rho))
 			want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, a, b), rho)
 			got := matrix.New[int64](n)
-			stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+			stats, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 				got.Rows[nd.ID] = matmul.MultiplyFiltered(nd, sr, a.Rows[nd.ID], b.Rows[nd.ID], rho)
 				return nil
 			})
@@ -116,7 +117,7 @@ func a3(c Config) (*Table, error) {
 			star.Set(sr, j, 0, int64(j))
 		}
 		rho := intPow(n, 0.5)
-		statsF, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+		statsF, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 			matmul.MultiplyFiltered(nd, sr, star.Rows[nd.ID], star.Rows[nd.ID], rho)
 			return nil
 		})
@@ -125,7 +126,7 @@ func a3(c Config) (*Table, error) {
 		}
 		t.Add(n, fmt.Sprintf("Thm 14 (ρ=%d)", rho), rho, statsF.TotalRounds())
 		rhoHat := matrix.SupportDensity[int64](star, star)
-		statsD, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+		statsD, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 			_, err := matmul.Multiply(nd, sr, star.Rows[nd.ID], star.Rows[nd.ID], rhoHat)
 			return err
 		})

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 
 	"github.com/congestedclique/ccsp/internal/cc"
@@ -64,7 +65,7 @@ func runMSSPBench(c Config, g *graph.Graph, inS []bool, p hopset.Params) (float6
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(n)
 	dists := make([][]int64, n)
-	stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 		res, err := mssp.Run(nd, sr, g.WeightRow(nd.ID), inS, boards.Next(nd.ID), p)
 		if err != nil {
 			return err
@@ -157,7 +158,7 @@ func runWeightedAPSP(c Config, g *graph.Graph, eps float64) ([][]int64, cc.Stats
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	rows := make([][]int64, g.N)
-	stats, err := cc.Run(engineCfg(c, g.N), func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), engineCfg(c, g.N), func(nd *cc.Node) error {
 		row, err := apspWeighted(nd, sr, g, eps, boards)
 		if err != nil {
 			return err
@@ -204,7 +205,7 @@ func runUnweightedAPSP(c Config, g *graph.Graph, eps float64) ([][]int64, cc.Sta
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	rows := make([][]int64, g.N)
-	stats, err := cc.Run(engineCfg(c, g.N), func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), engineCfg(c, g.N), func(nd *cc.Node) error {
 		row, err := apspUnweighted(nd, sr, g, eps, boards)
 		if err != nil {
 			return err

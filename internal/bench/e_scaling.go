@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -56,7 +57,7 @@ func e13(c Config) (*Table, error) {
 	for _, n := range sizes(c.Scale, []int{64, 128}, []int{256, 512}) {
 		var serial cc.Stats
 		for _, w := range []int{1, p} {
-			stats, err := cc.Run(cc.Config{N: n, Workers: w}, scalingWorkload(rounds))
+			stats, err := cc.Run(context.Background(), cc.Config{N: n, Workers: w}, scalingWorkload(rounds))
 			if err != nil {
 				return nil, err
 			}

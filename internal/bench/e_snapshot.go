@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"time"
@@ -37,7 +38,7 @@ func e15(c Config) (*Table, error) {
 		opts := ccsp.Options{Epsilon: eps, Workers: c.Workers}
 
 		coldStart := time.Now()
-		cold, err := ccsp.NewEngine(gr, opts)
+		cold, err := ccsp.NewEngine(context.Background(), gr, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +53,7 @@ func e15(c Config) (*Table, error) {
 		snapBytes := buf.Bytes()
 
 		loadStart := time.Now()
-		loaded, err := ccsp.LoadEngine(bytes.NewReader(snapBytes))
+		loaded, err := ccsp.LoadEngine(context.Background(), bytes.NewReader(snapBytes))
 		if err != nil {
 			return nil, err
 		}
@@ -61,11 +62,11 @@ func e15(c Config) (*Table, error) {
 		// Correctness: the loaded engine is indistinguishable from the
 		// cold one - same query results and rounds, same re-saved bytes.
 		sources := []int{1 % n, (n / 2), n - 1}
-		wantQ, err := cold.MSSP(sources)
+		wantQ, err := cold.MSSP(context.Background(), sources)
 		if err != nil {
 			return nil, err
 		}
-		gotQ, err := loaded.MSSP(sources)
+		gotQ, err := loaded.MSSP(context.Background(), sources)
 		if err != nil {
 			return nil, err
 		}

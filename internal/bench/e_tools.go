@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 
 	"github.com/congestedclique/ccsp/internal/cc"
@@ -47,7 +48,7 @@ func e3(c Config) (*Table, error) {
 		for _, k := range []int{intPow(n, 0.5), intPow(n, 2.0/3)} {
 			want := knearRef(g, k)
 			got := matrix.New[semiring.WH](n)
-			stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+			stats, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 				got.Rows[nd.ID] = disttools.KNearest[semiring.WH](nd, sr, g.WeightRow(nd.ID), k)
 				return nil
 			})
@@ -85,7 +86,7 @@ func e4(c Config) (*Table, error) {
 			for _, d := range []int{2, 4} {
 				want := sourceDetectRefBench(g, inS, d)
 				got := matrix.New[semiring.WH](n)
-				stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+				stats, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 					row, err := disttools.SourceDetect[semiring.WH](nd, sr, g.WeightRow(nd.ID), inS, d)
 					if err != nil {
 						return err
@@ -106,7 +107,7 @@ func e4(c Config) (*Table, error) {
 					wantK.Rows[v] = matrix.FilterRow(sr, want.Rows[v], k)
 				}
 				gotK := matrix.New[semiring.WH](n)
-				statsK, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+				statsK, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 					gotK.Rows[nd.ID] = disttools.SourceDetectK[semiring.WH](nd, sr, g.WeightRow(nd.ID), inS, d, k)
 					return nil
 				})
@@ -168,7 +169,7 @@ func e5(c Config) (*Table, error) {
 			}
 		}
 		got := matrix.New[int64](n)
-		stats, err := cc.Run(engineCfg(c, n), func(nd *cc.Node) error {
+		stats, err := cc.Run(context.Background(), engineCfg(c, n), func(nd *cc.Node) error {
 			row, err := disttools.DistThroughSets(nd, sr, sets[nd.ID])
 			if err != nil {
 				return err

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -40,6 +41,21 @@ type Program func(nd *Node) error
 // ErrAborted is returned (wrapped) when a run is torn down because some node
 // failed.
 var ErrAborted = errors.New("cc: run aborted")
+
+// ErrCanceled is returned (wrapped) when a run is torn down because its
+// context was canceled or its deadline expired. The returned error also
+// wraps the context's own error, so errors.Is matches both ErrCanceled and
+// context.Canceled/context.DeadlineExceeded.
+var ErrCanceled = errors.New("cc: run canceled")
+
+// ErrRoundLimit is returned (wrapped) when a run exceeds Config.MaxRounds.
+var ErrRoundLimit = errors.New("cc: round budget exceeded")
+
+// canceled wraps the context's error under ErrCanceled so callers can
+// errors.Is-match either the cc sentinel or the context sentinel.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
 
 type reqKind uint8
 
@@ -97,6 +113,7 @@ type response struct {
 type engine struct {
 	n         int
 	cfg       Config
+	ctx       context.Context
 	pool      *pool
 	reqs      chan *request
 	resps     []chan response
@@ -110,9 +127,23 @@ type engine struct {
 // communication statistics. Node programs communicate through collective
 // operations on *Node; outputs are typically written to caller-owned slices
 // indexed by node ID (disjoint writes, so no synchronization is needed).
-func Run(cfg Config, prog Program) (Stats, error) {
+//
+// Cancellation: ctx is checked at every barrier step (each completed
+// collective, in both the serial and worker-pool execution paths). When ctx
+// is canceled or its deadline expires, the run tears down cleanly - every
+// node program unwinds, all goroutines exit - and Run returns the Stats
+// accumulated so far (a consistent partial prefix of the run) together with
+// an error wrapping both ErrCanceled and the context's own sentinel.
+// Barrier granularity bounds the cancellation latency: one in-flight
+// collective may complete before the check fires (EXPERIMENTS.md E16).
+// A run that completes without ctx firing is byte-identical - results and
+// all deterministic Stats fields - to one launched with context.Background.
+func Run(ctx context.Context, cfg Config, prog Program) (Stats, error) {
 	if cfg.N < 1 {
 		return Stats{}, fmt.Errorf("cc: invalid N=%d", cfg.N)
+	}
+	if err := ctx.Err(); err != nil {
+		return Stats{N: cfg.N, Charged: make(map[string]int)}, canceled(ctx)
 	}
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = DefaultMaxRounds
@@ -133,6 +164,7 @@ func Run(cfg Config, prog Program) (Stats, error) {
 	e := &engine{
 		n:     cfg.N,
 		cfg:   cfg,
+		ctx:   ctx,
 		reqs:  make(chan *request, cfg.N),
 		resps: make([]chan response, cfg.N),
 		batch: make([]*request, cfg.N),
@@ -182,11 +214,29 @@ type abortSignal struct{ err error }
 // coordinate is the engine's control loop: it collects one request per live
 // node, validates that they form a consistent collective, executes it, and
 // responds. It returns when every node has exited.
+//
+// Cancellation enters here: between collectives the loop selects on
+// ctx.Done(), and a fired context becomes the run's failure exactly like a
+// node error - pending collectives are failed, every subsequent request is
+// answered with the abort, and the loop drains until all node goroutines
+// have unwound. The serial barrier-step check lives in execute; the
+// worker-pool paths check again inside scatter/sort (parallel.go).
 func (e *engine) coordinate() error {
 	live := e.n
 	var failure error
+	done := e.ctx.Done()
 	for live > 0 {
-		r := <-e.reqs
+		var r *request
+		select {
+		case r = <-e.reqs:
+		case <-done:
+			done = nil // fire once; drain on the reqs path from here on
+			if failure == nil {
+				failure = canceled(e.ctx)
+				e.failPending(failure)
+			}
+			continue
+		}
 		if r.kind == reqExit {
 			live--
 			if r.err != nil && failure == nil {
@@ -265,6 +315,12 @@ func (e *engine) execute() error {
 				first.node, first.kind, first.tag, r.node, r.kind, r.tag)
 		}
 	}
+	// Barrier-step cancellation check (serial path; the pool-sharded
+	// bodies re-check between their stages): a fired context aborts before
+	// the collective executes, so the stats prefix stays consistent.
+	if e.ctx.Err() != nil {
+		return canceled(e.ctx)
+	}
 	before := e.stats.TotalRounds()
 	start := time.Now()
 	par := e.pool.size > 1
@@ -312,7 +368,7 @@ func (e *engine) execute() error {
 		e.stats.Phases[e.curPhase] += delta
 	}
 	if total := e.stats.TotalRounds(); total > e.cfg.MaxRounds {
-		return fmt.Errorf("cc: round budget exceeded: %d > MaxRounds=%d", total, e.cfg.MaxRounds)
+		return fmt.Errorf("%w: %d > MaxRounds=%d", ErrRoundLimit, total, e.cfg.MaxRounds)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -15,7 +16,7 @@ func TestSyncRing(t *testing.T) {
 	// stamping and round accounting.
 	const n = 16
 	got := make([]int64, n)
-	stats, err := Run(Config{N: n}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 		succ := int32((nd.ID + 1) % nd.N)
 		in := nd.Sync([]Packet{{Dst: succ, M: Msg{A: int64(nd.ID)}}})
 		if len(in) != 1 {
@@ -45,7 +46,7 @@ func TestSyncRing(t *testing.T) {
 
 func TestSyncInboxSortedBySender(t *testing.T) {
 	const n = 12
-	stats, err := Run(Config{N: n}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 		// Everyone sends to node 0.
 		var out []Packet
 		if nd.ID != 0 {
@@ -74,7 +75,7 @@ func TestSyncInboxSortedBySender(t *testing.T) {
 }
 
 func TestSyncLinkCapacityViolation(t *testing.T) {
-	_, err := Run(Config{N: 4}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 4}, func(nd *Node) error {
 		out := []Packet{{Dst: 1, M: Msg{A: 1}}, {Dst: 1, M: Msg{A: 2}}}
 		nd.Sync(out)
 		return nil
@@ -88,7 +89,7 @@ func TestSyncLinkCapacityViolation(t *testing.T) {
 }
 
 func TestSyncInvalidDestination(t *testing.T) {
-	_, err := Run(Config{N: 4}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 4}, func(nd *Node) error {
 		nd.Sync([]Packet{{Dst: 99, M: Msg{}}})
 		return nil
 	})
@@ -99,7 +100,7 @@ func TestSyncInvalidDestination(t *testing.T) {
 
 func TestBroadcastVal(t *testing.T) {
 	const n = 10
-	stats, err := Run(Config{N: n}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 		vals := nd.BroadcastVal(int64(nd.ID * nd.ID))
 		for v := 0; v < n; v++ {
 			if vals[v] != int64(v*v) {
@@ -123,7 +124,7 @@ func TestRouteBalancedChargesConstant(t *testing.T) {
 	// Each node sends exactly n messages (one per node): maxSend = n,
 	// maxRecv = n, so the charge must be 1+1 = 2 rounds regardless of n.
 	for _, n := range []int{4, 16, 64} {
-		stats, err := Run(Config{N: n}, func(nd *Node) error {
+		stats, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 			out := make([]Packet, n)
 			for i := range out {
 				out[i] = Packet{Dst: int32(i), M: Msg{A: int64(nd.ID), B: int64(i)}}
@@ -155,7 +156,7 @@ func TestRouteOverloadedChargesProportionally(t *testing.T) {
 	// One node sends 3n messages to a single destination: maxSend = 3n and
 	// maxRecv = 3n, so the charge is 3+3 = 6.
 	const n = 8
-	stats, err := Run(Config{N: n}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 		var out []Packet
 		if nd.ID == 0 {
 			out = make([]Packet, 3*n)
@@ -186,7 +187,7 @@ func TestRouteOverloadedChargesProportionally(t *testing.T) {
 }
 
 func TestRouteEmptyIsFree(t *testing.T) {
-	stats, err := Run(Config{N: 4}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: 4}, func(nd *Node) error {
 		if in := nd.Route(nil); len(in) != 0 {
 			return fmt.Errorf("unexpected messages: %d", len(in))
 		}
@@ -207,7 +208,7 @@ func TestSortGlobalOrderAndRanks(t *testing.T) {
 	const perNode = 5
 	collected := make([][]int64, n)
 	starts := make([]int, n)
-	_, err := Run(Config{N: n}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 		recs := make([]Rec, perNode)
 		for i := range recs {
 			key := int64(nd.ID + i*n)
@@ -251,7 +252,7 @@ func TestSortGlobalOrderAndRanks(t *testing.T) {
 func TestSortStableTieBreakBySender(t *testing.T) {
 	const n = 6
 	res := make([][]Rec, n)
-	_, err := Run(Config{N: n}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 		// All keys equal: order must be by (sender, index).
 		recs := []Rec{{Key: 7, M: Msg{A: int64(nd.ID * 2)}}, {Key: 7, M: Msg{A: int64(nd.ID*2 + 1)}}}
 		r := nd.Sort(recs)
@@ -275,7 +276,7 @@ func TestSortStableTieBreakBySender(t *testing.T) {
 }
 
 func TestChargeAccumulatesByTag(t *testing.T) {
-	stats, err := Run(Config{N: 4}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: 4}, func(nd *Node) error {
 		nd.Charge("hitting-set", 27)
 		nd.Charge("hitting-set", 27)
 		nd.Charge("misc", 1)
@@ -296,7 +297,7 @@ func TestChargeAccumulatesByTag(t *testing.T) {
 }
 
 func TestMismatchedCollectivesFail(t *testing.T) {
-	_, err := Run(Config{N: 2}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 2}, func(nd *Node) error {
 		if nd.ID == 0 {
 			nd.Sync(nil)
 		} else {
@@ -310,7 +311,7 @@ func TestMismatchedCollectivesFail(t *testing.T) {
 }
 
 func TestMismatchedChargeFails(t *testing.T) {
-	_, err := Run(Config{N: 2}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 2}, func(nd *Node) error {
 		nd.Charge("x", nd.ID+1)
 		return nil
 	})
@@ -321,7 +322,7 @@ func TestMismatchedChargeFails(t *testing.T) {
 
 func TestNodeErrorAbortsRun(t *testing.T) {
 	wantErr := errors.New("boom")
-	_, err := Run(Config{N: 8}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 8}, func(nd *Node) error {
 		if nd.ID == 3 {
 			return wantErr
 		}
@@ -339,7 +340,7 @@ func TestNodeErrorAbortsRun(t *testing.T) {
 }
 
 func TestNodePanicBecomesError(t *testing.T) {
-	_, err := Run(Config{N: 4}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 4}, func(nd *Node) error {
 		if nd.ID == 2 {
 			panic("kaboom")
 		}
@@ -355,7 +356,7 @@ func TestEarlyExitDuringCollectiveFails(t *testing.T) {
 	// Whichever order the requests arrive in, a collective involving
 	// fewer than all nodes is a protocol violation.
 	for i := 0; i < 20; i++ {
-		_, err := Run(Config{N: 3}, func(nd *Node) error {
+		_, err := Run(context.Background(), Config{N: 3}, func(nd *Node) error {
 			if nd.ID == 0 {
 				return nil // exits while peers enter a collective
 			}
@@ -369,7 +370,7 @@ func TestEarlyExitDuringCollectiveFails(t *testing.T) {
 }
 
 func TestMaxRoundsGuard(t *testing.T) {
-	_, err := Run(Config{N: 2, MaxRounds: 10}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 2, MaxRounds: 10}, func(nd *Node) error {
 		for {
 			nd.Sync(nil)
 		}
@@ -380,7 +381,7 @@ func TestMaxRoundsGuard(t *testing.T) {
 }
 
 func TestInvalidConfig(t *testing.T) {
-	if _, err := Run(Config{N: 0}, func(*Node) error { return nil }); err == nil {
+	if _, err := Run(context.Background(), Config{N: 0}, func(*Node) error { return nil }); err == nil {
 		t.Fatal("want error for N=0")
 	}
 }
@@ -389,7 +390,7 @@ func TestDeterminism(t *testing.T) {
 	run := func() (Stats, [][]int64) {
 		const n = 10
 		out := make([][]int64, n)
-		stats, err := Run(Config{N: n, Seed: 42}, func(nd *Node) error {
+		stats, err := Run(context.Background(), Config{N: n, Seed: 42}, func(nd *Node) error {
 			r := nd.Rand()
 			var pkts []Packet
 			for i := 0; i < n; i++ {
@@ -448,7 +449,7 @@ func TestSortPropertyRandom(t *testing.T) {
 			keys[i] = int64(k)
 		}
 		batches := make([][]int64, n)
-		_, err := Run(Config{N: n}, func(nd *Node) error {
+		_, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 			var recs []Rec
 			for i, k := range keys {
 				if i%n == nd.ID {

@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestRouteAllowsParallelMessages(t *testing.T) {
 	// Unlike Sync, routing may carry several messages between one pair in
 	// one invocation (the primitive models multi-round delivery).
 	const n = 4
-	stats, err := Run(Config{N: n}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 		var out []Packet
 		if nd.ID == 0 {
 			for i := 0; i < 5; i++ {
@@ -31,7 +32,7 @@ func TestRouteAllowsParallelMessages(t *testing.T) {
 }
 
 func TestRouteInvalidDestination(t *testing.T) {
-	_, err := Run(Config{N: 2}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 2}, func(nd *Node) error {
 		nd.Route([]Packet{{Dst: -1}})
 		return nil
 	})
@@ -41,7 +42,7 @@ func TestRouteInvalidDestination(t *testing.T) {
 }
 
 func TestSortEmpty(t *testing.T) {
-	stats, err := Run(Config{N: 3}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: 3}, func(nd *Node) error {
 		res := nd.Sort(nil)
 		if len(res.Recs) != 0 || res.Total != 0 {
 			return fmt.Errorf("unexpected sort result: %+v", res)
@@ -63,7 +64,7 @@ func TestSortUnevenInputs(t *testing.T) {
 	const total = 10
 	got := make([][]int64, n)
 	starts := make([]int, n)
-	_, err := Run(Config{N: n}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: n}, func(nd *Node) error {
 		var recs []Rec
 		if nd.ID == 1 {
 			for i := total - 1; i >= 0; i-- {
@@ -99,7 +100,7 @@ func TestSortUnevenInputs(t *testing.T) {
 func TestManySmallRuns(t *testing.T) {
 	// Engine lifecycle: many short runs must not leak goroutines or state.
 	for i := 0; i < 50; i++ {
-		_, err := Run(Config{N: 3}, func(nd *Node) error {
+		_, err := Run(context.Background(), Config{N: 3}, func(nd *Node) error {
 			nd.BroadcastVal(int64(nd.ID))
 			return nil
 		})
@@ -110,7 +111,7 @@ func TestManySmallRuns(t *testing.T) {
 }
 
 func TestSingleNodeClique(t *testing.T) {
-	stats, err := Run(Config{N: 1}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: 1}, func(nd *Node) error {
 		vals := nd.BroadcastVal(7)
 		if len(vals) != 1 || vals[0] != 7 {
 			return fmt.Errorf("bad broadcast: %v", vals)
@@ -135,7 +136,7 @@ func TestSingleNodeClique(t *testing.T) {
 func TestRandDeterministicPerSeed(t *testing.T) {
 	draw := func(seed int64) []int64 {
 		out := make([]int64, 4)
-		_, err := Run(Config{N: 4, Seed: seed}, func(nd *Node) error {
+		_, err := Run(context.Background(), Config{N: 4, Seed: seed}, func(nd *Node) error {
 			out[nd.ID] = nd.Rand().Int63()
 			return nil
 		})

@@ -6,6 +6,17 @@ import (
 	"sync"
 )
 
+// ctxStep is the worker-pool counterpart of the serial barrier-step check:
+// the sharded collective bodies call it between their stages so a fired
+// context.Context aborts a large collective between pool fan-outs instead
+// of only at the next barrier. It returns nil while the context is live.
+func (e *engine) ctxStep() error {
+	if e.ctx.Err() != nil {
+		return canceled(e.ctx)
+	}
+	return nil
+}
+
 // autoParMinN is the clique size below which a default (Workers=0) run
 // stays serial: collective bodies on tiny cliques are too small to
 // amortize the fan-out cost of the pool. An explicit Workers>1 always
@@ -192,6 +203,9 @@ func (e *engine) scatter(kind reqKind) (inbox [][]Msg, maxSend int, msgs int64, 
 			return nil, 0, 0, shardErr
 		}
 	}
+	if err := e.ctxStep(); err != nil {
+		return nil, 0, 0, err
+	}
 	inbox = make([][]Msg, n)
 	e.forShards(sp, func(d, lo, hi int) {
 		cnt := make([]int, hi-lo)
@@ -323,6 +337,9 @@ func (e *engine) execSortPar() error {
 		if m > maxIn {
 			maxIn = m
 		}
+	}
+	if err := e.ctxStep(); err != nil {
+		return err
 	}
 	all := e.mergeRunTree(runs)
 	batchSize := ceilDiv(total, n)

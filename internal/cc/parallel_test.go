@@ -1,6 +1,7 @@
 package cc
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -74,7 +75,7 @@ func TestWorkersProduceIdenticalRuns(t *testing.T) {
 		var refOut [][]int64
 		for _, w := range []int{1, 2, 3, 4, 8} {
 			out := make([][]int64, n)
-			stats, err := Run(Config{N: n, Workers: w}, mixedWorkload(out))
+			stats, err := Run(context.Background(), Config{N: n, Workers: w}, mixedWorkload(out))
 			if err != nil {
 				t.Fatalf("n=%d workers=%d: %v", n, w, err)
 			}
@@ -102,7 +103,7 @@ func TestParallelSortProperty(t *testing.T) {
 			keys[i] = int64(k)
 		}
 		batches := make([][]int64, n)
-		_, err := Run(Config{N: n, Workers: 4}, func(nd *Node) error {
+		_, err := Run(context.Background(), Config{N: n, Workers: 4}, func(nd *Node) error {
 			var recs []Rec
 			for i, k := range keys {
 				if i%n == nd.ID {
@@ -136,21 +137,21 @@ func TestParallelSortProperty(t *testing.T) {
 // TestParallelValidation: model violations must be caught on the parallel
 // path with the same error text as the serial engine.
 func TestParallelValidation(t *testing.T) {
-	_, err := Run(Config{N: 4, Workers: 4}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 4, Workers: 4}, func(nd *Node) error {
 		nd.Sync([]Packet{{Dst: 1, M: Msg{A: 1}}, {Dst: 1, M: Msg{A: 2}}})
 		return nil
 	})
 	if err == nil || !strings.Contains(err.Error(), "link capacity") {
 		t.Errorf("want link capacity error, got %v", err)
 	}
-	_, err = Run(Config{N: 4, Workers: 4}, func(nd *Node) error {
+	_, err = Run(context.Background(), Config{N: 4, Workers: 4}, func(nd *Node) error {
 		nd.Sync([]Packet{{Dst: 99}})
 		return nil
 	})
 	if err == nil || !strings.Contains(err.Error(), "sent to invalid destination") {
 		t.Errorf("want invalid destination error, got %v", err)
 	}
-	_, err = Run(Config{N: 4, Workers: 4}, func(nd *Node) error {
+	_, err = Run(context.Background(), Config{N: 4, Workers: 4}, func(nd *Node) error {
 		nd.Route([]Packet{{Dst: -1}})
 		return nil
 	})
@@ -160,7 +161,7 @@ func TestParallelValidation(t *testing.T) {
 }
 
 func TestNegativeWorkersRejected(t *testing.T) {
-	if _, err := Run(Config{N: 4, Workers: -1}, func(*Node) error { return nil }); err == nil {
+	if _, err := Run(context.Background(), Config{N: 4, Workers: -1}, func(*Node) error { return nil }); err == nil {
 		t.Fatal("want error for Workers=-1")
 	}
 }
@@ -169,7 +170,7 @@ func TestNegativeWorkersRejected(t *testing.T) {
 // the collective kinds a run actually used.
 func TestCollectiveTimeRecorded(t *testing.T) {
 	for _, w := range []int{1, 4} {
-		stats, err := Run(Config{N: 8, Workers: w}, func(nd *Node) error {
+		stats, err := Run(context.Background(), Config{N: 8, Workers: w}, func(nd *Node) error {
 			nd.Sync(nil)
 			nd.BroadcastVal(1)
 			nd.Route([]Packet{{Dst: int32((nd.ID + 1) % nd.N)}})
@@ -255,7 +256,7 @@ func BenchmarkEngineParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
 			var ref string
 			for i := 0; i < b.N; i++ {
-				stats, err := Run(Config{N: n, Workers: w}, engineStress(rounds))
+				stats, err := Run(context.Background(), Config{N: n, Workers: w}, engineStress(rounds))
 				if err != nil {
 					b.Fatal(err)
 				}

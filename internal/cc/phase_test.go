@@ -1,12 +1,13 @@
 package cc
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestPhaseAttribution(t *testing.T) {
-	stats, err := Run(Config{N: 4}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: 4}, func(nd *Node) error {
 		nd.Sync(nil) // attributed to ""
 		nd.Phase("alpha")
 		nd.Sync(nil)
@@ -37,7 +38,7 @@ func TestPhaseAttribution(t *testing.T) {
 }
 
 func TestPhaseIsFree(t *testing.T) {
-	stats, err := Run(Config{N: 3}, func(nd *Node) error {
+	stats, err := Run(context.Background(), Config{N: 3}, func(nd *Node) error {
 		nd.Phase("only")
 		return nil
 	})
@@ -50,7 +51,7 @@ func TestPhaseIsFree(t *testing.T) {
 }
 
 func TestPhaseMismatchFails(t *testing.T) {
-	_, err := Run(Config{N: 2}, func(nd *Node) error {
+	_, err := Run(context.Background(), Config{N: 2}, func(nd *Node) error {
 		if nd.ID == 0 {
 			nd.Phase("a")
 		} else {

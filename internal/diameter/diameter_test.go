@@ -1,6 +1,7 @@
 package diameter
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -46,7 +47,7 @@ func runDiameter(t *testing.T, g *graph.Graph, eps float64) int64 {
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	var estimate int64
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		est, err := Approx(nd, sr, g.WeightRow(nd.ID), eps, boards, hopset.Practical(eps))
 		if err != nil {
 			return err
@@ -122,7 +123,7 @@ func TestDiameterAgreesAcrossNodes(t *testing.T) {
 	sr := g.AugSemiring()
 	boards := hitting.NewBoardSeq(g.N)
 	ests := make([]int64, g.N)
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		est, err := Approx(nd, sr, g.WeightRow(nd.ID), 0.5, boards, hopset.Practical(0.5))
 		if err != nil {
 			return err

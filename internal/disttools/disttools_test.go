@@ -1,6 +1,7 @@
 package disttools
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestKNearestMatchesReference(t *testing.T) {
 		sr := g.AugSemiring()
 		want := matrix.Filter[semiring.WH](sr, closureRef(g), tc.k)
 		got := matrix.New[semiring.WH](tc.n)
-		_, err := cc.Run(cc.Config{N: tc.n}, func(nd *cc.Node) error {
+		_, err := cc.Run(context.Background(), cc.Config{N: tc.n}, func(nd *cc.Node) error {
 			got.Rows[nd.ID] = KNearest(nd, sr, g.WeightRow(nd.ID), tc.k)
 			return nil
 		})
@@ -83,7 +84,7 @@ func TestKNearestLine(t *testing.T) {
 	}
 	sr := g.AugSemiring()
 	got := matrix.New[semiring.WH](n)
-	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		got.Rows[nd.ID] = KNearest(nd, sr, g.WeightRow(nd.ID), 3)
 		return nil
 	})
@@ -144,7 +145,7 @@ func TestSourceDetectMatchesReference(t *testing.T) {
 		}
 		want := sourceDetectRef(g, inS, tc.d)
 		got := matrix.New[semiring.WH](tc.n)
-		_, err := cc.Run(cc.Config{N: tc.n}, func(nd *cc.Node) error {
+		_, err := cc.Run(context.Background(), cc.Config{N: tc.n}, func(nd *cc.Node) error {
 			row, err := SourceDetect(nd, sr, g.WeightRow(nd.ID), inS, tc.d)
 			if err != nil {
 				return err
@@ -174,7 +175,7 @@ func TestSourceDetectHopLimit(t *testing.T) {
 	inS[0] = true
 	d := 4
 	got := matrix.New[semiring.WH](n)
-	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		row, err := SourceDetect(nd, sr, g.WeightRow(nd.ID), inS, d)
 		if err != nil {
 			return err
@@ -207,7 +208,7 @@ func TestSourceDetectKMatchesFilteredReference(t *testing.T) {
 	d, k := 4, 2
 	want := matrix.Filter[semiring.WH](sr, sourceDetectRef(g, inS, d), k)
 	got := matrix.New[semiring.WH](g.N)
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		got.Rows[nd.ID] = SourceDetectK(nd, sr, g.WeightRow(nd.ID), inS, d, k)
 		return nil
 	})
@@ -237,7 +238,7 @@ func TestDistThroughSets(t *testing.T) {
 		}
 	}
 	got := matrix.New[int64](n)
-	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		row, err := DistThroughSets(nd, sr, sets[nd.ID])
 		if err != nil {
 			return err
@@ -276,7 +277,7 @@ func TestTheorem18Rounds(t *testing.T) {
 		g := randGraph(n, 2*n, 10, int64(n))
 		sr := g.AugSemiring()
 		k := 6 // = √36; fixed k isolates the n-dependence
-		stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		stats, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 			KNearest(nd, sr, g.WeightRow(nd.ID), k)
 			return nil
 		})

@@ -1,6 +1,7 @@
 package disttools
 
 import (
+	"context"
 	"testing"
 
 	"github.com/congestedclique/ccsp/internal/cc"
@@ -15,7 +16,7 @@ func TestKNearestRoutedWitnesses(t *testing.T) {
 	sr := g.RoutedSemiring()
 	k := 8
 	rows := make([]matrix.Row[semiring.WHF], g.N)
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		rows[nd.ID] = KNearest[semiring.WHF](nd, sr, g.WeightRowRouted(nd.ID), k)
 		return nil
 	})
@@ -62,7 +63,7 @@ func TestRoutedFullClosureWalk(t *testing.T) {
 	g := randGraph(16, 18, 6, 13)
 	sr := g.RoutedSemiring()
 	rows := make([]matrix.Row[semiring.WHF], g.N)
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		// k = n: full closure with witnesses.
 		rows[nd.ID] = KNearest[semiring.WHF](nd, sr, g.WeightRowRouted(nd.ID), g.N)
 		return nil

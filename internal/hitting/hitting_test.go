@@ -1,6 +1,7 @@
 package hitting
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -133,7 +134,7 @@ func TestBoardCollective(t *testing.T) {
 	sets := randSets(n, k, 7)
 	board := NewBoard(n)
 	results := make([][]bool, n)
-	stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		results[nd.ID] = board.Hit(nd, sets[nd.ID])
 		return nil
 	})

@@ -1,6 +1,7 @@
 package hopset
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +34,7 @@ func buildHopset(t *testing.T, g *graph.Graph, p Params) ([]*Result, cc.Stats) {
 	sr := g.AugSemiring()
 	board := hitting.NewBoard(g.N)
 	results := make([]*Result, g.N)
-	stats, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		res, err := Build(nd, sr, g.WeightRow(nd.ID), board, p)
 		if err != nil {
 			return err
@@ -216,7 +217,7 @@ func TestBuildRejectsBadEps(t *testing.T) {
 	g := lineGraph(4, 1)
 	sr := g.AugSemiring()
 	board := hitting.NewBoard(g.N)
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		_, err := Build(nd, sr, g.WeightRow(nd.ID), board, Params{Eps: 0})
 		if err == nil {
 			return nil

@@ -1,6 +1,7 @@
 package matmul
 
 import (
+	"context"
 	"testing"
 
 	"github.com/congestedclique/ccsp/internal/cc"
@@ -13,7 +14,7 @@ func runFiltered[E any](t *testing.T, sr semiring.Ordered[E], s, tm *matrix.Mat[
 	t.Helper()
 	n := s.N
 	out := matrix.New[E](n)
-	stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		out.Rows[nd.ID] = MultiplyFiltered(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rho)
 		return nil
 	})

@@ -1,6 +1,7 @@
 package matmul
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ func runMultiply[E any](t *testing.T, sr semiring.Semiring[E], s, tm *matrix.Mat
 	t.Helper()
 	n := s.N
 	out := matrix.New[E](n)
-	stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		row, err := Multiply(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rhoHat)
 		if err != nil {
 			return err
@@ -147,7 +148,7 @@ func TestMultiplyDensityUnderestimated(t *testing.T) {
 		s.Set(sr, j, 0, 1)
 	}
 	sawErr := make([]bool, n) // per-node slot: no cross-goroutine writes
-	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		_, err := Multiply(nd, sr, s.Rows[nd.ID], s.Rows[nd.ID], 1)
 		if errors.Is(err, ErrDensityUnderestimated) {
 			sawErr[nd.ID] = true
@@ -175,7 +176,7 @@ func TestMultiplyAutoFindsDensity(t *testing.T) {
 	}
 	want := matrix.MulRef[int64](sr, s, s)
 	out := matrix.New[int64](n)
-	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		out.Rows[nd.ID] = MultiplyAuto(nd, sr, s.Rows[nd.ID], s.Rows[nd.ID])
 		return nil
 	})

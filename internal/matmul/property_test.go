@@ -1,6 +1,7 @@
 package matmul
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -21,7 +22,7 @@ func TestMultiplyProperty(t *testing.T) {
 		rhoHat := matrix.SupportDensity[int64](s, tm)
 		want := matrix.MulRef[int64](sr, s, tm)
 		got := matrix.New[int64](n)
-		_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 			row, err := Multiply(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rhoHat)
 			if err != nil {
 				return err
@@ -52,7 +53,7 @@ func TestFilteredProperty(t *testing.T) {
 		tm := randMat(n, d, seed+101)
 		want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, s, tm), rho)
 		got := matrix.New[int64](n)
-		_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 			got.Rows[nd.ID] = MultiplyFiltered(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rho)
 			return nil
 		})
@@ -107,7 +108,7 @@ func TestMultiplySelfAndPowers(t *testing.T) {
 	for pow := 0; pow < 2; pow++ {
 		want = matrix.MulRef[int64](sr, want, want)
 		next := matrix.New[int64](n)
-		_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 			next.Rows[nd.ID] = MultiplyAuto(nd, sr, got.Rows[nd.ID], got.Rows[nd.ID])
 			return nil
 		})
@@ -131,7 +132,7 @@ func TestMultiplyDeterministic(t *testing.T) {
 	rhoHat := matrix.SupportDensity[int64](s, tm)
 	run := func() (string, *matrix.Mat[int64]) {
 		got := matrix.New[int64](n)
-		stats, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+		stats, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 			row, err := Multiply(nd, sr, s.Rows[nd.ID], tm.Rows[nd.ID], rhoHat)
 			if err != nil {
 				return err

@@ -1,6 +1,7 @@
 package matmul
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -17,7 +18,7 @@ import (
 func PartitionSketch[E any](sr semiring.Semiring[E], s, t *matrix.Mat[E], rhoHat int) (string, error) {
 	n := s.N
 	var sketch string
-	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		cs := newCube(nd, sr, s.Rows[nd.ID], t.Rows[nd.ID], rhoHat)
 		if nd.ID != 0 {
 			return nil
@@ -140,7 +141,7 @@ type Balance struct {
 func MeasureBalance[E any](sr semiring.Semiring[E], s, t *matrix.Mat[E], rhoHat int) (Balance, error) {
 	n := s.N
 	var bal Balance
-	_, err := cc.Run(cc.Config{N: n}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: n}, func(nd *cc.Node) error {
 		cs := newCube(nd, sr, s.Rows[nd.ID], t.Rows[nd.ID], rhoHat)
 		if nd.ID != 0 {
 			return nil

@@ -1,6 +1,7 @@
 package mssp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -45,7 +46,7 @@ func runMSSP(t *testing.T, g *graph.Graph, inS []bool, p hopset.Params) ([]*Resu
 	sr := g.AugSemiring()
 	board := hitting.NewBoard(g.N)
 	results := make([]*Result, g.N)
-	stats, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	stats, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		res, err := Run(nd, sr, g.WeightRow(nd.ID), inS, board, p)
 		if err != nil {
 			return err
@@ -142,7 +143,7 @@ func TestMSSPHopsetReuse(t *testing.T) {
 	inS2 := pickSources(g.N, 4, 2)
 	res1 := make([]*Result, g.N)
 	res2 := make([]*Result, g.N)
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		r1, err := Run(nd, sr, g.WeightRow(nd.ID), inS1, board, hopset.Practical(0.5))
 		if err != nil {
 			return err

@@ -14,11 +14,18 @@
 //	/v1/diameter                 near-3/2 diameter estimate
 //	/v1/stats                    server, cache, graph and preprocessing stats
 //
-// Every query accepts the request context: a per-request timeout
-// (Config.Timeout) or a dropped client connection abandons the wait and
-// answers 504/499 while the underlying run finishes in the background
-// (simulator runs are not cancellable mid-collective; the result is
-// still cached for the retry).
+// Every query runs under the request context (plus the per-request
+// Config.Timeout): a fired deadline or a dropped client connection stops
+// the underlying simulation at its next barrier - the CPU-bound run
+// actually halts, it is not abandoned to burn in the background. Errors
+// map to statuses through the ccsp typed-error taxonomy:
+//
+//	context.DeadlineExceeded   504 Gateway Timeout
+//	context.Canceled           499 (client closed request)
+//	ccsp.ErrRoundLimit         503 Service Unavailable
+//	ccsp.ErrInvalidSource      422 Unprocessable Entity
+//	ccsp.ErrInvalidOption      422 Unprocessable Entity
+//	anything else (bad params) 400 Bad Request
 package server
 
 import (
@@ -158,13 +165,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
-	s.serve(w, r, func() (string, func() (interface{}, error), error) {
+	s.serve(w, r, func() (string, queryFunc, error) {
 		src, err := intParam(r, "source")
 		if err != nil {
 			return "", nil, err
 		}
-		return "sssp:" + strconv.Itoa(src), func() (interface{}, error) {
-			res, err := s.eng.SSSP(src)
+		return "sssp:" + strconv.Itoa(src), func(ctx context.Context) (interface{}, error) {
+			res, err := s.eng.SSSP(ctx, src)
 			if err != nil {
 				return nil, err
 			}
@@ -178,19 +185,19 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMSSP(w http.ResponseWriter, r *http.Request) {
-	s.serve(w, r, func() (string, func() (interface{}, error), error) {
+	s.serve(w, r, func() (string, queryFunc, error) {
 		sources, err := sourcesParam(r, "sources")
 		if err != nil {
 			return "", nil, err
 		}
-		return msspKey(sources), func() (interface{}, error) { return s.msspQuery(sources) }, nil
+		return msspKey(sources), func(ctx context.Context) (interface{}, error) { return s.msspQuery(ctx, sources) }, nil
 	})
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	from, errF := intParam(r, "from")
 	to, errT := intParam(r, "to")
-	s.serve(w, r, func() (string, func() (interface{}, error), error) {
+	s.serve(w, r, func() (string, queryFunc, error) {
 		if errF != nil {
 			return "", nil, errF
 		}
@@ -198,12 +205,12 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 			return "", nil, errT
 		}
 		if to < 0 || to >= s.eng.Graph().N() {
-			return "", nil, fmt.Errorf("node %d out of range", to)
+			return "", nil, fmt.Errorf("%w: node %d out of range [0,%d)", ccsp.ErrInvalidSource, to, s.eng.Graph().N())
 		}
 		// One pair is an MSSP query from a single source; sharing the
 		// MSSP cache key means repeated lookups from a hot source node
 		// (and explicit /v1/mssp calls) all hit the same entry.
-		return msspKey([]int{from}), func() (interface{}, error) { return s.msspQuery([]int{from}) }, nil
+		return msspKey([]int{from}), func(ctx context.Context) (interface{}, error) { return s.msspQuery(ctx, []int{from}) }, nil
 	}, func(v interface{}, cached bool) interface{} {
 		m := v.(msspResponse)
 		d := m.Dist[to][0]
@@ -213,9 +220,9 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
-	s.serve(w, r, func() (string, func() (interface{}, error), error) {
-		return "diameter", func() (interface{}, error) {
-			res, err := s.eng.Diameter()
+	s.serve(w, r, func() (string, queryFunc, error) {
+		return "diameter", func(ctx context.Context) (interface{}, error) {
+			res, err := s.eng.Diameter(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -224,8 +231,8 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) msspQuery(sources []int) (interface{}, error) {
-	res, err := s.eng.MSSP(sources)
+func (s *Server) msspQuery(ctx context.Context, sources []int) (interface{}, error) {
+	res, err := s.eng.MSSP(ctx, sources)
 	if err != nil {
 		return nil, err
 	}
@@ -258,12 +265,15 @@ func msspKey(sources []int) string {
 	return "mssp:" + strings.Join(parts, ",")
 }
 
+// queryFunc runs one query under a request-scoped context.
+type queryFunc func(ctx context.Context) (interface{}, error)
+
 // serve is the shared request path: parse (prepare), consult the cache,
 // run the query under the request context + timeout, cache and render.
 // The optional project function derives the response from the cached
 // value (used by /v1/distance to slice one pair out of an MSSP row).
 func (s *Server) serve(w http.ResponseWriter, r *http.Request,
-	prepare func() (string, func() (interface{}, error), error),
+	prepare func() (string, queryFunc, error),
 	project ...func(v interface{}, cached bool) interface{}) {
 	s.requests.Add(1)
 	if r.Method != http.MethodGet {
@@ -274,7 +284,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request,
 	key, query, err := prepare()
 	if err != nil {
 		s.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusForError(err), err)
 		return
 	}
 	render := func(v interface{}, cached bool) {
@@ -288,57 +298,67 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request,
 		render(v, true)
 		return
 	}
-	v, err := s.runBounded(r.Context(), key, query)
-	switch {
-	case err == nil:
+	v, err := s.run(r.Context(), key, query)
+	if err == nil {
 		render(v, false)
-	case errors.Is(err, context.DeadlineExceeded):
+		return
+	}
+	code := statusForError(err)
+	switch code {
+	case http.StatusGatewayTimeout:
 		s.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("query exceeded the %s request timeout", s.timeout))
-	case errors.Is(err, context.Canceled):
+		err = fmt.Errorf("query exceeded the %s request timeout", s.timeout)
+	case statusClientClosedRequest:
 		// Client went away mid-query; report it as 499 (nginx's "client
 		// closed request") so logs and proxies don't see an implicit 200.
 		s.errors.Add(1)
-		writeError(w, statusClientClosedRequest, fmt.Errorf("client closed the request"))
+		err = fmt.Errorf("client closed the request")
 	default:
 		s.errors.Add(1)
-		writeError(w, http.StatusBadRequest, err)
 	}
+	writeError(w, code, err)
 }
 
 // statusClientClosedRequest is nginx's non-standard 499, the
 // conventional status for "the client went away before we could answer".
 const statusClientClosedRequest = 499
 
-// runBounded runs query under ctx plus the server timeout. The query
-// goroutine is not cancellable (a simulator run always completes), so on
-// timeout it keeps running and caches its own result under key when it
-// finishes - a retry after a 504 hits the cache instead of restarting
-// the run; only this request's wait is abandoned.
-func (s *Server) runBounded(ctx context.Context, key string, query func() (interface{}, error)) (interface{}, error) {
+// statusForError is the typed-error → HTTP status table. The context
+// sentinels are checked first: ccsp.ErrCanceled wraps them, and whether
+// the deadline fired (504) or the client went away (499) is the
+// distinction that matters to proxies and logs.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, ccsp.ErrRoundLimit):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ccsp.ErrInvalidSource), errors.Is(err, ccsp.ErrInvalidOption):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// run executes query under the request context plus the server timeout,
+// synchronously on the request goroutine: when the context fires, the
+// simulator unwinds at its next barrier and the query returns - no
+// goroutine keeps burning CPU behind an abandoned request. Only completed
+// results are cached.
+func (s *Server) run(ctx context.Context, key string, query queryFunc) (interface{}, error) {
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	type outcome struct {
-		v   interface{}
-		err error
+	v, err := query(ctx)
+	if err != nil {
+		return nil, err
 	}
-	done := make(chan outcome, 1)
-	go func() {
-		v, err := query()
-		if err == nil {
-			s.cache.Put(key, v)
-		}
-		done <- outcome{v, err}
-	}()
-	select {
-	case o := <-done:
-		return o.v, o.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	s.cache.Put(key, v)
+	return v, nil
 }
 
 // withCached stamps the Cached field on the typed responses.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -29,7 +31,7 @@ func testEngine(t testing.TB, n int) (*ccsp.Graph, *ccsp.Engine) {
 			gr.MustAddEdge(u, v, rng.Int63n(9)+1)
 		}
 	}
-	eng, err := ccsp.NewEngine(gr, ccsp.Options{Epsilon: 0.5})
+	eng, err := ccsp.NewEngine(context.Background(), gr, ccsp.Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestEndpointsMatchEngine(t *testing.T) {
 	}
 
 	// SSSP matches a direct engine call (with -1 for unreachable).
-	want, err := eng.SSSP(3)
+	want, err := eng.SSSP(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestEndpointsMatchEngine(t *testing.T) {
 	}
 
 	// MSSP matches, and /v1/distance agrees with the MSSP row.
-	wantM, err := eng.MSSP([]int{2, 5})
+	wantM, err := eng.MSSP(context.Background(), []int{2, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestEndpointsMatchEngine(t *testing.T) {
 		}
 	}
 
-	wantP, err := eng.MSSP([]int{2})
+	wantP, err := eng.MSSP(context.Background(), []int{2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func TestEndpointsMatchEngine(t *testing.T) {
 	}
 
 	// Diameter matches.
-	wantD, err := eng.Diameter()
+	wantD, err := eng.Diameter(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,22 +197,26 @@ func TestBadRequests(t *testing.T) {
 	_, eng := testEngine(t, 10)
 	ts := newTestServer(t, eng, Config{})
 
-	for _, url := range []string{
-		"/v1/sssp",                    // missing source
-		"/v1/sssp?source=x",           // not an integer
-		"/v1/sssp?source=99",          // out of range
-		"/v1/mssp",                    // missing sources
-		"/v1/mssp?sources=1,x",        // bad list
-		"/v1/mssp?sources=-2",         // out of range
-		"/v1/distance?from=0",         // missing to
-		"/v1/distance?from=0&to=1000", // out of range
+	for _, tc := range []struct {
+		url  string
+		code int
+	}{
+		{"/v1/sssp", http.StatusBadRequest},             // missing source
+		{"/v1/sssp?source=x", http.StatusBadRequest},    // not an integer
+		{"/v1/mssp", http.StatusBadRequest},             // missing sources
+		{"/v1/mssp?sources=1,x", http.StatusBadRequest}, // bad list
+		{"/v1/distance?from=0", http.StatusBadRequest},  // missing to
+		// Out-of-range IDs are typed ccsp.ErrInvalidSource → 422.
+		{"/v1/sssp?source=99", http.StatusUnprocessableEntity},
+		{"/v1/mssp?sources=-2", http.StatusUnprocessableEntity},
+		{"/v1/distance?from=0&to=1000", http.StatusUnprocessableEntity},
 	} {
 		var e struct {
 			Error string `json:"error"`
 		}
-		getJSON(t, ts.URL+url, http.StatusBadRequest, &e)
+		getJSON(t, ts.URL+tc.url, tc.code, &e)
 		if e.Error == "" {
-			t.Errorf("%s: empty error message", url)
+			t.Errorf("%s: empty error message", tc.url)
 		}
 	}
 
@@ -226,37 +232,104 @@ func TestBadRequests(t *testing.T) {
 
 func TestRequestTimeout(t *testing.T) {
 	_, eng := testEngine(t, 24)
-	// A nanosecond budget: every fresh query times out.
+	// A nanosecond budget: every fresh query times out - and, unlike the
+	// pre-context server, the timed-out run is actually stopped, so a
+	// retry times out again instead of being rescued by a background
+	// completion filling the cache.
 	ts := newTestServer(t, eng, Config{Timeout: time.Nanosecond})
-	var e struct {
-		Error string `json:"error"`
-	}
-	getJSON(t, ts.URL+"/v1/diameter", http.StatusGatewayTimeout, &e)
-	if e.Error == "" {
-		t.Error("timeout: empty error message")
+	for i := 0; i < 3; i++ {
+		var e struct {
+			Error string `json:"error"`
+		}
+		getJSON(t, ts.URL+"/v1/diameter", http.StatusGatewayTimeout, &e)
+		if e.Error == "" {
+			t.Error("timeout: empty error message")
+		}
 	}
 
-	// The abandoned run caches its result when it finishes, so a retry
-	// eventually succeeds from the cache despite the hopeless timeout.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		resp, err := http.Get(ts.URL + "/v1/diameter")
-		if err != nil {
-			t.Fatal(err)
-		}
-		code := resp.StatusCode
-		resp.Body.Close()
-		if code == http.StatusOK {
-			break
-		}
-		if code != http.StatusGatewayTimeout {
-			t.Fatalf("retry after timeout: status %d", code)
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("timed-out query's result never reached the cache")
-		}
-		time.Sleep(50 * time.Millisecond)
+	// The engine survives canceled queries unharmed: a direct call with a
+	// live context still answers.
+	if _, err := eng.Diameter(context.Background()); err != nil {
+		t.Fatalf("engine unusable after timed-out requests: %v", err)
 	}
+}
+
+// TestCanceledRequestStopsRun is the regression test for the old
+// runBounded leak: a canceled request must observably stop the underlying
+// simulation - the query goroutines exit and the CPU-bound run halts -
+// not merely return an error while the run burns on in the background.
+func TestCanceledRequestStopsRun(t *testing.T) {
+	_, eng := testEngine(t, 48)
+	s, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	baseline := runtime.NumGoroutine()
+
+	// A request whose context is already dead: the run aborts at entry.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/v1/diameter", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("pre-canceled request: status %d, want %d: %s", rec.Code, statusClientClosedRequest, rec.Body)
+	}
+
+	// A request canceled mid-run: the handler returns 499 once the
+	// simulator unwinds at its next barrier.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	timer := time.AfterFunc(10*time.Millisecond, cancel2)
+	defer timer.Stop()
+	req2 := httptest.NewRequest(http.MethodGet, "/v1/mssp?sources=1,2,3", nil).WithContext(ctx2)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	if rec2.Code != statusClientClosedRequest && rec2.Code != http.StatusOK {
+		t.Fatalf("mid-run cancel: status %d: %s", rec2.Code, rec2.Body)
+	}
+	if rec2.Code == http.StatusOK {
+		t.Log("query finished before the 10ms cancel; covered by the pre-canceled case above")
+	}
+
+	// The observable halt: every simulator goroutine (one per clique node
+	// plus the coordinator) must exit promptly. The old runBounded left
+	// the whole run alive for as long as the query took.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled request leaked goroutines: %d running, baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStatusMapping pins the typed-error → HTTP status table, both as a
+// unit table over statusForError and end-to-end through a handler whose
+// engine is configured to trip each error class.
+func TestStatusMapping(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"deadline", fmt.Errorf("q: %w: %w", ccsp.ErrCanceled, context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"client-cancel", fmt.Errorf("q: %w: %w", ccsp.ErrCanceled, context.Canceled), statusClientClosedRequest},
+		{"round-limit", fmt.Errorf("q: %w", ccsp.ErrRoundLimit), http.StatusServiceUnavailable},
+		{"invalid-source", fmt.Errorf("q: %w", ccsp.ErrInvalidSource), http.StatusUnprocessableEntity},
+		{"invalid-option", fmt.Errorf("q: %w", ccsp.ErrInvalidOption), http.StatusUnprocessableEntity},
+		{"plain", fmt.Errorf("missing parameter"), http.StatusBadRequest},
+	} {
+		if got := statusForError(tc.err); got != tc.want {
+			t.Errorf("%s: statusForError = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+
+	// End-to-end, the same chain is exercised by TestBadRequests (422),
+	// TestRequestTimeout (504) and TestCanceledRequestStopsRun (499);
+	// the ErrRoundLimit wrap from a real over-budget run is pinned by the
+	// root package's typed-error tests.
 }
 
 // TestConcurrentHandlers is the race-enabled acceptance test for the
@@ -271,25 +344,25 @@ func TestConcurrentHandlers(t *testing.T) {
 	// the JSON convention (-1 for unreachable).
 	wantSSSP := map[int][]int64{}
 	wantMSSP := map[int][][]int64{}
-	wantPair := map[int][][]int64{} // MSSP({s}): what /v1/distance?from=s slices
+	wantPair := map[int][][]int64{} // MSSP(context.Background(), {s}): what /v1/distance?from=s slices
 	for s := 0; s < 4; s++ {
-		r, err := eng.SSSP(s)
+		r, err := eng.SSSP(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
 		wantSSSP[s] = jsonVec(r.Dist)
-		m, err := eng.MSSP([]int{s, s + 4})
+		m, err := eng.MSSP(context.Background(), []int{s, s + 4})
 		if err != nil {
 			t.Fatal(err)
 		}
 		wantMSSP[s] = jsonMat(m.Dist)
-		p, err := eng.MSSP([]int{s})
+		p, err := eng.MSSP(context.Background(), []int{s})
 		if err != nil {
 			t.Fatal(err)
 		}
 		wantPair[s] = jsonMat(p.Dist)
 	}
-	wantD, err := eng.Diameter()
+	wantD, err := eng.Diameter(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

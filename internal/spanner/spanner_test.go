@@ -1,6 +1,7 @@
 package spanner
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -28,7 +29,7 @@ func randGraph(n, extraEdges int, maxW int64, seed int64) *graph.Graph {
 func runSpanner(t *testing.T, g *graph.Graph, k int, seed int64) []*Result {
 	t.Helper()
 	results := make([]*Result, g.N)
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		res, err := APSP(nd, g.WeightRow(nd.ID), k, seed)
 		if err != nil {
 			return err

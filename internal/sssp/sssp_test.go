@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestBellmanFordExact(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			want := tc.g.Dijkstra(tc.src)
 			var got []int64
-			_, err := cc.Run(cc.Config{N: tc.g.N}, func(nd *cc.Node) error {
+			_, err := cc.Run(context.Background(), cc.Config{N: tc.g.N}, func(nd *cc.Node) error {
 				dist, _ := BellmanFord(nd, tc.g.WeightRow(nd.ID), tc.src, tc.g.N+2)
 				if nd.ID == 0 {
 					got = append([]int64(nil), dist...)
@@ -77,7 +78,7 @@ func TestBellmanFordIterationsTrackSPD(t *testing.T) {
 	// must stop within SPD + 3.
 	g := lineGraph(20, 1)
 	var iters int
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		_, it := BellmanFord(nd, g.WeightRow(nd.ID), 0, 100)
 		if nd.ID == 0 {
 			iters = it
@@ -111,7 +112,7 @@ func TestExactSSSP(t *testing.T) {
 			sr := tc.g.AugSemiring()
 			want := tc.g.Dijkstra(tc.src)
 			var got []int64
-			_, err := cc.Run(cc.Config{N: tc.g.N}, func(nd *cc.Node) error {
+			_, err := cc.Run(context.Background(), cc.Config{N: tc.g.N}, func(nd *cc.Node) error {
 				dist, _ := Exact(nd, sr, tc.g.WeightRow(nd.ID), tc.src, tc.k)
 				if nd.ID == 0 {
 					got = append([]int64(nil), dist...)
@@ -137,7 +138,7 @@ func TestShortcutsCutIterations(t *testing.T) {
 	sr := g.AugSemiring()
 	k := 16
 	var iters int
-	_, err := cc.Run(cc.Config{N: g.N}, func(nd *cc.Node) error {
+	_, err := cc.Run(context.Background(), cc.Config{N: g.N}, func(nd *cc.Node) error {
 		dist, it := Exact(nd, sr, g.WeightRow(nd.ID), 0, k)
 		if nd.ID == 0 {
 			iters = it

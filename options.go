@@ -58,10 +58,13 @@ func (o Options) withDefaults() Options {
 
 func (o Options) validate() error {
 	if o.Epsilon < 0 || o.Epsilon > 1 {
-		return fmt.Errorf("ccsp: epsilon %v outside (0, 1]", o.Epsilon)
+		return fmt.Errorf("%w: epsilon %v outside (0, 1]", ErrInvalidOption, o.Epsilon)
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("ccsp: negative Workers %d", o.Workers)
+		return fmt.Errorf("%w: negative Workers %d", ErrInvalidOption, o.Workers)
+	}
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("%w: negative MaxRounds %d", ErrInvalidOption, o.MaxRounds)
 	}
 	return nil
 }

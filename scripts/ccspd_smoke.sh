@@ -72,4 +72,34 @@ kill -TERM "$pid"
 wait "$pid"
 pid=""
 echo "graceful shutdown ok"
+
+echo "== SIGINT mid-preprocess must not leave a (partial) snapshot"
+# A clique large enough that the hopset build takes many seconds (n=256
+# takes ~57s, E15); the INT lands while the build is in flight and the
+# daemon must unwind at the next simulator barrier, exit cleanly, and
+# never create the -save target (the atomic temp-file+rename write only
+# runs after a *completed* build).
+awk 'BEGIN {
+  n = 192
+  for (v = 0; v < n; v++) print v, (v+1)%n, 1+v%7
+  for (v = 0; v < n; v++) print v, (v*7+3)%n, 1+v%5
+}' > "$tmp/big.txt"
+"$tmp/ccspd" -graph "$tmp/big.txt" -save "$tmp/big.snap" -addr 127.0.0.1:8948 &
+pid=$!
+sleep 1
+kill -INT "$pid"
+if ! wait "$pid"; then
+  echo "ccspd exited non-zero after SIGINT during preprocess"
+  exit 1
+fi
+pid=""
+if [ -e "$tmp/big.snap" ]; then
+  echo "interrupted preprocess left a snapshot at the -save path"
+  exit 1
+fi
+if ls "$tmp"/.ccspd-snap-* >/dev/null 2>&1; then
+  echo "interrupted preprocess left temp snapshot files"
+  exit 1
+fi
+echo "kill-mid-preprocess ok (no partial snapshot)"
 echo "SMOKE PASS"

@@ -1,6 +1,7 @@
 package ccsp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -53,8 +54,15 @@ func (e *Engine) Save(w io.Writer) error {
 // Artifacts the snapshot does not contain are built lazily on first use,
 // exactly as on a fresh engine.
 //
+// LoadEngine runs no simulation; ctx is part of the uniform ctx-first API
+// and is honored at entry (a dead context returns ErrCanceled without
+// touching r) so callers can gate snapshot restores like any other call.
+//
 // Corrupt, truncated or version-skewed input returns an error.
-func LoadEngine(r io.Reader) (*Engine, error) {
+func LoadEngine(ctx context.Context, r io.Reader) (*Engine, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("ccsp: load engine: %w", err)
+	}
 	snap, err := snapshot.Decode(r)
 	if err != nil {
 		return nil, err
@@ -85,8 +93,9 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		if key.variant == artLowDegree && a.Degs == nil {
 			return nil, fmt.Errorf("ccsp: snapshot low-degree artifact %d is missing its degree vector", i)
 		}
+		// Entries in arts are by definition complete: queries use the
+		// rehydrated artifact as-is, with no build to wait on.
 		ent := &artifactEntry{art: a.Art, degs: a.Degs, stats: fromSnapStats(a.Stats)}
-		ent.once.Do(func() {}) // mark built: queries use the artifact as-is
 		e.pre.arts[key] = ent
 		e.pre.order = append(e.pre.order, key)
 	}

@@ -2,6 +2,7 @@ package ccsp
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -29,24 +30,24 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	opts := Options{Epsilon: 0.5}
 	sources := []int{2, 7, 13}
 
-	warm, err := NewEngine(gr, opts)
+	warm, err := NewEngine(context.Background(), gr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Populate both weighted artifacts (base + ε/2) before saving.
-	wantM, err := warm.MSSP(sources)
+	wantM, err := warm.MSSP(context.Background(), sources)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantA, err := warm.APSPWeighted()
+	wantA, err := warm.APSPWeighted(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantD, err := warm.Diameter()
+	wantD, err := warm.Diameter(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantS, err := warm.SSSP(3)
+	wantS, err := warm.SSSP(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Error("two Saves of the same engine differ")
 	}
 
-	loaded, err := LoadEngine(bytes.NewReader(saved))
+	loaded, err := LoadEngine(context.Background(), bytes.NewReader(saved))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 	// Every query on the loaded engine matches the warm engine: same
 	// distances, same deterministic round-stats, and no new builds.
-	gotM, err := loaded.MSSP(sources)
+	gotM, err := loaded.MSSP(context.Background(), sources)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	statsEqual(t, "loaded MSSP", gotM.Stats, wantM.Stats)
 
-	gotA, err := loaded.APSPWeighted()
+	gotA, err := loaded.APSPWeighted(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	statsEqual(t, "loaded APSP", gotA.Stats, wantA.Stats)
 
-	gotD, err := loaded.Diameter()
+	gotD, err := loaded.Diameter(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	statsEqual(t, "loaded diameter", gotD.Stats, wantD.Stats)
 
-	gotS, err := loaded.SSSP(3)
+	gotS, err := loaded.SSSP(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,11 +140,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 	// And against a cold engine built from scratch: the snapshot is
 	// indistinguishable from fresh preprocessing.
-	cold, err := NewEngine(testGraph(24, 30, 8, 77), opts)
+	cold, err := NewEngine(context.Background(), testGraph(24, 30, 8, 77), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldM, err := cold.MSSP(sources)
+	coldM, err := cold.MSSP(context.Background(), sources)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +158,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 // its artifact carries the degree broadcast alongside the hopset.
 func TestSnapshotLowDegreeArtifact(t *testing.T) {
 	gr := unweightedTestGraph(20)
-	warm, err := NewEngine(gr, Options{Epsilon: 0.5})
+	warm, err := NewEngine(context.Background(), gr, Options{Epsilon: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := warm.APSPUnweighted()
+	want, err := warm.APSPUnweighted(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,11 +174,11 @@ func TestSnapshotLowDegreeArtifact(t *testing.T) {
 	if err := warm.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadEngine(&buf)
+	loaded, err := LoadEngine(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := loaded.APSPUnweighted()
+	got, err := loaded.APSPUnweighted(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestSnapshotLowDegreeArtifact(t *testing.T) {
 func TestSnapshotLazyAfterLoad(t *testing.T) {
 	gr := testGraph(18, 20, 5, 42)
 	opts := Options{Epsilon: 0.5}
-	warm, err := NewEngine(gr, opts) // base artifact only
+	warm, err := NewEngine(context.Background(), gr, opts) // base artifact only
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,21 +204,21 @@ func TestSnapshotLazyAfterLoad(t *testing.T) {
 	if err := warm.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadEngine(&buf)
+	loaded, err := LoadEngine(context.Background(), &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n := len(loaded.PreprocessStats().Builds); n != 1 {
 		t.Fatalf("loaded engine has %d builds, want 1", n)
 	}
-	got, err := loaded.APSPWeighted() // needs the ε/2 artifact: lazy build
+	got, err := loaded.APSPWeighted(context.Background()) // needs the ε/2 artifact: lazy build
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n := len(loaded.PreprocessStats().Builds); n != 2 {
 		t.Errorf("lazy build after load: %d builds, want 2", n)
 	}
-	want, err := APSPWeighted(gr, opts)
+	want, err := APSPWeighted(context.Background(), gr, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestSnapshotLazyAfterLoad(t *testing.T) {
 // TestLoadEngineRejectsBadInput: corruption, truncation and version skew
 // all surface as errors through the public API.
 func TestLoadEngineRejectsBadInput(t *testing.T) {
-	warm, err := NewEngine(testGraph(12, 10, 4, 9), Options{})
+	warm, err := NewEngine(context.Background(), testGraph(12, 10, 4, 9), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,20 +240,20 @@ func TestLoadEngineRejectsBadInput(t *testing.T) {
 	}
 	valid := buf.Bytes()
 
-	if _, err := LoadEngine(bytes.NewReader(valid[:len(valid)-7])); err == nil {
+	if _, err := LoadEngine(context.Background(), bytes.NewReader(valid[:len(valid)-7])); err == nil {
 		t.Error("truncated snapshot loaded without error")
 	}
 	mut := append([]byte(nil), valid...)
 	mut[len(mut)/2] ^= 0x01
-	if _, err := LoadEngine(bytes.NewReader(mut)); err == nil {
+	if _, err := LoadEngine(context.Background(), bytes.NewReader(mut)); err == nil {
 		t.Error("corrupt snapshot loaded without error")
 	}
 	mut = append([]byte(nil), valid...)
 	mut[8] = 0x63
-	if _, err := LoadEngine(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "version") {
+	if _, err := LoadEngine(context.Background(), bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("version-skewed snapshot: err = %v, want version error", err)
 	}
-	if _, err := LoadEngine(bytes.NewReader(nil)); err == nil {
+	if _, err := LoadEngine(context.Background(), bytes.NewReader(nil)); err == nil {
 		t.Error("empty input loaded without error")
 	}
 }

@@ -1,6 +1,7 @@
 package ccsp
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -18,7 +19,7 @@ func TestWorkersStatsRegression(t *testing.T) {
 	}
 	var ref *APSPResult
 	for _, w := range []int{1, p} {
-		res, err := APSPWeighted(gr, Options{Epsilon: 0.5, Workers: w})
+		res, err := APSPWeighted(context.Background(), gr, Options{Epsilon: 0.5, Workers: w})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", w, err)
 		}
@@ -45,7 +46,7 @@ func TestWorkersStatsRegression(t *testing.T) {
 // TestWorkersValidated: negative worker counts are rejected up front.
 func TestWorkersValidated(t *testing.T) {
 	gr := testGraph(8, 4, 3, 5)
-	if _, err := APSPWeighted(gr, Options{Workers: -2}); err == nil {
+	if _, err := APSPWeighted(context.Background(), gr, Options{Workers: -2}); err == nil {
 		t.Fatal("want error for negative Workers")
 	}
 }
