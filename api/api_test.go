@@ -1,0 +1,132 @@
+package api
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func valid() map[Kind]Request {
+	return map[Kind]Request{
+		KindSSSP:            {Kind: KindSSSP, SSSP: &SSSPParams{Source: 3}},
+		KindMSSP:            {Kind: KindMSSP, MSSP: &MSSPParams{Sources: []int{5, 2, 5}}},
+		KindAPSP:            {Kind: KindAPSP},
+		KindDistance:        {Kind: KindDistance, Distance: &DistanceParams{From: 1, To: 7}},
+		KindDiameter:        {Kind: KindDiameter},
+		KindKNearest:        {Kind: KindKNearest, KNearest: &KNearestParams{K: 4}},
+		KindSourceDetection: {Kind: KindSourceDetection, SourceDetection: &SourceDetectionParams{Sources: []int{0, 2}, D: 3, K: 2}},
+	}
+}
+
+func TestValidateAcceptsEveryKind(t *testing.T) {
+	reqs := valid()
+	if len(reqs) != len(Kinds()) {
+		t.Fatalf("test covers %d kinds, schema has %d", len(reqs), len(Kinds()))
+	}
+	for kind, req := range reqs {
+		if err := req.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", kind, err)
+		}
+	}
+}
+
+func TestValidateRejectsMalformedUnions(t *testing.T) {
+	for name, req := range map[Kind]Request{
+		"unknown-kind":    {Kind: "shortest"},
+		"empty-kind":      {},
+		"missing-payload": {Kind: KindSSSP},
+		"foreign-payload": {Kind: KindDiameter, SSSP: &SSSPParams{Source: 1}},
+		"two-payloads":    {Kind: KindMSSP, MSSP: &MSSPParams{Sources: []int{1}}, SSSP: &SSSPParams{}},
+		"bad-variant":     {Kind: KindAPSP, APSP: &APSPParams{Variant: "fastest"}},
+	} {
+		err := req.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", name)
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestCacheKeyCanonical(t *testing.T) {
+	a := Request{Kind: KindMSSP, MSSP: &MSSPParams{Sources: []int{9, 2, 9, 4}}}
+	b := Request{Kind: KindMSSP, MSSP: &MSSPParams{Sources: []int{4, 2, 9}}}
+	if a.CacheKey() != b.CacheKey() {
+		t.Errorf("equivalent MSSP requests key differently: %q vs %q", a.CacheKey(), b.CacheKey())
+	}
+	if want := "v1:mssp:sources=2,4,9"; a.CacheKey() != want {
+		t.Errorf("CacheKey = %q, want %q", a.CacheKey(), want)
+	}
+
+	// The APSP default variant encodes as auto, explicit variants as
+	// themselves - and the two never alias.
+	auto := Request{Kind: KindAPSP}
+	if want := "v1:apsp:variant=auto"; auto.CacheKey() != want {
+		t.Errorf("auto APSP key = %q, want %q", auto.CacheKey(), want)
+	}
+	w3 := Request{Kind: KindAPSP, APSP: &APSPParams{Variant: APSPWeighted3}}
+	if auto.CacheKey() == w3.CacheKey() {
+		t.Error("auto and weighted3 APSP requests share a cache key")
+	}
+
+	// Every kind keys distinctly, and keys carry the version prefix.
+	seen := map[string]Kind{}
+	for kind, req := range valid() {
+		key := req.CacheKey()
+		if !strings.HasPrefix(key, "v1:") {
+			t.Errorf("%s: key %q lacks the version prefix", kind, key)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("kinds %s and %s share key %q", prev, kind, key)
+		}
+		seen[key] = kind
+	}
+
+	sd1 := Request{Kind: KindSourceDetection, SourceDetection: &SourceDetectionParams{Sources: []int{7, 1, 7}, D: 2, K: 3}}
+	sd2 := Request{Kind: KindSourceDetection, SourceDetection: &SourceDetectionParams{Sources: []int{1, 7}, D: 2, K: 3}}
+	if sd1.CacheKey() != sd2.CacheKey() {
+		t.Error("equivalent source-detection requests key differently")
+	}
+}
+
+func TestDecodeRequest(t *testing.T) {
+	req, err := DecodeRequest(strings.NewReader(`{"kind":"mssp","mssp":{"sources":[3,1]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindMSSP || len(req.MSSP.Sources) != 2 {
+		t.Errorf("decoded %+v", req)
+	}
+
+	// Unknown fields are ignored (forward compatibility)...
+	if _, err := DecodeRequest(strings.NewReader(`{"kind":"diameter","hint":"fast"}`)); err != nil {
+		t.Errorf("unknown field rejected: %v", err)
+	}
+
+	// ...but malformed bodies are typed ErrMalformed.
+	for name, body := range map[string]string{
+		"syntax":        `{"kind":`,
+		"wrong-type":    `{"kind":"sssp","sssp":{"source":"zero"}}`,
+		"trailing":      `{"kind":"diameter"}{"kind":"diameter"}`,
+		"union-mix":     `{"kind":"sssp","mssp":{"sources":[1]}}`,
+		"unknown-kind":  `{"kind":"bfs"}`,
+		"empty-payload": `{"kind":"knearest"}`,
+	} {
+		if _, err := DecodeRequest(strings.NewReader(body)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestResponseErr(t *testing.T) {
+	ok := Response{Kind: KindDiameter, Diameter: &DiameterResult{Estimate: 4}}
+	if ok.Err() != nil {
+		t.Errorf("success response Err() = %v", ok.Err())
+	}
+	bad := Response{Kind: KindSSSP, Error: &Error{Code: CodeInvalidSource, Message: "source 99 out of range"}}
+	if err := bad.Err(); err == nil || !strings.Contains(err.Error(), "invalid_source") {
+		t.Errorf("error response Err() = %v", err)
+	}
+}

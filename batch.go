@@ -1,0 +1,114 @@
+package ccsp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/congestedclique/ccsp/api"
+)
+
+// batchConcurrency bounds the worker group a Batch call fans queries out
+// over. Each query is itself a parallel simulator run (Options.Workers),
+// so the bound stays modest: enough to overlap lazy artifact builds with
+// independent queries without oversubscribing the host.
+func batchConcurrency(groups int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w > groups {
+		w = groups
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Batch answers many api.Requests against the one preprocessed engine -
+// the paper's amortization claim (Theorems 3, 28, 31; EXPERIMENTS.md E14)
+// as an API: the hopset artifacts are charged once, in PreprocessStats,
+// no matter how many requests ride the batch.
+//
+// Semantics:
+//
+//   - Responses[i] always answers reqs[i]; the slice has len(reqs).
+//   - Requests with the same canonical encoding (api.Request.CacheKey,
+//     with auto APSP variants resolved) run once and share one response.
+//   - Distinct requests run concurrently across a bounded worker group.
+//     Requests needing the same preprocessing artifact still build it
+//     exactly once: concurrent misses coalesce on the in-flight build
+//     (DESIGN.md §10), so a batch of q MSSP queries charges the hopset
+//     phases once, matching the E14 accounting.
+//   - Failures are per-request: an invalid, over-budget, or canceled
+//     query reports a typed api.Error in its own response and the rest
+//     of the batch completes. Batch's own error is reserved for "the
+//     batch never ran": it is non-nil only when ctx is already dead on
+//     entry.
+//
+// Each response's Stats covers that request's query run only; merge with
+// PreprocessStats for end-to-end accounting, exactly as for direct
+// Engine calls.
+func (e *Engine) Batch(ctx context.Context, reqs []api.Request) ([]api.Response, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, fmt.Errorf("ccsp: batch: %w", err)
+	}
+	resps := make([]api.Response, len(reqs))
+
+	// Group positions by canonical request encoding; each group runs once.
+	type group struct {
+		req     api.Request
+		indices []int
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for i, req := range reqs {
+		if err := req.Validate(); err != nil {
+			resps[i] = api.Response{Kind: req.Kind, Error: APIError(err)}
+			continue
+		}
+		key := e.canonicalKey(req)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{req: req}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.indices = append(g.indices, i)
+	}
+
+	sem := make(chan struct{}, batchConcurrency(len(order)))
+	var wg sync.WaitGroup
+	for _, key := range order {
+		g := groups[key]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			resp, err := e.Query(ctx, g.req)
+			if err != nil {
+				resp = &api.Response{Kind: g.req.Kind, Error: APIError(err)}
+			}
+			// Duplicates share the response value (and its read-only
+			// result slices); per-position copies stay independent.
+			for _, i := range g.indices {
+				resps[i] = *resp
+			}
+		}()
+	}
+	wg.Wait()
+	return resps, nil
+}
+
+// canonicalKey is the dedup key of a batch position: the canonical wire
+// encoding with auto APSP variants resolved against the engine's graph,
+// so "apsp" and the explicit variant it resolves to share one run.
+func (e *Engine) canonicalKey(req api.Request) string {
+	if req.Kind == api.KindAPSP {
+		req.APSP = &api.APSPParams{Variant: e.ResolveAPSPVariant(req.Variant())}
+	}
+	return req.CacheKey()
+}

@@ -1,0 +1,249 @@
+// Package client is the Go client of the ccspd query plane: it speaks
+// POST /v1/query and /v1/batch (the api package's wire schema) and maps
+// HTTP failures back onto the ccsp typed-error taxonomy, so code written
+// against a local ccsp.Engine ports to a remote daemon by swapping the
+// receiver - the method set mirrors the Engine's, errors.Is dispatch
+// included:
+//
+//	c := client.New("http://localhost:8080")
+//	resp, err := c.MSSP(ctx, []int{0, 5, 9})
+//	switch {
+//	case errors.Is(err, ccsp.ErrInvalidSource): // 422 invalid_source
+//	case errors.Is(err, ccsp.ErrCanceled):      // canceled or timed out
+//	}
+//
+// Every method returns the full *api.Response (typed result + run stats
+// + cache flag); Batch returns one response per request with per-request
+// errors in place, exactly like Engine.Batch.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/api"
+)
+
+// Client talks to one ccspd daemon. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080"; a trailing slash is tolerated).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Query answers one typed request via POST /v1/query.
+func (c *Client) Query(ctx context.Context, req api.Request) (*api.Response, error) {
+	var resp api.Response
+	if err := c.post(ctx, "/v1/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Batch answers many requests via POST /v1/batch: one response per
+// request, per-request typed errors in place (inspect Response.Error /
+// Response.Err), mirroring Engine.Batch. The error return covers
+// transport and whole-batch failures only.
+func (c *Client) Batch(ctx context.Context, reqs []api.Request) ([]api.Response, error) {
+	var br api.BatchResponse
+	if err := c.post(ctx, "/v1/batch", api.BatchRequest{Requests: reqs}, &br); err != nil {
+		return nil, err
+	}
+	if len(br.Responses) != len(reqs) {
+		return nil, fmt.Errorf("client: batch answered %d of %d requests", len(br.Responses), len(reqs))
+	}
+	return br.Responses, nil
+}
+
+// SSSP mirrors Engine.SSSP: exact single-source distances (Theorem 33).
+func (c *Client) SSSP(ctx context.Context, source int) (*api.Response, error) {
+	return c.Query(ctx, api.Request{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: source}})
+}
+
+// MSSP mirrors Engine.MSSP: (1+ε)-approximate multi-source distances
+// (Theorem 3).
+func (c *Client) MSSP(ctx context.Context, sources []int) (*api.Response, error) {
+	return c.Query(ctx, api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: sources}})
+}
+
+// APSP mirrors Engine.APSP: the auto variant, resolved server-side to
+// the strongest guarantee for the graph.
+func (c *Client) APSP(ctx context.Context) (*api.Response, error) {
+	return c.Query(ctx, api.Request{Kind: api.KindAPSP})
+}
+
+// APSPWeighted mirrors Engine.APSPWeighted (Theorem 28).
+func (c *Client) APSPWeighted(ctx context.Context) (*api.Response, error) {
+	return c.apspVariant(ctx, api.APSPWeighted)
+}
+
+// APSPWeighted3 mirrors Engine.APSPWeighted3 (§6.1).
+func (c *Client) APSPWeighted3(ctx context.Context) (*api.Response, error) {
+	return c.apspVariant(ctx, api.APSPWeighted3)
+}
+
+// APSPUnweighted mirrors Engine.APSPUnweighted (Theorem 31).
+func (c *Client) APSPUnweighted(ctx context.Context) (*api.Response, error) {
+	return c.apspVariant(ctx, api.APSPUnweighted)
+}
+
+func (c *Client) apspVariant(ctx context.Context, v api.APSPVariant) (*api.Response, error) {
+	return c.Query(ctx, api.Request{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: v}})
+}
+
+// Distance answers one (1+ε)-approximate pair.
+func (c *Client) Distance(ctx context.Context, from, to int) (*api.Response, error) {
+	return c.Query(ctx, api.Request{Kind: api.KindDistance, Distance: &api.DistanceParams{From: from, To: to}})
+}
+
+// Diameter mirrors Engine.Diameter (§7.2).
+func (c *Client) Diameter(ctx context.Context) (*api.Response, error) {
+	return c.Query(ctx, api.Request{Kind: api.KindDiameter})
+}
+
+// KNearest mirrors Engine.KNearest (Theorem 18).
+func (c *Client) KNearest(ctx context.Context, k int) (*api.Response, error) {
+	return c.Query(ctx, api.Request{Kind: api.KindKNearest, KNearest: &api.KNearestParams{K: k}})
+}
+
+// SourceDetection mirrors Engine.SourceDetection (Theorem 19).
+func (c *Client) SourceDetection(ctx context.Context, sources []int, d, k int) (*api.Response, error) {
+	return c.Query(ctx, api.Request{Kind: api.KindSourceDetection,
+		SourceDetection: &api.SourceDetectionParams{Sources: sources, D: d, K: k}})
+}
+
+// Health calls GET /healthz: daemon liveness plus the served graph's
+// shape.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, transportError(ctx, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: healthz: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var h api.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return nil, fmt.Errorf("client: healthz: bad JSON: %w", err)
+	}
+	return &h, nil
+}
+
+// maxResponseBytes caps decoded response bodies. All-pairs matrices grow
+// with n²; 1 GiB admits n ≈ 10⁴ with room to spare while still bounding
+// a misbehaving endpoint.
+const maxResponseBytes = 1 << 30
+
+// post sends one JSON body and decodes the response, translating non-200
+// statuses through the typed-error taxonomy.
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return transportError(ctx, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return statusError(path, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: %s: bad JSON response: %w", path, err)
+	}
+	return nil
+}
+
+// transportError classifies a failed round trip: if the caller's context
+// died, the error joins the ccsp cancellation taxonomy (ErrCanceled plus
+// the context's own sentinel, like every Engine method); otherwise it is
+// a plain transport error.
+func transportError(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("client: %w: %w", ccsp.ErrCanceled, ctxErr)
+	}
+	return fmt.Errorf("client: %w", err)
+}
+
+// statusError maps a non-200 response back onto the typed taxonomy via
+// the api.Error envelope, so errors.Is against the ccsp sentinels works
+// identically for local and remote engines:
+//
+//	canceled           ErrCanceled (+ context.Canceled)
+//	deadline_exceeded  ErrCanceled (+ context.DeadlineExceeded; the
+//	                   server's per-request timeout fired)
+//	round_limit        ErrRoundLimit
+//	invalid_source     ErrInvalidSource
+//	invalid_option     ErrInvalidOption
+//	malformed          api.ErrMalformed
+//
+// Responses without a decodable envelope (a proxy's HTML error page, say)
+// degrade to a plain error carrying the status and body.
+func statusError(path string, status int, body []byte) error {
+	var envelope struct {
+		Error *api.Error `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error == nil {
+		return fmt.Errorf("client: %s: status %d: %s", path, status, strings.TrimSpace(string(body)))
+	}
+	e := envelope.Error
+	switch e.Code {
+	case api.CodeCanceled:
+		return fmt.Errorf("client: %s: %w: %w: %s", path, ccsp.ErrCanceled, context.Canceled, e.Message)
+	case api.CodeDeadline:
+		return fmt.Errorf("client: %s: %w: %w: %s", path, ccsp.ErrCanceled, context.DeadlineExceeded, e.Message)
+	case api.CodeRoundLimit:
+		return fmt.Errorf("client: %s: %w: %s", path, ccsp.ErrRoundLimit, e.Message)
+	case api.CodeInvalidSource:
+		return fmt.Errorf("client: %s: %w: %s", path, ccsp.ErrInvalidSource, e.Message)
+	case api.CodeInvalidOption:
+		return fmt.Errorf("client: %s: %w: %s", path, ccsp.ErrInvalidOption, e.Message)
+	case api.CodeMalformed:
+		return fmt.Errorf("client: %s: %w: %s", path, api.ErrMalformed, e.Message)
+	default:
+		return fmt.Errorf("client: %s: status %d (%s): %s", path, status, e.Code, e.Message)
+	}
+}

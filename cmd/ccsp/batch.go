@@ -1,0 +1,218 @@
+// Batch mode: parse a query file into typed api.Requests and answer the
+// whole set through the query plane - Engine.Batch locally (one
+// preprocessing for the entire batch, the paper's amortization claim) or
+// client.Batch against a daemon (one POST /v1/batch).
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/api"
+	"github.com/congestedclique/ccsp/client"
+)
+
+// batchQuery is one parsed line of a batch file.
+type batchQuery struct {
+	line int
+	text string
+	req  api.Request
+}
+
+// parseBatchFile reads the query lines of path ("-" for stdin).
+func parseBatchFile(path string) ([]batchQuery, error) {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	var queries []batchQuery
+	sc := bufio.NewScanner(in)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		req, err := parseQueryLine(strings.Fields(text))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		queries = append(queries, batchQuery{line: line, text: text, req: req})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return queries, nil
+}
+
+// parseQueryLine translates one batch line into a typed request.
+func parseQueryLine(fields []string) (api.Request, error) {
+	switch fields[0] {
+	case "mssp":
+		if len(fields) != 2 {
+			return api.Request{}, fmt.Errorf("want 'mssp s1,s2,...'")
+		}
+		srcs, err := parseSources(fields[1])
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: srcs}}, nil
+	case "sssp":
+		if len(fields) != 2 {
+			return api.Request{}, fmt.Errorf("want 'sssp src'")
+		}
+		s, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: s}}, nil
+	case "apsp":
+		if len(fields) != 1 {
+			return api.Request{}, fmt.Errorf("want 'apsp' with no arguments")
+		}
+		return api.Request{Kind: api.KindAPSP}, nil
+	case "apsp3":
+		if len(fields) != 1 {
+			return api.Request{}, fmt.Errorf("want 'apsp3' with no arguments")
+		}
+		return api.Request{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: api.APSPWeighted3}}, nil
+	case "distance":
+		if len(fields) != 3 {
+			return api.Request{}, fmt.Errorf("want 'distance from to'")
+		}
+		from, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return api.Request{}, err
+		}
+		to, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindDistance, Distance: &api.DistanceParams{From: from, To: to}}, nil
+	case "diameter":
+		if len(fields) != 1 {
+			return api.Request{}, fmt.Errorf("want 'diameter' with no arguments")
+		}
+		return api.Request{Kind: api.KindDiameter}, nil
+	case "knearest":
+		if len(fields) != 2 {
+			return api.Request{}, fmt.Errorf("want 'knearest k'")
+		}
+		k, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindKNearest, KNearest: &api.KNearestParams{K: k}}, nil
+	case "sourcedetect":
+		if len(fields) != 4 {
+			return api.Request{}, fmt.Errorf("want 'sourcedetect s1,s2,... d k'")
+		}
+		srcs, err := parseSources(fields[1])
+		if err != nil {
+			return api.Request{}, err
+		}
+		d, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return api.Request{}, err
+		}
+		k, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindSourceDetection,
+			SourceDetection: &api.SourceDetectionParams{Sources: srcs, D: d, K: k}}, nil
+	default:
+		return api.Request{}, fmt.Errorf("unknown query %q", fields[0])
+	}
+}
+
+// printBatchResponses renders each answer in input order and returns the
+// summed query rounds. The first failed response aborts with its source
+// line, after every answer before it has printed.
+func printBatchResponses(path string, queries []batchQuery, resps []api.Response, n int, quiet bool) (int, error) {
+	queryRounds := 0
+	for i, q := range queries {
+		resp := resps[i]
+		if resp.Error != nil {
+			return 0, fmt.Errorf("%s:%d: %s", path, q.line, resp.Error)
+		}
+		printResponse(&resp, n, quiet)
+		fmt.Printf("query %q: %s\n", q.text, statsLine(resp.Stats, n))
+		if resp.Stats != nil {
+			queryRounds += resp.Stats.TotalRounds
+		}
+	}
+	return queryRounds, nil
+}
+
+// runBatchLocal preprocesses the graph once (or reuses a -load'ed
+// engine) and answers every query line through Engine.Batch, reporting
+// per-query stats and the amortization summary: total rounds actually
+// paid vs what one-shot calls would have cost.
+func runBatchLocal(ctx context.Context, g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, quiet bool, savePath string) error {
+	queries, err := parseBatchFile(path)
+	if err != nil {
+		return err
+	}
+	if eng == nil {
+		if eng, err = ccsp.NewEngine(ctx, g, opts); err != nil {
+			return err
+		}
+	}
+	pre := eng.PreprocessStats()
+	fmt.Printf("preprocess: %s\n", pre.Total)
+	for _, b := range pre.Builds {
+		fmt.Printf("  %s eps=%g beta=%d edges=%d: %s\n", b.Kind, b.Eps, b.Beta, b.Edges, b.Stats)
+	}
+
+	reqs := make([]api.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = q.req
+	}
+	resps, err := eng.Batch(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	queryRounds, err := printBatchResponses(path, queries, resps, g.N(), quiet)
+	if err != nil {
+		return err
+	}
+	pre = eng.PreprocessStats() // lazy artifacts may have been added
+	fmt.Printf("batch: %d queries, %d preprocessing rounds (%d builds) + %d query rounds = %d total\n",
+		len(queries), pre.Total.TotalRounds, len(pre.Builds), queryRounds, pre.Total.TotalRounds+queryRounds)
+	return saveEngine(eng, savePath, false)
+}
+
+// runBatchRemote ships the whole batch to a daemon in one POST /v1/batch.
+func runBatchRemote(ctx context.Context, c *client.Client, n int, path string, quiet bool) error {
+	queries, err := parseBatchFile(path)
+	if err != nil {
+		return err
+	}
+	reqs := make([]api.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = q.req
+	}
+	resps, err := c.Batch(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	queryRounds, err := printBatchResponses(path, queries, resps, n, quiet)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch: %d queries, %d query rounds (preprocessing amortized server-side)\n",
+		len(queries), queryRounds)
+	return nil
+}

@@ -9,14 +9,18 @@
 // Usage:
 //
 //	ccsp -algo apsp  -eps 0.5 graph.txt     # (2+ε)/(2+ε,(1+ε)W) APSP
+//	ccsp -algo apsp3 graph.txt              # (3+ε) weighted APSP (§6.1)
 //	ccsp -timeout 30s -algo apsp big.gr     # bound the whole run; Ctrl-C also aborts cleanly
 //	ccsp -algo sssp  -src 0 graph.txt       # exact SSSP (Theorem 33)
 //	ccsp -algo mssp  -sources 0,5,9 g.txt   # (1+ε) MSSP (Theorem 3)
 //	ccsp -algo diameter graph.txt           # near-3/2 diameter (§7.2)
 //	ccsp -algo knearest -k 4 graph.txt      # k nearest + routing witnesses
+//	ccsp -algo sourcedetect -sources 0,3 -d 4 -k 2 g.txt  # (S,d,k) detection (Thm 19)
 //	ccsp -batch queries.txt graph.txt       # preprocess once, answer many
 //	ccsp -graph road.gr -save warm.snap -algo mssp -sources 3   # persist the engine
 //	ccsp -load warm.snap -algo diameter     # reuse it: zero preprocessing rounds
+//	ccsp -server http://localhost:8080 -algo mssp -sources 0    # query a running ccspd
+//	ccsp -server http://localhost:8080 -batch queries.txt       # one POST /v1/batch
 //
 // With -save or -load, queries run through a persistent ccsp.Engine
 // snapshot (the format cmd/ccspd serves from): -save builds the engine
@@ -24,20 +28,28 @@
 // preprocessing; the reported stats then cover the query run only, with
 // the preprocessing cost printed separately.
 //
+// With -server, queries are sent to a running ccspd daemon over the
+// typed query plane (POST /v1/query; -batch becomes one POST /v1/batch)
+// through the client package - no local graph, no local simulation, and
+// the same typed errors as local runs.
+//
 // Batch mode loads the graph once, preprocesses it into a reusable
 // hopset artifact (ccsp.Engine), and answers one query per line of the
-// batch file ("-" for stdin), paying the hopset construction once for
-// the whole batch. Query lines ('#' comments and blank lines skipped):
+// batch file ("-" for stdin) through Engine.Batch, paying the hopset
+// construction once for the whole batch. Query lines ('#' comments and
+// blank lines skipped):
 //
-//	mssp 0,5,9      # (1+ε) multi-source distances
-//	sssp 3          # exact single-source distances
-//	apsp            # all-pairs (picks Thm 28 or 31 by weights)
-//	diameter        # near-3/2 diameter
-//	knearest 4      # k nearest neighbors
+//	mssp 0,5,9          # (1+ε) multi-source distances
+//	sssp 3              # exact single-source distances
+//	apsp                # all-pairs (picks Thm 28 or 31 by weights)
+//	apsp3               # all-pairs, (3+ε) variant
+//	distance 0 5        # one (1+ε) pair
+//	diameter            # near-3/2 diameter
+//	knearest 4          # k nearest neighbors
+//	sourcedetect 0,3 4 2  # sources d k
 package main
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -49,6 +61,8 @@ import (
 	"syscall"
 
 	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/api"
+	"github.com/congestedclique/ccsp/client"
 )
 
 func main() {
@@ -70,16 +84,18 @@ func main() {
 
 func run() error {
 	var (
-		algo      = flag.String("algo", "apsp", "apsp | sssp | mssp | diameter | knearest")
+		algo      = flag.String("algo", "apsp", "apsp | apsp3 | sssp | mssp | diameter | knearest | sourcedetect")
 		eps       = flag.Float64("eps", 0.5, "approximation parameter ε")
 		src       = flag.Int("src", 0, "source for sssp")
-		sources   = flag.String("sources", "0", "comma-separated sources for mssp")
-		k         = flag.Int("k", 4, "k for knearest")
+		sources   = flag.String("sources", "0", "comma-separated sources for mssp/sourcedetect")
+		k         = flag.Int("k", 4, "k for knearest/sourcedetect")
+		d         = flag.Int("d", 4, "hop bound d for sourcedetect")
 		batch     = flag.String("batch", "", "batch query file ('-' for stdin): preprocess once, answer every line")
 		quiet     = flag.Bool("quiet", false, "print only the stats line")
 		graphPath = flag.String("graph", "", "graph file (edge list or DIMACS .gr); alternative to the positional argument")
 		savePath  = flag.String("save", "", "write the preprocessed engine snapshot here after answering")
 		loadPath  = flag.String("load", "", "restore a preprocessed engine snapshot instead of building one")
+		serverURL = flag.String("server", "", "base URL of a running ccspd daemon: query it instead of simulating locally")
 		timeout   = flag.Duration("timeout", 0, "abort preprocessing+queries after this long (0 = no limit)")
 	)
 	flag.Parse()
@@ -95,13 +111,20 @@ func run() error {
 		defer cancel()
 	}
 
+	if *serverURL != "" {
+		if *graphPath != "" || *loadPath != "" || *savePath != "" || flag.NArg() != 0 {
+			return fmt.Errorf("-server queries a remote daemon; drop -graph/-load/-save and the graph argument")
+		}
+		return runRemote(ctx, client.New(*serverURL), *algo, *src, *sources, *k, *d, *batch, *quiet)
+	}
+
 	g, eng, err := loadInput(ctx, *graphPath, *loadPath)
 	if err != nil {
 		return err
 	}
 
 	if *batch != "" {
-		return runBatch(ctx, g, eng, opts, *batch, *quiet, *savePath)
+		return runBatchLocal(ctx, g, eng, opts, *batch, *quiet, *savePath)
 	}
 	// -save needs an engine even when -load didn't provide one; building
 	// it up front also moves the preprocessing cost out of the query
@@ -111,77 +134,164 @@ func run() error {
 			return err
 		}
 	}
-	q := newQueries(g, eng, opts)
 
-	switch *algo {
-	case "apsp":
-		res, err := q.apsp(ctx)
+	if eng != nil {
+		// Engine mode answers through the typed query plane: the same
+		// api.Request the daemon and client speak, printed identically to
+		// the historical per-algorithm output.
+		req, err := requestForAlgo(*algo, *src, *sources, *k, *d)
 		if err != nil {
 			return err
 		}
+		resp, err := eng.Query(ctx, req)
+		if err != nil {
+			return err
+		}
+		printResponse(resp, g.N(), *quiet)
 		if !*quiet {
+			fmt.Printf("preprocess (not in the stats line above): %s\n", eng.PreprocessStats().Total)
+		}
+		return saveEngine(eng, *savePath, *quiet)
+	}
+	return runOneShot(ctx, g, opts, *algo, *src, *sources, *k, *d, *quiet)
+}
+
+// requestForAlgo translates the -algo flag set into a typed request.
+func requestForAlgo(algo string, src int, sources string, k, d int) (api.Request, error) {
+	switch algo {
+	case "apsp":
+		return api.Request{Kind: api.KindAPSP}, nil
+	case "apsp3":
+		return api.Request{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: api.APSPWeighted3}}, nil
+	case "sssp":
+		return api.Request{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: src}}, nil
+	case "mssp":
+		srcList, err := parseSources(sources)
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: srcList}}, nil
+	case "diameter":
+		return api.Request{Kind: api.KindDiameter}, nil
+	case "knearest":
+		return api.Request{Kind: api.KindKNearest, KNearest: &api.KNearestParams{K: k}}, nil
+	case "sourcedetect":
+		srcList, err := parseSources(sources)
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindSourceDetection,
+			SourceDetection: &api.SourceDetectionParams{Sources: srcList, D: d, K: k}}, nil
+	default:
+		return api.Request{}, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+// runOneShot preserves the historical single-shot semantics: no engine,
+// stats include the preprocessing (the one-shot functions fold it in).
+func runOneShot(ctx context.Context, g *ccsp.Graph, opts ccsp.Options, algo string, src int, sources string, k, d int, quiet bool) error {
+	switch algo {
+	case "apsp":
+		var res *ccsp.APSPResult
+		var err error
+		if g.Unweighted() {
+			res, err = ccsp.APSPUnweighted(ctx, g, opts)
+		} else {
+			res, err = ccsp.APSPWeighted(ctx, g, opts)
+		}
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			printMatrix(res.Dist)
+		}
+		fmt.Println(res.Stats)
+	case "apsp3":
+		res, err := ccsp.APSPWeighted3(ctx, g, opts)
+		if err != nil {
+			return err
+		}
+		if !quiet {
 			printMatrix(res.Dist)
 		}
 		fmt.Println(res.Stats)
 	case "sssp":
-		res, err := q.sssp(ctx, *src)
+		res, err := ccsp.SSSP(ctx, g, src, opts)
 		if err != nil {
 			return err
 		}
-		if !*quiet {
-			for v, d := range res.Dist {
-				fmt.Printf("%d\t%s\n", v, distStr(d))
-			}
+		if !quiet {
+			printVector(res.Dist)
 		}
 		fmt.Println(res.Stats)
 	case "mssp":
-		srcList, err := parseSources(*sources)
+		srcList, err := parseSources(sources)
 		if err != nil {
 			return err
 		}
-		res, err := q.mssp(ctx, srcList)
+		res, err := ccsp.MSSP(ctx, g, srcList, opts)
 		if err != nil {
 			return err
 		}
-		if !*quiet {
-			for v := 0; v < g.N(); v++ {
-				parts := make([]string, len(res.Sources))
-				for i := range res.Sources {
-					parts[i] = distStr(res.Dist[v][i])
-				}
-				fmt.Printf("%d\t%s\n", v, strings.Join(parts, "\t"))
-			}
+		if !quiet {
+			printIndexedMatrix(res.Dist) // rows are nodes, columns the sorted sources
 		}
 		fmt.Println(res.Stats)
 	case "diameter":
-		res, err := q.diameter(ctx)
+		res, err := ccsp.Diameter(ctx, g, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("diameter estimate: %d\n", res.Estimate)
 		fmt.Println(res.Stats)
 	case "knearest":
-		res, err := q.knearest(ctx, *k)
+		res, err := ccsp.KNearest(ctx, g, k, opts)
 		if err != nil {
 			return err
 		}
-		if !*quiet {
-			for v, nb := range res.Neighbors {
-				fmt.Printf("%d:", v)
-				for _, e := range nb {
-					fmt.Printf(" %d(d=%d,via=%d)", e.Node, e.Dist, e.FirstHop)
-				}
-				fmt.Println()
-			}
+		if !quiet {
+			printNeighborRows(wireLists(res.Neighbors), true)
+		}
+		fmt.Println(res.Stats)
+	case "sourcedetect":
+		srcList, err := parseSources(sources)
+		if err != nil {
+			return err
+		}
+		res, err := ccsp.SourceDetection(ctx, g, srcList, d, k, opts)
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			printNeighborRows(wireLists(res.Detected), false)
 		}
 		fmt.Println(res.Stats)
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		return fmt.Errorf("unknown algorithm %q", algo)
 	}
-	if eng != nil && !*quiet {
-		fmt.Printf("preprocess (not in the stats line above): %s\n", eng.PreprocessStats().Total)
+	return nil
+}
+
+// runRemote answers through a ccspd daemon: -batch becomes one POST
+// /v1/batch, single queries one POST /v1/query.
+func runRemote(ctx context.Context, c *client.Client, algo string, src int, sources string, k, d int, batch string, quiet bool) error {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
 	}
-	return saveEngine(eng, *savePath, *quiet)
+	if batch != "" {
+		return runBatchRemote(ctx, c, h.Nodes, batch, quiet)
+	}
+	req, err := requestForAlgo(algo, src, sources, k, d)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Query(ctx, req)
+	if err != nil {
+		return err
+	}
+	printResponse(resp, h.Nodes, quiet)
+	return nil
 }
 
 // loadInput resolves the graph source: a snapshot (-load, which carries
@@ -208,52 +318,13 @@ func loadInput(ctx context.Context, graphPath, loadPath string) (*ccsp.Graph, *c
 	case graphPath == "" && flag.NArg() == 1:
 		graphPath = flag.Arg(0)
 	default:
-		return nil, nil, fmt.Errorf("usage: ccsp [flags] <graph-file> (or -graph/-load)")
+		return nil, nil, fmt.Errorf("usage: ccsp [flags] <graph-file> (or -graph/-load/-server)")
 	}
 	g, err := ccsp.ReadGraphFile(graphPath)
 	if err != nil {
 		return nil, nil, err
 	}
 	return g, nil, nil
-}
-
-// queries dispatches each algorithm either through a persistent engine
-// (-save/-load: query-only stats) or the historical one-shot calls
-// (stats include preprocessing).
-type queries struct {
-	apsp     func(ctx context.Context) (*ccsp.APSPResult, error)
-	sssp     func(ctx context.Context, src int) (*ccsp.SSSPResult, error)
-	mssp     func(ctx context.Context, srcs []int) (*ccsp.MSSPResult, error)
-	diameter func(ctx context.Context) (*ccsp.DiameterResult, error)
-	knearest func(ctx context.Context, k int) (*ccsp.KNearestResult, error)
-}
-
-func newQueries(g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options) queries {
-	if eng != nil {
-		return queries{
-			apsp:     eng.APSP,
-			sssp:     eng.SSSP,
-			mssp:     eng.MSSP,
-			diameter: eng.Diameter,
-			knearest: eng.KNearest,
-		}
-	}
-	return queries{
-		apsp: func(ctx context.Context) (*ccsp.APSPResult, error) {
-			if g.Unweighted() {
-				return ccsp.APSPUnweighted(ctx, g, opts)
-			}
-			return ccsp.APSPWeighted(ctx, g, opts)
-		},
-		sssp: func(ctx context.Context, src int) (*ccsp.SSSPResult, error) { return ccsp.SSSP(ctx, g, src, opts) },
-		mssp: func(ctx context.Context, srcs []int) (*ccsp.MSSPResult, error) {
-			return ccsp.MSSP(ctx, g, srcs, opts)
-		},
-		diameter: func(ctx context.Context) (*ccsp.DiameterResult, error) { return ccsp.Diameter(ctx, g, opts) },
-		knearest: func(ctx context.Context, k int) (*ccsp.KNearestResult, error) {
-			return ccsp.KNearest(ctx, g, k, opts)
-		},
-	}
 }
 
 // saveEngine writes the engine snapshot to path (no-op for empty path);
@@ -282,146 +353,6 @@ func saveEngine(eng *ccsp.Engine, path string, quiet bool) error {
 	return nil
 }
 
-// runBatch preprocesses the graph once (or reuses a -load'ed engine) and
-// answers every query line from the batch file, reporting per-query stats
-// and the amortization summary: total rounds actually paid vs what
-// one-shot calls would have cost.
-func runBatch(ctx context.Context, g *ccsp.Graph, eng *ccsp.Engine, opts ccsp.Options, path string, quiet bool, savePath string) error {
-	in := os.Stdin
-	if path != "-" {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
-	}
-
-	if eng == nil {
-		var err error
-		if eng, err = ccsp.NewEngine(ctx, g, opts); err != nil {
-			return err
-		}
-	}
-	pre := eng.PreprocessStats()
-	fmt.Printf("preprocess: %s\n", pre.Total)
-	for _, b := range pre.Builds {
-		fmt.Printf("  %s eps=%g beta=%d edges=%d: %s\n", b.Kind, b.Eps, b.Beta, b.Edges, b.Stats)
-	}
-
-	queryRounds := 0
-	nq := 0
-	sc := bufio.NewScanner(in)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		var stats ccsp.Stats
-		switch fields[0] {
-		case "mssp":
-			if len(fields) != 2 {
-				return fmt.Errorf("%s:%d: want 'mssp s1,s2,...'", path, line)
-			}
-			srcList, err := parseSources(fields[1])
-			if err != nil {
-				return fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-			res, err := eng.MSSP(ctx, srcList)
-			if err != nil {
-				return fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-			if !quiet {
-				for v := 0; v < g.N(); v++ {
-					parts := make([]string, len(res.Sources))
-					for i := range res.Sources {
-						parts[i] = distStr(res.Dist[v][i])
-					}
-					fmt.Printf("%d\t%s\n", v, strings.Join(parts, "\t"))
-				}
-			}
-			stats = res.Stats
-		case "sssp":
-			if len(fields) != 2 {
-				return fmt.Errorf("%s:%d: want 'sssp src'", path, line)
-			}
-			s, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-			res, err := eng.SSSP(ctx, s)
-			if err != nil {
-				return fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-			if !quiet {
-				for v, d := range res.Dist {
-					fmt.Printf("%d\t%s\n", v, distStr(d))
-				}
-			}
-			stats = res.Stats
-		case "apsp":
-			if len(fields) != 1 {
-				return fmt.Errorf("%s:%d: want 'apsp' with no arguments", path, line)
-			}
-			res, err := eng.APSP(ctx)
-			if err != nil {
-				return fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-			if !quiet {
-				printMatrix(res.Dist)
-			}
-			stats = res.Stats
-		case "diameter":
-			if len(fields) != 1 {
-				return fmt.Errorf("%s:%d: want 'diameter' with no arguments", path, line)
-			}
-			res, err := eng.Diameter(ctx)
-			if err != nil {
-				return fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-			fmt.Printf("diameter estimate: %d\n", res.Estimate)
-			stats = res.Stats
-		case "knearest":
-			if len(fields) != 2 {
-				return fmt.Errorf("%s:%d: want 'knearest k'", path, line)
-			}
-			kq, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-			res, err := eng.KNearest(ctx, kq)
-			if err != nil {
-				return fmt.Errorf("%s:%d: %w", path, line, err)
-			}
-			if !quiet {
-				for v, nb := range res.Neighbors {
-					fmt.Printf("%d:", v)
-					for _, e := range nb {
-						fmt.Printf(" %d(d=%d,via=%d)", e.Node, e.Dist, e.FirstHop)
-					}
-					fmt.Println()
-				}
-			}
-			stats = res.Stats
-		default:
-			return fmt.Errorf("%s:%d: unknown query %q", path, line, fields[0])
-		}
-		fmt.Printf("query %q: %s\n", text, stats)
-		queryRounds += stats.TotalRounds
-		nq++
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	pre = eng.PreprocessStats() // lazy artifacts may have been added
-	fmt.Printf("batch: %d queries, %d preprocessing rounds (%d builds) + %d query rounds = %d total\n",
-		nq, pre.Total.TotalRounds, len(pre.Builds), queryRounds, pre.Total.TotalRounds+queryRounds)
-	return saveEngine(eng, savePath, false)
-}
-
 func parseSources(csv string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(csv, ",") {
@@ -432,21 +363,4 @@ func parseSources(csv string) ([]int, error) {
 		out = append(out, s)
 	}
 	return out, nil
-}
-
-func distStr(d int64) string {
-	if d >= ccsp.Unreachable {
-		return "inf"
-	}
-	return strconv.FormatInt(d, 10)
-}
-
-func printMatrix(dist [][]int64) {
-	for _, row := range dist {
-		parts := make([]string, len(row))
-		for i, d := range row {
-			parts[i] = distStr(d)
-		}
-		fmt.Println(strings.Join(parts, "\t"))
-	}
 }

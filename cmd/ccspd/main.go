@@ -12,9 +12,14 @@
 //
 //	ccspd -graph g.txt -addr :8080 -timeout 30s -cache 128 -workers 0
 //
-// Endpoints: /healthz, /v1/sssp?source=S, /v1/mssp?sources=A,B,
-// /v1/distance?from=U&to=V, /v1/diameter, /v1/stats. Distances are -1
-// for unreachable pairs. SIGINT/SIGTERM during startup aborts a build in
+// Endpoints: the typed query plane POST /v1/query (one api.Request:
+// sssp, mssp, apsp, distance, diameter, knearest, source_detection) and
+// POST /v1/batch (many requests, one deduped engine batch with
+// per-request errors), plus GET /healthz and /v1/stats; the pre-plane
+// GET endpoints (/v1/sssp, /v1/mssp, /v1/distance, /v1/diameter) remain
+// as deprecated byte-identical shims. Distances are -1 for unreachable
+// pairs. The client package (and cmd/ccsp -server) speaks the POST
+// plane. SIGINT/SIGTERM during startup aborts a build in
 // flight at its next simulator barrier (a partial -save snapshot is never
 // left behind: the write is temp-file + rename, and an interrupted build
 // never reaches it); during serving it drains in-flight requests, then
@@ -24,8 +29,8 @@
 // Example:
 //
 //	$ ccspd -graph graph.txt -save warm.snap &
-//	$ curl -s 'localhost:8080/v1/distance?from=0&to=41'
-//	{"from":0,"to":41,"distance":12,"reachable":true,...}
+//	$ curl -s localhost:8080/v1/query -d '{"kind":"distance","distance":{"from":0,"to":41}}'
+//	{"kind":"distance","distance":{"from":0,"to":41,"distance":12,"reachable":true},...}
 package main
 
 import (

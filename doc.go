@@ -61,4 +61,19 @@
 //	eng, err := ccsp.NewEngine(ctx, g, ccsp.Options{Epsilon: 0.5})
 //	if err != nil { ... }
 //	res, err := eng.MSSP(ctx, []int{3, 7, 11}) // no hopset rebuild
+//
+// # The query plane
+//
+// Engine.Query answers one typed api.Request (the tagged union the
+// serving daemon and the client package speak), and Engine.Batch answers
+// many at once: duplicate requests dedup onto one run, distinct requests
+// run concurrently, shared preprocessing artifacts build once, and
+// failures stay per-request. The api package defines the wire schema,
+// the client package the HTTP client mirroring Engine's method set;
+// DESIGN.md §11 documents the plane.
+//
+//	resps, err := eng.Batch(ctx, []api.Request{
+//		{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{3, 7}}},
+//		{Kind: api.KindDiameter},
+//	})
 package ccsp

@@ -545,12 +545,18 @@ func (e *Engine) KNearest(ctx context.Context, k int) (*KNearestResult, error) {
 }
 
 // SourceDetection answers an (S, d, k)-source detection query
-// (Theorem 19). It needs no preprocessing artifacts.
+// (Theorem 19). It needs no preprocessing artifacts. A hop bound d larger
+// than n is clamped to n: simple paths have at most n-1 hops, so the
+// answers are identical and the run does not pay for dead iterations (nor
+// can a wire-supplied d drive unbounded work).
 func (e *Engine) SourceDetection(ctx context.Context, sources []int, d, k int) (*SourceDetectionResult, error) {
 	if d < 1 || k < 1 {
 		return nil, fmt.Errorf("%w: d and k must be positive (d=%d, k=%d)", ErrInvalidOption, d, k)
 	}
 	n := e.gr.N()
+	if d > n {
+		d = n
+	}
 	inS := make([]bool, n)
 	for _, s := range sources {
 		if s < 0 || s >= n {

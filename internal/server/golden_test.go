@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/congestedclique/ccsp"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden response files under testdata/golden")
+
+// goldenGraph is a fixed 8-node weighted ring with chords (the smoke
+// script's graph). Everything a query returns on it - distances AND
+// round/message/word stats - is deterministic, so whole JSON responses
+// can be pinned byte-for-byte.
+func goldenGraph(t testing.TB) *ccsp.Engine {
+	t.Helper()
+	gr := ccsp.NewGraph(8)
+	for _, e := range [][3]int64{
+		{0, 1, 2}, {1, 2, 3}, {2, 3, 1}, {3, 4, 4}, {4, 5, 2}, {5, 6, 5}, {6, 7, 1}, {7, 0, 3},
+		{0, 4, 9}, {1, 5, 2}, {2, 6, 7},
+	} {
+		gr.MustAddEdge(int(e[0]), int(e[1]), e[2])
+	}
+	eng, err := ccsp.NewEngine(context.Background(), gr, ccsp.Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestGoldenResponses pins the full JSON bytes of POST /v1/query for
+// every algorithm (and one typed error) against committed golden files.
+// A wire-schema change that alters any byte shows up as a diff here -
+// the review gate the versioning policy of DESIGN.md §11 relies on.
+// Regenerate intentionally with: go test ./internal/server -run Golden -update
+func TestGoldenResponses(t *testing.T) {
+	eng := goldenGraph(t)
+	ts := newTestServer(t, eng, Config{CacheSize: -1}) // no cache: every response is a fresh run
+
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"sssp", `{"kind":"sssp","sssp":{"source":0}}`, http.StatusOK},
+		{"mssp", `{"kind":"mssp","mssp":{"sources":[0,3]}}`, http.StatusOK},
+		{"apsp_auto", `{"kind":"apsp"}`, http.StatusOK},
+		{"apsp_weighted3", `{"kind":"apsp","apsp":{"variant":"weighted3"}}`, http.StatusOK},
+		{"distance", `{"kind":"distance","distance":{"from":0,"to":5}}`, http.StatusOK},
+		{"diameter", `{"kind":"diameter"}`, http.StatusOK},
+		{"knearest", `{"kind":"knearest","knearest":{"k":3}}`, http.StatusOK},
+		{"source_detection", `{"kind":"source_detection","source_detection":{"sources":[0,3],"d":4,"k":2}}`, http.StatusOK},
+		{"error_invalid_source", `{"kind":"sssp","sssp":{"source":99}}`, http.StatusUnprocessableEntity},
+		{"error_malformed_union", `{"kind":"sssp","mssp":{"sources":[1]}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.code {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.code, buf.Bytes())
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("response bytes diverged from %s\n got: %s\nwant: %s", path, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenUnweighted pins the auto-APSP resolution on a unit-weight
+// graph (the unweighted Theorem 31 algorithm, with its two artifacts).
+func TestGoldenUnweighted(t *testing.T) {
+	gr := ccsp.NewGraph(8)
+	for _, e := range [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}, {1, 5}, {2, 6},
+	} {
+		gr.MustAddEdge(e[0], e[1], 1)
+	}
+	eng, err := ccsp.NewEngine(context.Background(), gr, ccsp.Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, eng, Config{CacheSize: -1})
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(`{"kind":"apsp"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	if !strings.Contains(buf.String(), `"variant": "unweighted"`) {
+		t.Fatalf("auto on a unit-weight graph must resolve to unweighted: %s", buf.Bytes())
+	}
+	path := filepath.Join("testdata", "golden", "apsp_unweighted.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("response bytes diverged from %s\n got: %s\nwant: %s", path, buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,171 @@
+// Deprecated query-string endpoints: GET /v1/sssp, /v1/mssp,
+// /v1/distance, /v1/diameter. They predate the typed query plane
+// (DESIGN.md §11) and are kept as thin shims for old clients - each
+// parses its query string into an api.Request, runs the same
+// plan/execute path as POST /v1/query (sharing the one response cache),
+// and renders the historical response shape byte-for-byte: same field
+// order, same {"error": "..."} string bodies, same status codes. New
+// integrations use POST /v1/query; these shims are frozen and will be
+// removed with the next wire major version.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/congestedclique/ccsp/api"
+)
+
+// statsJSON is the deterministic core of a run's cost, embedded in the
+// legacy query responses. It is the wire Stats under its historical name:
+// the JSON encoding is identical.
+type statsJSON = api.Stats
+
+type ssspResponse struct {
+	Source     int       `json:"source"`
+	Dist       []int64   `json:"dist"`
+	Iterations int       `json:"iterations"`
+	Stats      statsJSON `json:"stats"`
+	Cached     bool      `json:"cached"`
+}
+
+type msspResponse struct {
+	Sources []int     `json:"sources"`
+	Dist    [][]int64 `json:"dist"`
+	Stats   statsJSON `json:"stats"`
+	Cached  bool      `json:"cached"`
+}
+
+type distanceResponse struct {
+	From      int       `json:"from"`
+	To        int       `json:"to"`
+	Distance  int64     `json:"distance"`
+	Reachable bool      `json:"reachable"`
+	Stats     statsJSON `json:"stats"`
+	Cached    bool      `json:"cached"`
+}
+
+type diameterResponse struct {
+	Estimate int64     `json:"estimate"`
+	Stats    statsJSON `json:"stats"`
+	Cached   bool      `json:"cached"`
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	s.serveLegacy(w, r, func() (api.Request, error) {
+		src, err := intParam(r, "source")
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: src}}, nil
+	}, func(resp api.Response) interface{} {
+		return ssspResponse{Source: resp.SSSP.Source, Dist: resp.SSSP.Dist,
+			Iterations: resp.SSSP.Iterations, Stats: *resp.Stats, Cached: resp.Cached}
+	})
+}
+
+func (s *Server) handleMSSP(w http.ResponseWriter, r *http.Request) {
+	s.serveLegacy(w, r, func() (api.Request, error) {
+		sources, err := sourcesParam(r, "sources")
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: sources}}, nil
+	}, func(resp api.Response) interface{} {
+		return msspResponse{Sources: resp.MSSP.Sources, Dist: resp.MSSP.Dist,
+			Stats: *resp.Stats, Cached: resp.Cached}
+	})
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	s.serveLegacy(w, r, func() (api.Request, error) {
+		from, err := intParam(r, "from")
+		if err != nil {
+			return api.Request{}, err
+		}
+		to, err := intParam(r, "to")
+		if err != nil {
+			return api.Request{}, err
+		}
+		return api.Request{Kind: api.KindDistance, Distance: &api.DistanceParams{From: from, To: to}}, nil
+	}, func(resp api.Response) interface{} {
+		d := resp.Distance
+		return distanceResponse{From: d.From, To: d.To, Distance: d.Distance,
+			Reachable: d.Reachable, Stats: *resp.Stats, Cached: resp.Cached}
+	})
+}
+
+func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
+	s.serveLegacy(w, r, func() (api.Request, error) {
+		return api.Request{Kind: api.KindDiameter}, nil
+	}, func(resp api.Response) interface{} {
+		return diameterResponse{Estimate: resp.Diameter.Estimate, Stats: *resp.Stats, Cached: resp.Cached}
+	})
+}
+
+// serveLegacy is the shared shim path: parse the query string into an
+// api.Request, run the common plan/execute core, and render the
+// historical response shape. Error handling matches the pre-plane
+// server exactly: parse failures render their own message, 504 and 499
+// get the operator-friendly rewrites, everything else passes through.
+func (s *Server) serveLegacy(w http.ResponseWriter, r *http.Request,
+	prepare func() (api.Request, error), convert func(api.Response) interface{}) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		s.errors.Add(1)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	req, err := prepare()
+	if err != nil {
+		s.errors.Add(1)
+		writeError(w, statusForError(err), err)
+		return
+	}
+	resp, err := s.execute(r.Context(), req)
+	if err != nil {
+		code := s.countError(err)
+		switch code {
+		case http.StatusGatewayTimeout:
+			err = fmt.Errorf("query exceeded the %s request timeout", s.timeout)
+		case statusClientClosedRequest:
+			// Client went away mid-query; report it as 499 (nginx's "client
+			// closed request") so logs and proxies don't see an implicit 200.
+			err = fmt.Errorf("client closed the request")
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, convert(resp))
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad parameter %s=%q: not an integer", name, raw)
+	}
+	return v, nil
+}
+
+func sourcesParam(r *http.Request, name string) ([]int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return nil, fmt.Errorf("missing required parameter %q", name)
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter %s=%q: %q is not an integer", name, raw, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

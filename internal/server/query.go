@@ -1,0 +1,178 @@
+// POST /v1/query and /v1/batch: the typed query plane (DESIGN.md §11).
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/api"
+)
+
+const (
+	// maxQueryBytes caps a /v1/query body. A request is a small tagged
+	// union - the only unbounded field is a source list, and 1 MiB already
+	// admits ~10^5 sources (far past the √n regime Theorem 3 serves) - so
+	// the cap bounds decoder allocations without constraining real use.
+	maxQueryBytes = 1 << 20
+	// maxBatchBytes caps a /v1/batch body.
+	maxBatchBytes = 8 << 20
+	// maxBatchRequests caps the number of requests one batch may carry.
+	maxBatchRequests = 256
+)
+
+// errorBody is the JSON envelope of a failed /v1/query or /v1/batch
+// request: a typed api.Error (machine-readable code + message) under an
+// "error" key, plus the echoed request kind when one was decodable.
+type errorBody struct {
+	Kind  api.Kind   `json:"kind,omitempty"`
+	Error *api.Error `json:"error"`
+}
+
+func writeAPIError(w http.ResponseWriter, code int, kind api.Kind, apiErr *api.Error) {
+	writeJSON(w, code, errorBody{Kind: kind, Error: apiErr})
+}
+
+// handleQuery serves POST /v1/query: one api.Request in, one
+// api.Response out, cached and planned identically to the legacy shims
+// (a distance request shares the single-source MSSP cache entry, an auto
+// APSP variant resolves before keying).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.errors.Add(1)
+		writeAPIError(w, http.StatusMethodNotAllowed, "",
+			&api.Error{Code: api.CodeMalformed, Message: "use POST"})
+		return
+	}
+	req, err := api.DecodeRequest(http.MaxBytesReader(w, r.Body, maxQueryBytes))
+	if err != nil {
+		s.errors.Add(1)
+		writeAPIError(w, statusForError(err), req.Kind, ccsp.APIError(err))
+		return
+	}
+	resp, err := s.execute(r.Context(), req)
+	if err != nil {
+		writeAPIError(w, s.countError(err), req.Kind, ccsp.APIError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch serves POST /v1/batch: many requests, one bounded engine
+// batch. Per-request failures (malformed unions, out-of-range nodes,
+// round-limit trips) answer in place with typed api.Errors - the batch
+// itself still returns 200. The whole batch runs under one request
+// timeout; a top-level error (unreadable body, oversized batch, context
+// dead before any query ran) is the only way to get a non-200.
+//
+// Cache interplay: every position is planned like a single query, hits
+// answer from the cache (Cached: true), distinct misses dedup onto one
+// engine run each, and completed runs refill the cache for the next
+// request - so a hot batch converges to zero simulator runs.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.errors.Add(1)
+		writeAPIError(w, http.StatusMethodNotAllowed, "",
+			&api.Error{Code: api.CodeMalformed, Message: "use POST"})
+		return
+	}
+	br, err := api.DecodeBatchRequest(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	if err != nil {
+		s.errors.Add(1)
+		writeAPIError(w, statusForError(err), "", ccsp.APIError(err))
+		return
+	}
+	if len(br.Requests) == 0 {
+		s.errors.Add(1)
+		writeAPIError(w, http.StatusBadRequest, "",
+			&api.Error{Code: api.CodeMalformed, Message: "empty batch"})
+		return
+	}
+	if len(br.Requests) > maxBatchRequests {
+		s.errors.Add(1)
+		writeAPIError(w, http.StatusBadRequest, "",
+			&api.Error{Code: api.CodeMalformed,
+				Message: fmt.Sprintf("batch of %d requests exceeds the %d-request limit", len(br.Requests), maxBatchRequests)})
+		return
+	}
+
+	resps := make([]api.Response, len(br.Requests))
+	// Plan every position; answer cache hits and malformed requests in
+	// place, group the rest by canonical key for one engine run each.
+	// Positions sharing a key share the run but keep their own plans:
+	// two distance requests from one source (or a distance and a plain
+	// single-source MSSP) coalesce onto one engine run yet project
+	// different responses out of it.
+	type member struct {
+		idx int
+		p   plan
+	}
+	type missGroup struct {
+		run     api.Request
+		members []member
+	}
+	var order []string
+	misses := make(map[string]*missGroup)
+	for i, req := range br.Requests {
+		p, err := s.plan(req)
+		if err != nil {
+			resps[i] = api.Response{Kind: req.Kind, Error: ccsp.APIError(err)}
+			continue
+		}
+		if v, ok := s.cache.Get(p.key); ok {
+			resps[i] = p.finish(v.(api.Response), true)
+			continue
+		}
+		g, ok := misses[p.key]
+		if !ok {
+			g = &missGroup{run: p.run}
+			misses[p.key] = g
+			order = append(order, p.key)
+		}
+		g.members = append(g.members, member{idx: i, p: p})
+	}
+
+	if len(order) > 0 {
+		runs := make([]api.Request, len(order))
+		for j, key := range order {
+			runs[j] = misses[key].run
+		}
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		out, err := s.eng.Batch(ctx, runs)
+		if err != nil {
+			// Only "the batch never ran" (context dead on entry) lands here.
+			writeAPIError(w, s.countError(err), "", ccsp.APIError(err))
+			return
+		}
+		for j, key := range order {
+			if out[j].Error == nil {
+				s.cache.Put(key, out[j])
+			}
+			for _, m := range misses[key].members {
+				resps[m.idx] = m.p.finish(out[j], false)
+			}
+		}
+	}
+	// Per-position failures return inside a 200, but they still feed the
+	// serving stats: a batch workload going bad must show up in
+	// /v1/stats exactly like failing single queries would.
+	for _, resp := range resps {
+		if resp.Error == nil {
+			continue
+		}
+		if resp.Error.Code == api.CodeDeadline {
+			s.timeouts.Add(1)
+		} else {
+			s.errors.Add(1)
+		}
+	}
+	writeJSON(w, http.StatusOK, api.BatchResponse{Responses: resps})
+}

@@ -1,0 +1,430 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/congestedclique/ccsp/api"
+)
+
+// postJSON POSTs body to url and decodes the response, asserting the
+// status code.
+func postJSON(t *testing.T, url, body string, wantCode int, out interface{}) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d (want %d): %s", url, resp.StatusCode, wantCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: bad JSON: %v\n%s", url, err, raw)
+		}
+	}
+	return raw
+}
+
+// TestQueryEndpointAllKinds: every request kind through POST /v1/query
+// answers identically to the direct Engine.Query call.
+func TestQueryEndpointAllKinds(t *testing.T) {
+	_, eng := testEngine(t, 16)
+	ts := newTestServer(t, eng, Config{})
+
+	reqs := []string{
+		`{"kind":"sssp","sssp":{"source":3}}`,
+		`{"kind":"mssp","mssp":{"sources":[2,5]}}`,
+		`{"kind":"apsp"}`,
+		`{"kind":"apsp","apsp":{"variant":"weighted3"}}`,
+		`{"kind":"distance","distance":{"from":2,"to":9}}`,
+		`{"kind":"diameter"}`,
+		`{"kind":"knearest","knearest":{"k":3}}`,
+		`{"kind":"source_detection","source_detection":{"sources":[0,5],"d":3,"k":2}}`,
+	}
+	for _, body := range reqs {
+		var req api.Request
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Query(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: direct query: %v", body, err)
+		}
+		var got api.Response
+		postJSON(t, ts.URL+"/v1/query", body, http.StatusOK, &got)
+		got.Cached = want.Cached // the HTTP path may answer from cache
+		if !reflect.DeepEqual(&got, want) {
+			t.Errorf("%s: HTTP response differs from direct Engine.Query\n got %+v\nwant %+v", body, got, want)
+		}
+	}
+}
+
+// TestQueryEndpointSharesLegacyCache: the POST plane and the deprecated
+// GET shims key the one cache identically - a POST warms the GET and
+// vice versa, including the distance/MSSP sharing.
+func TestQueryEndpointSharesLegacyCache(t *testing.T) {
+	_, eng := testEngine(t, 12)
+	ts := newTestServer(t, eng, Config{CacheSize: 16})
+
+	var first api.Response
+	postJSON(t, ts.URL+"/v1/query", `{"kind":"sssp","sssp":{"source":1}}`, http.StatusOK, &first)
+	if first.Cached {
+		t.Error("first POST sssp already cached")
+	}
+	var legacy ssspResponse
+	getJSON(t, ts.URL+"/v1/sssp?source=1", http.StatusOK, &legacy)
+	if !legacy.Cached {
+		t.Error("GET after POST missed the shared cache")
+	}
+	if !reflect.DeepEqual(legacy.Dist, first.SSSP.Dist) {
+		t.Error("legacy shim and query plane disagree")
+	}
+
+	// Distance via POST warms the MSSP entry for both planes.
+	var dist api.Response
+	postJSON(t, ts.URL+"/v1/query", `{"kind":"distance","distance":{"from":4,"to":7}}`, http.StatusOK, &dist)
+	var mssp api.Response
+	postJSON(t, ts.URL+"/v1/query", `{"kind":"mssp","mssp":{"sources":[4]}}`, http.StatusOK, &mssp)
+	if !mssp.Cached {
+		t.Error("distance POST did not warm the mssp cache entry")
+	}
+	var legacyM msspResponse
+	getJSON(t, ts.URL+"/v1/mssp?sources=4", http.StatusOK, &legacyM)
+	if !legacyM.Cached {
+		t.Error("legacy mssp GET missed the entry a POST distance warmed")
+	}
+
+	// Auto and explicit APSP variants share one entry (auto resolves
+	// before keying).
+	var auto api.Response
+	postJSON(t, ts.URL+"/v1/query", `{"kind":"apsp"}`, http.StatusOK, &auto)
+	explicit := fmt.Sprintf(`{"kind":"apsp","apsp":{"variant":"%s"}}`, auto.APSP.Variant)
+	var resolved api.Response
+	postJSON(t, ts.URL+"/v1/query", explicit, http.StatusOK, &resolved)
+	if !resolved.Cached {
+		t.Error("explicit variant missed the entry auto warmed")
+	}
+}
+
+// TestQueryEndpointErrors pins the typed 400/422 (and 405) behavior of
+// the POST plane: structural problems are 400 CodeMalformed, semantic
+// ones 422 with the engine's code.
+func TestQueryEndpointErrors(t *testing.T) {
+	_, eng := testEngine(t, 10)
+	ts := newTestServer(t, eng, Config{})
+
+	for _, tc := range []struct {
+		name string
+		body string
+		code int
+		want api.ErrorCode
+	}{
+		{"syntax", `{"kind":`, http.StatusBadRequest, api.CodeMalformed},
+		{"unknown-kind", `{"kind":"bfs"}`, http.StatusBadRequest, api.CodeMalformed},
+		{"union-mismatch", `{"kind":"sssp","mssp":{"sources":[1]}}`, http.StatusBadRequest, api.CodeMalformed},
+		{"missing-payload", `{"kind":"knearest"}`, http.StatusBadRequest, api.CodeMalformed},
+		{"out-of-range", `{"kind":"sssp","sssp":{"source":99}}`, http.StatusUnprocessableEntity, api.CodeInvalidSource},
+		{"negative-source", `{"kind":"mssp","mssp":{"sources":[-2]}}`, http.StatusUnprocessableEntity, api.CodeInvalidSource},
+		{"distance-to-range", `{"kind":"distance","distance":{"from":0,"to":1000}}`, http.StatusUnprocessableEntity, api.CodeInvalidSource},
+		{"bad-k", `{"kind":"knearest","knearest":{"k":0}}`, http.StatusUnprocessableEntity, api.CodeInvalidOption},
+		{"bad-d", `{"kind":"source_detection","source_detection":{"sources":[0],"d":0,"k":1}}`, http.StatusUnprocessableEntity, api.CodeInvalidOption},
+	} {
+		var e errorBody
+		postJSON(t, ts.URL+"/v1/query", tc.body, tc.code, &e)
+		if e.Error == nil || e.Error.Code != tc.want {
+			t.Errorf("%s: error %+v, want code %q", tc.name, e.Error, tc.want)
+		}
+		if e.Error != nil && e.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+
+	// GET on the POST plane is 405.
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/query: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBatchEndpoint: a mixed batch answers every position - successes,
+// typed failures, duplicates and cache hits - and matches direct engine
+// calls.
+func TestBatchEndpoint(t *testing.T) {
+	_, eng := testEngine(t, 14)
+	ts := newTestServer(t, eng, Config{CacheSize: 16})
+
+	// Warm one entry so the batch exercises the hit path.
+	postJSON(t, ts.URL+"/v1/query", `{"kind":"diameter"}`, http.StatusOK, nil)
+
+	body := `{"requests":[
+		{"kind":"mssp","mssp":{"sources":[0,3]}},
+		{"kind":"sssp","sssp":{"source":2}},
+		{"kind":"diameter"},
+		{"kind":"sssp","sssp":{"source":777}},
+		{"kind":"mssp"},
+		{"kind":"distance","distance":{"from":0,"to":5}},
+		{"kind":"mssp","mssp":{"sources":[3,0,3]}}
+	]}`
+	var br api.BatchResponse
+	postJSON(t, ts.URL+"/v1/batch", body, http.StatusOK, &br)
+	if len(br.Responses) != 7 {
+		t.Fatalf("%d responses, want 7", len(br.Responses))
+	}
+	r := br.Responses
+	wantM, err := eng.Query(context.Background(), api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{0, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0].Error != nil || !reflect.DeepEqual(r[0].MSSP, wantM.MSSP) {
+		t.Errorf("batch[0] mssp differs from direct call: %+v", r[0].Error)
+	}
+	if r[1].Error != nil || r[1].SSSP == nil {
+		t.Errorf("batch[1] sssp failed: %+v", r[1].Error)
+	}
+	if r[2].Error != nil || !r[2].Cached {
+		t.Errorf("batch[2] diameter should be a cache hit: err=%+v cached=%v", r[2].Error, r[2].Cached)
+	}
+	if r[3].Error == nil || r[3].Error.Code != api.CodeInvalidSource {
+		t.Errorf("batch[3] error %+v, want invalid_source", r[3].Error)
+	}
+	if r[4].Error == nil || r[4].Error.Code != api.CodeMalformed {
+		t.Errorf("batch[4] error %+v, want malformed", r[4].Error)
+	}
+	if r[5].Error != nil || r[5].Distance == nil || r[5].Kind != api.KindDistance {
+		t.Errorf("batch[5] distance failed: %+v", r[5])
+	}
+	// Position 6 duplicates position 0 (same canonical sources).
+	if !reflect.DeepEqual(r[6].MSSP, r[0].MSSP) {
+		t.Error("batch[6] duplicate did not share batch[0]'s answer")
+	}
+
+	// The batch refilled the cache: re-running it answers entirely from
+	// cache (every success Cached).
+	var again api.BatchResponse
+	postJSON(t, ts.URL+"/v1/batch", body, http.StatusOK, &again)
+	for i, resp := range again.Responses {
+		if resp.Error == nil && !resp.Cached {
+			t.Errorf("rerun batch[%d] not served from cache", i)
+		}
+	}
+
+	// Per-position failures feed the serving stats even inside a 200
+	// batch (each run carried 2 failing positions).
+	var st struct {
+		Requests map[string]int64 `json:"requests"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.Requests["errors"] < 4 {
+		t.Errorf("stats errors = %d after 2 batches with 2 failing positions each", st.Requests["errors"])
+	}
+}
+
+// TestBatchSharedRunDistinctProjections: positions that coalesce onto
+// one engine run (two distances from the same source, plus the plain
+// single-source MSSP they rewrite to) still project their own responses
+// - the regression guard for per-position plans inside a shared miss
+// group.
+func TestBatchSharedRunDistinctProjections(t *testing.T) {
+	_, eng := testEngine(t, 12)
+	ts := newTestServer(t, eng, Config{CacheSize: 16})
+
+	body := `{"requests":[
+		{"kind":"distance","distance":{"from":2,"to":5}},
+		{"kind":"distance","distance":{"from":2,"to":9}},
+		{"kind":"mssp","mssp":{"sources":[2]}}
+	]}`
+	var br api.BatchResponse
+	postJSON(t, ts.URL+"/v1/batch", body, http.StatusOK, &br)
+	if len(br.Responses) != 3 {
+		t.Fatalf("%d responses, want 3", len(br.Responses))
+	}
+	want, err := eng.Query(context.Background(), api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1, m := br.Responses[0], br.Responses[1], br.Responses[2]
+	if d0.Error != nil || d1.Error != nil || m.Error != nil {
+		t.Fatalf("errors: %+v %+v %+v", d0.Error, d1.Error, m.Error)
+	}
+	if d0.Distance.To != 5 || d1.Distance.To != 9 {
+		t.Fatalf("projections mixed up: to=%d and to=%d", d0.Distance.To, d1.Distance.To)
+	}
+	if d0.Distance.Distance != want.MSSP.Dist[5][0] || d1.Distance.Distance != want.MSSP.Dist[9][0] {
+		t.Error("shared-run distances do not match the MSSP row")
+	}
+	if m.Kind != api.KindMSSP || !reflect.DeepEqual(m.MSSP, want.MSSP) {
+		t.Error("plain mssp position was not answered as mssp")
+	}
+	// One engine run for all three: the shared entry is now cached.
+	var probe api.Response
+	postJSON(t, ts.URL+"/v1/query", `{"kind":"mssp","mssp":{"sources":[2]}}`, http.StatusOK, &probe)
+	if !probe.Cached {
+		t.Error("shared run did not warm the cache")
+	}
+}
+
+// TestBatchEndpointErrors pins the top-level failure modes.
+func TestBatchEndpointErrors(t *testing.T) {
+	_, eng := testEngine(t, 10)
+	ts := newTestServer(t, eng, Config{})
+
+	var e errorBody
+	postJSON(t, ts.URL+"/v1/batch", `{"requests":[]}`, http.StatusBadRequest, &e)
+	if e.Error == nil || e.Error.Code != api.CodeMalformed {
+		t.Errorf("empty batch: %+v", e.Error)
+	}
+
+	var reqs []string
+	for i := 0; i <= maxBatchRequests; i++ {
+		reqs = append(reqs, `{"kind":"diameter"}`)
+	}
+	over := `{"requests":[` + strings.Join(reqs, ",") + `]}`
+	postJSON(t, ts.URL+"/v1/batch", over, http.StatusBadRequest, &e)
+	if e.Error == nil || !strings.Contains(e.Error.Message, "exceeds") {
+		t.Errorf("oversized batch: %+v", e.Error)
+	}
+
+	postJSON(t, ts.URL+"/v1/batch", `{"requests":`, http.StatusBadRequest, &e)
+	if e.Error == nil || e.Error.Code != api.CodeMalformed {
+		t.Errorf("bad JSON batch: %+v", e.Error)
+	}
+}
+
+// TestBatchTimeout: the server timeout covers the whole batch; expired
+// positions report typed deadline errors while the batch still returns
+// 200 (the context fires mid-run, after at least the decode succeeded).
+func TestBatchTimeout(t *testing.T) {
+	_, eng := testEngine(t, 24)
+	ts := newTestServer(t, eng, Config{Timeout: time.Nanosecond})
+	body := `{"requests":[{"kind":"diameter"},{"kind":"sssp","sssp":{"source":1}}]}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var br api.BatchResponse
+		if err := json.Unmarshal(raw, &br); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		for i, r := range br.Responses {
+			if r.Error == nil || r.Error.Code != api.CodeDeadline {
+				t.Errorf("position %d: %+v, want deadline_exceeded", i, r.Error)
+			}
+		}
+	case http.StatusGatewayTimeout:
+		// The deadline fired before the engine saw the batch at all.
+	default:
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestLegacyShimsByteIdentical is the deprecation contract: the GET
+// endpoints render exactly the bytes the pre-plane server rendered - the
+// reference encoding of the legacy structs built from direct Engine
+// calls.
+func TestLegacyShimsByteIdentical(t *testing.T) {
+	_, eng := testEngine(t, 12)
+	ts := newTestServer(t, eng, Config{})
+
+	render := func(v interface{}) []byte {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	fetchRaw := func(path string) []byte {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, raw)
+		}
+		return raw
+	}
+
+	wantS, err := eng.SSSP(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([]int64, len(wantS.Dist))
+	for i, d := range wantS.Dist {
+		dist[i] = jsonDist(d)
+	}
+	wantBytes := render(ssspResponse{Source: 3, Dist: dist, Iterations: wantS.Iterations,
+		Stats: statsJSON{TotalRounds: wantS.Stats.TotalRounds, SimRounds: wantS.Stats.SimRounds,
+			Messages: wantS.Stats.Messages, Words: wantS.Stats.Words}})
+	if got := fetchRaw("/v1/sssp?source=3"); !bytes.Equal(got, wantBytes) {
+		t.Errorf("sssp shim bytes differ:\n got %s\nwant %s", got, wantBytes)
+	}
+
+	wantD, err := eng.Diameter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes = render(diameterResponse{Estimate: wantD.Estimate,
+		Stats: statsJSON{TotalRounds: wantD.Stats.TotalRounds, SimRounds: wantD.Stats.SimRounds,
+			Messages: wantD.Stats.Messages, Words: wantD.Stats.Words}})
+	if got := fetchRaw("/v1/diameter"); !bytes.Equal(got, wantBytes) {
+		t.Errorf("diameter shim bytes differ:\n got %s\nwant %s", got, wantBytes)
+	}
+
+	wantM, err := eng.MSSP(context.Background(), []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdist := make([][]int64, len(wantM.Dist))
+	for v, row := range wantM.Dist {
+		mdist[v] = make([]int64, len(row))
+		for i, d := range row {
+			mdist[v][i] = jsonDist(d)
+		}
+	}
+	wantBytes = render(msspResponse{Sources: wantM.Sources, Dist: mdist,
+		Stats: statsJSON{TotalRounds: wantM.Stats.TotalRounds, SimRounds: wantM.Stats.SimRounds,
+			Messages: wantM.Stats.Messages, Words: wantM.Stats.Words}})
+	if got := fetchRaw("/v1/mssp?sources=5,2,5"); !bytes.Equal(got, wantBytes) {
+		t.Errorf("mssp shim bytes differ:\n got %s\nwant %s", got, wantBytes)
+	}
+
+	// Error bodies keep the legacy {"error": "..."} string shape.
+	resp, err := http.Get(ts.URL + "/v1/sssp?source=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	wantErr := render(map[string]string{"error": `bad parameter source="banana": not an integer`})
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Equal(raw, wantErr) {
+		t.Errorf("legacy error body: %d %s, want 400 %s", resp.StatusCode, raw, wantErr)
+	}
+}

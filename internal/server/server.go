@@ -5,14 +5,25 @@
 // cheap query-only run, optionally short-circuited by a small LRU cache
 // of repeated queries.
 //
-// Endpoints (all GET, all JSON; distances use -1 for unreachable pairs):
+// The serving surface is the typed query plane of the api package
+// (DESIGN.md §11). Primary endpoints (JSON bodies; distances use -1 for
+// unreachable pairs):
 //
-//	/healthz                     liveness + graph shape
-//	/v1/sssp?source=S            exact single-source distances
-//	/v1/mssp?sources=A,B,...     (1+ε)-approximate multi-source distances
-//	/v1/distance?from=U&to=V     one (1+ε)-approximate pair, via MSSP
-//	/v1/diameter                 near-3/2 diameter estimate
-//	/v1/stats                    server, cache, graph and preprocessing stats
+//	POST /v1/query    one api.Request (tagged union over all 7 query
+//	                  algorithms), answered with an api.Response
+//	POST /v1/batch    api.BatchRequest: many requests, one engine batch
+//	                  with per-request errors and shared deduped runs
+//	GET  /healthz     liveness + graph shape
+//	GET  /v1/stats    server, cache, graph and preprocessing stats
+//
+// Deprecated query-string shims, kept byte-identical for old clients
+// (each is a thin projection of the same plan/execute path the POST
+// endpoints use, sharing one response cache):
+//
+//	GET /v1/sssp?source=S            exact single-source distances
+//	GET /v1/mssp?sources=A,B,...     (1+ε)-approximate multi-source distances
+//	GET /v1/distance?from=U&to=V     one (1+ε)-approximate pair, via MSSP
+//	GET /v1/diameter                 near-3/2 diameter estimate
 //
 // Every query runs under the request context (plus the per-request
 // Config.Timeout): a fired deadline or a dropped client connection stops
@@ -25,6 +36,7 @@
 //	ccsp.ErrRoundLimit         503 Service Unavailable
 //	ccsp.ErrInvalidSource      422 Unprocessable Entity
 //	ccsp.ErrInvalidOption      422 Unprocessable Entity
+//	api.ErrMalformed           400 Bad Request
 //	anything else (bad params) 400 Bad Request
 package server
 
@@ -34,20 +46,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
-	"strconv"
-	"strings"
 	"sync/atomic"
 	"time"
 
 	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/api"
 )
 
 // Config configures a Server.
 type Config struct {
 	// Engine serves every query. Required.
 	Engine *ccsp.Engine
-	// Timeout bounds each request's query; 0 means no timeout.
+	// Timeout bounds each request's query (a /v1/batch body counts as one
+	// request: the timeout covers the whole batch); 0 means no timeout.
 	Timeout time.Duration
 	// CacheSize is the LRU capacity in responses; 0 picks the default
 	// (128), negative disables caching.
@@ -94,229 +105,119 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	// Deprecated query-string shims (see legacy.go).
 	mux.HandleFunc("/v1/sssp", s.handleSSSP)
 	mux.HandleFunc("/v1/mssp", s.handleMSSP)
 	mux.HandleFunc("/v1/distance", s.handleDistance)
 	mux.HandleFunc("/v1/diameter", s.handleDiameter)
-	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
 
-// statsJSON is the deterministic core of a run's cost, embedded in query
-// responses.
-type statsJSON struct {
-	TotalRounds int   `json:"total_rounds"`
-	SimRounds   int   `json:"sim_rounds"`
-	Messages    int64 `json:"messages"`
-	Words       int64 `json:"words"`
+// plan is the executable form of one request: the canonical cache key,
+// the request actually handed to the engine, and an optional projection
+// from the executed response to the outward one. Two rewrites happen at
+// planning time so that equivalent requests share cache entries and
+// engine runs: a distance request becomes a single-source MSSP plus a
+// pair projection (so hot-source distance lookups and explicit MSSP
+// queries hit the same entry), and an auto APSP variant resolves to the
+// concrete algorithm the graph selects.
+type plan struct {
+	kind    api.Kind // outward kind, echoed on projected/error responses
+	key     string
+	run     api.Request
+	project func(api.Response) api.Response
 }
 
-func toStatsJSON(s ccsp.Stats) statsJSON {
-	return statsJSON{TotalRounds: s.TotalRounds, SimRounds: s.SimRounds, Messages: s.Messages, Words: s.Words}
-}
-
-// unreachable is the JSON stand-in for disconnected pairs.
-const unreachable = -1
-
-func jsonDist(d int64) int64 {
-	if d >= ccsp.Unreachable {
-		return unreachable
+// finish stamps the cache flag and applies the projection; error
+// responses (from batch position) skip projection and keep the outward
+// kind.
+func (p plan) finish(resp api.Response, cached bool) api.Response {
+	if resp.Error != nil {
+		return api.Response{Kind: p.kind, Error: resp.Error}
 	}
-	return d
+	resp.Cached = cached
+	if p.project != nil {
+		resp = p.project(resp)
+	}
+	return resp
 }
 
-type ssspResponse struct {
-	Source     int       `json:"source"`
-	Dist       []int64   `json:"dist"`
-	Iterations int       `json:"iterations"`
-	Stats      statsJSON `json:"stats"`
-	Cached     bool      `json:"cached"`
-}
-
-type msspResponse struct {
-	Sources []int     `json:"sources"`
-	Dist    [][]int64 `json:"dist"`
-	Stats   statsJSON `json:"stats"`
-	Cached  bool      `json:"cached"`
-}
-
-type distanceResponse struct {
-	From      int       `json:"from"`
-	To        int       `json:"to"`
-	Distance  int64     `json:"distance"`
-	Reachable bool      `json:"reachable"`
-	Stats     statsJSON `json:"stats"`
-	Cached    bool      `json:"cached"`
-}
-
-type diameterResponse struct {
-	Estimate int64     `json:"estimate"`
-	Stats    statsJSON `json:"stats"`
-	Cached   bool      `json:"cached"`
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status": "ok",
-		"nodes":  s.eng.Graph().N(),
-		"edges":  s.eng.Graph().M(),
-	})
-}
-
-func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
-	s.serve(w, r, func() (string, queryFunc, error) {
-		src, err := intParam(r, "source")
-		if err != nil {
-			return "", nil, err
+// plan validates and rewrites one request. Errors keep the typed
+// taxonomy (api.ErrMalformed for structural problems,
+// ccsp.ErrInvalidSource for the distance target check the engine would
+// otherwise only make after the MSSP run).
+func (s *Server) plan(req api.Request) (plan, error) {
+	if err := req.Validate(); err != nil {
+		return plan{}, err
+	}
+	switch req.Kind {
+	case api.KindDistance:
+		n := s.eng.Graph().N()
+		from, to := req.Distance.From, req.Distance.To
+		if to < 0 || to >= n {
+			return plan{}, fmt.Errorf("%w: node %d out of range [0,%d)", ccsp.ErrInvalidSource, to, n)
 		}
-		return "sssp:" + strconv.Itoa(src), func(ctx context.Context) (interface{}, error) {
-			res, err := s.eng.SSSP(ctx, src)
-			if err != nil {
-				return nil, err
-			}
-			dist := make([]int64, len(res.Dist))
-			for i, d := range res.Dist {
-				dist[i] = jsonDist(d)
-			}
-			return ssspResponse{Source: src, Dist: dist, Iterations: res.Iterations, Stats: toStatsJSON(res.Stats)}, nil
+		inner := api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{from}}}
+		return plan{
+			kind: api.KindDistance,
+			key:  inner.CacheKey(),
+			run:  inner,
+			project: func(in api.Response) api.Response {
+				d := in.MSSP.Dist[to][0]
+				return api.Response{
+					Kind:     api.KindDistance,
+					Distance: &api.DistanceResult{From: from, To: to, Distance: d, Reachable: d != api.Unreachable},
+					Stats:    in.Stats,
+					Cached:   in.Cached,
+				}
+			},
 		}, nil
-	})
-}
-
-func (s *Server) handleMSSP(w http.ResponseWriter, r *http.Request) {
-	s.serve(w, r, func() (string, queryFunc, error) {
-		sources, err := sourcesParam(r, "sources")
-		if err != nil {
-			return "", nil, err
-		}
-		return msspKey(sources), func(ctx context.Context) (interface{}, error) { return s.msspQuery(ctx, sources) }, nil
-	})
-}
-
-func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
-	from, errF := intParam(r, "from")
-	to, errT := intParam(r, "to")
-	s.serve(w, r, func() (string, queryFunc, error) {
-		if errF != nil {
-			return "", nil, errF
-		}
-		if errT != nil {
-			return "", nil, errT
-		}
-		if to < 0 || to >= s.eng.Graph().N() {
-			return "", nil, fmt.Errorf("%w: node %d out of range [0,%d)", ccsp.ErrInvalidSource, to, s.eng.Graph().N())
-		}
-		// One pair is an MSSP query from a single source; sharing the
-		// MSSP cache key means repeated lookups from a hot source node
-		// (and explicit /v1/mssp calls) all hit the same entry.
-		return msspKey([]int{from}), func(ctx context.Context) (interface{}, error) { return s.msspQuery(ctx, []int{from}) }, nil
-	}, func(v interface{}, cached bool) interface{} {
-		m := v.(msspResponse)
-		d := m.Dist[to][0]
-		return distanceResponse{From: from, To: to, Distance: d, Reachable: d != unreachable,
-			Stats: m.Stats, Cached: cached}
-	})
-}
-
-func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
-	s.serve(w, r, func() (string, queryFunc, error) {
-		return "diameter", func(ctx context.Context) (interface{}, error) {
-			res, err := s.eng.Diameter(ctx)
-			if err != nil {
-				return nil, err
-			}
-			return diameterResponse{Estimate: res.Estimate, Stats: toStatsJSON(res.Stats)}, nil
-		}, nil
-	})
-}
-
-func (s *Server) msspQuery(ctx context.Context, sources []int) (interface{}, error) {
-	res, err := s.eng.MSSP(ctx, sources)
-	if err != nil {
-		return nil, err
-	}
-	dist := make([][]int64, len(res.Dist))
-	for v, row := range res.Dist {
-		dist[v] = make([]int64, len(row))
-		for i, d := range row {
-			dist[v][i] = jsonDist(d)
-		}
-	}
-	return msspResponse{Sources: res.Sources, Dist: dist, Stats: toStatsJSON(res.Stats)}, nil
-}
-
-// msspKey normalizes a source set into a cache key (sorted, deduplicated
-// - the same normalization Engine.MSSP applies to the query itself).
-func msspKey(sources []int) string {
-	seen := map[int]bool{}
-	uniq := make([]int, 0, len(sources))
-	for _, s := range sources {
-		if !seen[s] {
-			seen[s] = true
-			uniq = append(uniq, s)
-		}
-	}
-	sort.Ints(uniq)
-	parts := make([]string, len(uniq))
-	for i, s := range uniq {
-		parts[i] = strconv.Itoa(s)
-	}
-	return "mssp:" + strings.Join(parts, ",")
-}
-
-// queryFunc runs one query under a request-scoped context.
-type queryFunc func(ctx context.Context) (interface{}, error)
-
-// serve is the shared request path: parse (prepare), consult the cache,
-// run the query under the request context + timeout, cache and render.
-// The optional project function derives the response from the cached
-// value (used by /v1/distance to slice one pair out of an MSSP row).
-func (s *Server) serve(w http.ResponseWriter, r *http.Request,
-	prepare func() (string, queryFunc, error),
-	project ...func(v interface{}, cached bool) interface{}) {
-	s.requests.Add(1)
-	if r.Method != http.MethodGet {
-		s.errors.Add(1)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
-	key, query, err := prepare()
-	if err != nil {
-		s.errors.Add(1)
-		writeError(w, statusForError(err), err)
-		return
-	}
-	render := func(v interface{}, cached bool) {
-		for _, p := range project {
-			v = p(v, cached)
-		}
-		v = withCached(v, cached)
-		writeJSON(w, http.StatusOK, v)
-	}
-	if v, ok := s.cache.Get(key); ok {
-		render(v, true)
-		return
-	}
-	v, err := s.run(r.Context(), key, query)
-	if err == nil {
-		render(v, false)
-		return
-	}
-	code := statusForError(err)
-	switch code {
-	case http.StatusGatewayTimeout:
-		s.timeouts.Add(1)
-		err = fmt.Errorf("query exceeded the %s request timeout", s.timeout)
-	case statusClientClosedRequest:
-		// Client went away mid-query; report it as 499 (nginx's "client
-		// closed request") so logs and proxies don't see an implicit 200.
-		s.errors.Add(1)
-		err = fmt.Errorf("client closed the request")
+	case api.KindAPSP:
+		resolved := api.Request{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: s.eng.ResolveAPSPVariant(req.Variant())}}
+		return plan{kind: api.KindAPSP, key: resolved.CacheKey(), run: resolved}, nil
 	default:
-		s.errors.Add(1)
+		return plan{kind: req.Kind, key: req.CacheKey(), run: req}, nil
 	}
-	writeError(w, code, err)
+}
+
+// execute is the shared request path of every query endpoint: plan,
+// consult the cache, run under the request context + timeout, cache and
+// project. Only completed results are cached; cached responses repeat
+// the original run's deterministic stats.
+func (s *Server) execute(ctx context.Context, req api.Request) (api.Response, error) {
+	p, err := s.plan(req)
+	if err != nil {
+		return api.Response{}, err
+	}
+	if v, ok := s.cache.Get(p.key); ok {
+		return p.finish(v.(api.Response), true), nil
+	}
+	resp, err := s.runQuery(ctx, p.run)
+	if err != nil {
+		return api.Response{}, err
+	}
+	s.cache.Put(p.key, resp)
+	return p.finish(resp, false), nil
+}
+
+// runQuery executes one engine query under the request context plus the
+// server timeout, synchronously on the request goroutine: when the
+// context fires, the simulator unwinds at its next barrier and the query
+// returns - no goroutine keeps burning CPU behind an abandoned request.
+func (s *Server) runQuery(ctx context.Context, req api.Request) (api.Response, error) {
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	resp, err := s.eng.Query(ctx, req)
+	if err != nil {
+		return api.Response{}, err
+	}
+	return *resp, nil
 }
 
 // statusClientClosedRequest is nginx's non-standard 499, the
@@ -338,47 +239,30 @@ func statusForError(err error) int {
 	case errors.Is(err, ccsp.ErrInvalidSource), errors.Is(err, ccsp.ErrInvalidOption):
 		return http.StatusUnprocessableEntity
 	default:
+		// api.ErrMalformed and unclassified parse errors.
 		return http.StatusBadRequest
 	}
 }
 
-// run executes query under the request context plus the server timeout,
-// synchronously on the request goroutine: when the context fires, the
-// simulator unwinds at its next barrier and the query returns - no
-// goroutine keeps burning CPU behind an abandoned request. Only completed
-// results are cached.
-func (s *Server) run(ctx context.Context, key string, query queryFunc) (interface{}, error) {
-	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
+// countError bumps the right per-class counter for a failed query and
+// returns its status code.
+func (s *Server) countError(err error) int {
+	code := statusForError(err)
+	if code == http.StatusGatewayTimeout {
+		s.timeouts.Add(1)
+	} else {
+		s.errors.Add(1)
 	}
-	v, err := query(ctx)
-	if err != nil {
-		return nil, err
-	}
-	s.cache.Put(key, v)
-	return v, nil
+	return code
 }
 
-// withCached stamps the Cached field on the typed responses.
-func withCached(v interface{}, cached bool) interface{} {
-	switch resp := v.(type) {
-	case ssspResponse:
-		resp.Cached = cached
-		return resp
-	case msspResponse:
-		resp.Cached = cached
-		return resp
-	case distanceResponse:
-		resp.Cached = cached
-		return resp
-	case diameterResponse:
-		resp.Cached = cached
-		return resp
-	default:
-		return v
-	}
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	writeJSON(w, http.StatusOK, api.Health{
+		Status: "ok",
+		Nodes:  s.eng.Graph().N(),
+		Edges:  s.eng.Graph().M(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -398,6 +282,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	gr := s.eng.Graph()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_seconds": time.Since(s.start).Seconds(),
+		"api": map[string]interface{}{
+			"version":   api.Version,
+			"max_batch": maxBatchRequests,
+		},
 		"requests": map[string]int64{
 			"total":    s.requests.Load(),
 			"errors":   s.errors.Load(),
@@ -424,35 +312,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"total_rounds": pre.Total.TotalRounds,
 		},
 	})
-}
-
-func intParam(r *http.Request, name string) (int, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return 0, fmt.Errorf("missing required parameter %q", name)
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		return 0, fmt.Errorf("bad parameter %s=%q: not an integer", name, raw)
-	}
-	return v, nil
-}
-
-func sourcesParam(r *http.Request, name string) ([]int, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return nil, fmt.Errorf("missing required parameter %q", name)
-	}
-	parts := strings.Split(raw, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad parameter %s=%q: %q is not an integer", name, raw, p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

@@ -17,6 +17,16 @@ import (
 	"github.com/congestedclique/ccsp"
 )
 
+// jsonDist maps the in-process Unreachable sentinel to the wire's -1,
+// the conversion the query plane applies before responses leave the
+// engine (kept here so the tests state expectations independently).
+func jsonDist(d int64) int64 {
+	if d >= ccsp.Unreachable {
+		return -1
+	}
+	return d
+}
+
 // testEngine builds a small connected weighted graph and a warm engine.
 func testEngine(t testing.TB, n int) (*ccsp.Graph, *ccsp.Engine) {
 	t.Helper()

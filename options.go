@@ -140,10 +140,12 @@ func statsFrom(s cc.Stats) Stats {
 	}
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. Words is included alongside the
+// message count: machine words are the currency the paper's bandwidth
+// bounds are stated in.
 func (s Stats) String() string {
-	return fmt.Sprintf("n=%d rounds=%d (sim=%d charged=%d) msgs=%d",
-		s.Nodes, s.TotalRounds, s.SimRounds, s.TotalRounds-s.SimRounds, s.Messages)
+	return fmt.Sprintf("n=%d rounds=%d (sim=%d charged=%d) msgs=%d words=%d",
+		s.Nodes, s.TotalRounds, s.SimRounds, s.TotalRounds-s.SimRounds, s.Messages, s.Words)
 }
 
 // Merge returns the element-wise sum of s and o: rounds, messages and the

@@ -43,11 +43,13 @@ func TestOptionsValidateEdgeCases(t *testing.T) {
 }
 
 func TestStatsStringFormat(t *testing.T) {
-	s := Stats{Nodes: 5, TotalRounds: 10, SimRounds: 4, Messages: 100}
-	if got, want := s.String(), "n=5 rounds=10 (sim=4 charged=6) msgs=100"; got != want {
+	// The word count must appear: it is the unit the paper's bandwidth
+	// bounds are stated in (a summary that drops it hides the cost).
+	s := Stats{Nodes: 5, TotalRounds: 10, SimRounds: 4, Messages: 100, Words: 400}
+	if got, want := s.String(), "n=5 rounds=10 (sim=4 charged=6) msgs=100 words=400"; got != want {
 		t.Errorf("Stats.String() = %q, want %q", got, want)
 	}
-	if got := (Stats{}).String(); got != "n=0 rounds=0 (sim=0 charged=0) msgs=0" {
+	if got := (Stats{}).String(); got != "n=0 rounds=0 (sim=0 charged=0) msgs=0 words=0" {
 		t.Errorf("zero Stats.String() = %q", got)
 	}
 }

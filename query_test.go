@@ -1,0 +1,228 @@
+package ccsp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/congestedclique/ccsp/api"
+)
+
+// TestQueryMatchesEngineMethods: every api.Request kind dispatched through
+// Engine.Query returns the same answer (modulo the -1 wire convention for
+// unreachable) and the same deterministic stats as the direct Engine call.
+func TestQueryMatchesEngineMethods(t *testing.T) {
+	gr := testGraph(20, 25, 8, 3)
+	eng, err := NewEngine(context.Background(), gr, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	checkStats := func(kind api.Kind, got *api.Stats, want Stats) {
+		t.Helper()
+		if got == nil {
+			t.Fatalf("%s: response without stats", kind)
+		}
+		w := wireStats(want)
+		if *got != *w {
+			t.Errorf("%s: stats %+v, want %+v", kind, *got, *w)
+		}
+	}
+
+	// SSSP.
+	wantS, err := eng.SSSP(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := eng.Query(ctx, api.Request{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Kind != api.KindSSSP || rs.SSSP == nil {
+		t.Fatalf("sssp response shape: %+v", rs)
+	}
+	if !reflect.DeepEqual(rs.SSSP.Dist, wireVec(wantS.Dist)) || rs.SSSP.Iterations != wantS.Iterations {
+		t.Error("sssp payload differs from direct call")
+	}
+	checkStats(api.KindSSSP, rs.Stats, wantS.Stats)
+
+	// MSSP normalizes sources the same way the engine does.
+	wantM, err := eng.MSSP(ctx, []int{7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := eng.Query(ctx, api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{2, 7, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rm.MSSP.Sources, wantM.Sources) || !reflect.DeepEqual(rm.MSSP.Dist, wireMat(wantM.Dist)) {
+		t.Error("mssp payload differs from direct call")
+	}
+	checkStats(api.KindMSSP, rm.Stats, wantM.Stats)
+
+	// APSP auto resolves to weighted on this graph and reports it.
+	wantA, err := eng.APSPWeighted(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := eng.Query(ctx, api.Request{Kind: api.KindAPSP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.APSP.Variant != api.APSPWeighted {
+		t.Errorf("auto variant resolved to %q, want weighted", ra.APSP.Variant)
+	}
+	if !reflect.DeepEqual(ra.APSP.Dist, wireMat(wantA.Dist)) {
+		t.Error("apsp payload differs from direct call")
+	}
+	checkStats(api.KindAPSP, ra.Stats, wantA.Stats)
+
+	// The explicit weighted3 variant runs §6.1.
+	wantA3, err := eng.APSPWeighted3(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra3, err := eng.Query(ctx, api.Request{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: api.APSPWeighted3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra3.APSP.Variant != api.APSPWeighted3 || !reflect.DeepEqual(ra3.APSP.Dist, wireMat(wantA3.Dist)) {
+		t.Error("apsp weighted3 payload differs from direct call")
+	}
+
+	// Distance projects the single-source MSSP row.
+	rd, err := eng.Query(ctx, api.Request{Kind: api.KindDistance, Distance: &api.DistanceParams{From: 2, To: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rm.MSSP.Dist[9][0]; rd.Distance.Distance != want || rd.Distance.Reachable != (want != api.Unreachable) {
+		t.Errorf("distance(2,9) = %+v, want %d", rd.Distance, want)
+	}
+
+	// Diameter.
+	wantD, err := eng.Diameter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := eng.Query(ctx, api.Request{Kind: api.KindDiameter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Diameter.Estimate != wantD.Estimate {
+		t.Errorf("diameter %d, want %d", rr.Diameter.Estimate, wantD.Estimate)
+	}
+	checkStats(api.KindDiameter, rr.Stats, wantD.Stats)
+
+	// KNearest.
+	wantK, err := eng.KNearest(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := eng.Query(ctx, api.Request{Kind: api.KindKNearest, KNearest: &api.KNearestParams{K: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk.KNearest.K != 3 || !reflect.DeepEqual(rk.KNearest.Neighbors, wireNeighborLists(wantK.Neighbors)) {
+		t.Error("knearest payload differs from direct call")
+	}
+
+	// SourceDetection.
+	wantSD, err := eng.SourceDetection(ctx, []int{0, 5}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsd, err := eng.Query(ctx, api.Request{Kind: api.KindSourceDetection,
+		SourceDetection: &api.SourceDetectionParams{Sources: []int{0, 5}, D: 3, K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsd.SourceDetection.D != 3 || rsd.SourceDetection.K != 2 ||
+		!reflect.DeepEqual(rsd.SourceDetection.Detected, wireNeighborLists(wantSD.Detected)) {
+		t.Error("source-detection payload differs from direct call")
+	}
+}
+
+// TestQueryTypedErrors: Query preserves the errors.Is taxonomy of the
+// direct methods, and structural violations are api.ErrMalformed.
+func TestQueryTypedErrors(t *testing.T) {
+	gr := testGraph(10, 8, 5, 4)
+	eng, err := NewEngine(context.Background(), gr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for name, tc := range map[string]struct {
+		req  api.Request
+		want error
+	}{
+		"malformed-union":  {api.Request{Kind: api.KindSSSP}, api.ErrMalformed},
+		"unknown-kind":     {api.Request{Kind: "bfs"}, api.ErrMalformed},
+		"bad-source":       {api.Request{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: 99}}, ErrInvalidSource},
+		"bad-mssp-source":  {api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{-1}}}, ErrInvalidSource},
+		"bad-distance-to":  {api.Request{Kind: api.KindDistance, Distance: &api.DistanceParams{From: 0, To: 88}}, ErrInvalidSource},
+		"bad-knearest-k":   {api.Request{Kind: api.KindKNearest, KNearest: &api.KNearestParams{K: 0}}, ErrInvalidOption},
+		"bad-sourcedet-d":  {api.Request{Kind: api.KindSourceDetection, SourceDetection: &api.SourceDetectionParams{Sources: []int{0}, D: 0, K: 1}}, ErrInvalidOption},
+		"empty-source-set": {api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{}}}, ErrInvalidSource},
+	} {
+		_, err := eng.Query(ctx, tc.req)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, tc.want)
+		}
+	}
+
+	// A dead context is ErrCanceled, like every entry point.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Query(canceled, api.Request{Kind: api.KindDiameter}); !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled ctx: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestAPIErrorCodes pins the error → wire-code table both ways the server
+// and client rely on.
+func TestAPIErrorCodes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, tc := range map[string]struct {
+		err  error
+		want api.ErrorCode
+	}{
+		"canceled":    {wrapRun("q", ctxWrap(context.Canceled)), api.CodeCanceled},
+		"deadline":    {ctxWrap(context.DeadlineExceeded), api.CodeDeadline},
+		"round-limit": {wrapRun("q", ErrRoundLimit), api.CodeRoundLimit},
+		"source":      {ctxErrForTest(ErrInvalidSource), api.CodeInvalidSource},
+		"option":      {ctxErrForTest(ErrInvalidOption), api.CodeInvalidOption},
+		"malformed":   {ctxErrForTest(api.ErrMalformed), api.CodeMalformed},
+		"plain":       {errors.New("boom"), api.CodeInternal},
+	} {
+		if got := APIError(tc.err); got.Code != tc.want {
+			t.Errorf("%s: code %q, want %q", name, got.Code, tc.want)
+		}
+	}
+	if APIError(nil) != nil {
+		t.Error("APIError(nil) != nil")
+	}
+	_ = ctx
+}
+
+func ctxWrap(sentinel error) error {
+	return &wrapErr{msg: "ccsp: q: canceled", inner: []error{ErrCanceled, sentinel}}
+}
+
+func ctxErrForTest(sentinel error) error {
+	return &wrapErr{msg: "wrapped", inner: []error{sentinel}}
+}
+
+// wrapErr is a minimal multi-target wrapper for table tests.
+type wrapErr struct {
+	msg   string
+	inner []error
+}
+
+func (w *wrapErr) Error() string { return w.msg }
+func (w *wrapErr) Unwrap() []error {
+	return w.inner
+}

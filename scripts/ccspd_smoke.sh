@@ -68,6 +68,47 @@ curl -fs "http://$addr/v1/diameter" | grep -q '"estimate"'
 curl -fs "http://$addr/v1/stats" | grep -q '"preprocess"'
 echo "diameter + stats ok"
 
+echo "== typed query plane: POST /v1/query + mixed /v1/batch"
+curl -fs "http://$addr/v1/query" -d '{"kind":"distance","distance":{"from":0,"to":5}}' \
+  | grep -q '"kind": "distance"'
+curl -fs "http://$addr/v1/batch" -d '{"requests":[{"kind":"diameter"},{"kind":"sssp","sssp":{"source":0}}]}' \
+  | grep -q '"responses"'
+echo "query plane endpoints ok"
+
+# A mixed batch over every algorithm family, answered three ways: the
+# local engine batch (ccsp -load -batch → Engine.Batch), the remote
+# batch (ccsp -server -batch → one POST /v1/batch), and - for the MSSP
+# member - the sequential CLI answers from the top of this script. All
+# three must agree exactly.
+cat > "$tmp/q.txt" <<'EOF'
+mssp 0
+sssp 0
+diameter
+knearest 2
+apsp3
+sourcedetect 0,3 4 2
+distance 0 5
+EOF
+"$tmp/ccsp" -load "$tmp/warm.snap" -batch "$tmp/q.txt" > "$tmp/local.out"
+"$tmp/ccsp" -server "http://$addr" -batch "$tmp/q.txt" > "$tmp/remote.out"
+# Strip the mode-specific headers/footers (preprocess ledger, summary
+# line); every per-query answer and stats line must match byte for byte.
+grep -v '^preprocess\|^  \|^batch:' "$tmp/local.out" > "$tmp/local.cmp"
+grep -v '^batch:' "$tmp/remote.out" > "$tmp/remote.cmp"
+if ! diff "$tmp/local.cmp" "$tmp/remote.cmp"; then
+  echo "local Engine.Batch and remote /v1/batch outputs differ"
+  exit 1
+fi
+# The batch's "mssp 0" rows equal the sequential CLI's distance rows.
+sed -n '/^query "mssp 0"/q;p' "$tmp/remote.out" \
+  | awk -F'\t' 'NF>=2 && $1 ~ /^[0-9]+$/' > "$tmp/batch_mssp.txt"
+awk -F'\t' 'NF>=2 && $1 ~ /^[0-9]+$/' "$tmp/cli.out" > "$tmp/cli_mssp.txt"
+if ! diff "$tmp/batch_mssp.txt" "$tmp/cli_mssp.txt"; then
+  echo "batch MSSP answers differ from sequential CLI answers"
+  exit 1
+fi
+echo "mixed batch ok (local == remote == sequential CLI)"
+
 kill -TERM "$pid"
 wait "$pid"
 pid=""
