@@ -44,7 +44,7 @@ type jsonTable struct {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (E1..E16, A1..A4), comma-separated set, or 'all'")
+		exp     = flag.String("exp", "all", "experiment ID (E1..E17, A1..A4), comma-separated set, or 'all'")
 		scale   = flag.String("scale", "quick", "quick | full")
 		format  = flag.String("format", "md", "md | json")
 		workers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = serial)")

@@ -11,6 +11,7 @@
 //	ccsp -algo apsp  -eps 0.5 graph.txt     # (2+ε)/(2+ε,(1+ε)W) APSP
 //	ccsp -algo apsp3 graph.txt              # (3+ε) weighted APSP (§6.1)
 //	ccsp -timeout 30s -algo apsp big.gr     # bound the whole run; Ctrl-C also aborts cleanly
+//	ccsp -exec direct -algo apsp big.gr     # direct kernel execution: identical answers, no simulator
 //	ccsp -algo sssp  -src 0 graph.txt       # exact SSSP (Theorem 33)
 //	ccsp -algo mssp  -sources 0,5,9 g.txt   # (1+ε) MSSP (Theorem 3)
 //	ccsp -algo diameter graph.txt           # near-3/2 diameter (§7.2)
@@ -97,9 +98,14 @@ func run() error {
 		loadPath  = flag.String("load", "", "restore a preprocessed engine snapshot instead of building one")
 		serverURL = flag.String("server", "", "base URL of a running ccspd daemon: query it instead of simulating locally")
 		timeout   = flag.Duration("timeout", 0, "abort preprocessing+queries after this long (0 = no limit)")
+		execMode  = flag.String("exec", "simulated", "execution mode: simulated (round accounting) | direct (kernel, identical answers, no rounds)")
 	)
 	flag.Parse()
-	opts := ccsp.Options{Epsilon: *eps}
+	exec, err := ccsp.ParseExecution(*execMode)
+	if err != nil {
+		return err
+	}
+	opts := ccsp.Options{Epsilon: *eps, Execution: exec}
 
 	// Ctrl-C (or -timeout) cancels the context; the simulator unwinds at
 	// its next barrier and the run exits cleanly instead of burning CPU.

@@ -7,6 +7,7 @@
 //	ccspd -load warm.snap                       # restore a saved engine: no preprocessing
 //	ccspd -graph g.txt                          # build from an edge-list or DIMACS .gr file
 //	ccspd -graph g.gr -save warm.snap           # build once, persist for the next restart
+//	ccspd -graph g.gr -exec direct              # direct-kernel build: identical answers, seconds not minutes
 //
 // Serving:
 //
@@ -68,10 +69,15 @@ func run() error {
 		workers   = flag.Int("workers", 0, "simulator worker-pool size (0 = GOMAXPROCS; ignored with -load)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request query timeout (0 = none)")
 		cacheSize = flag.Int("cache", 128, "response cache capacity in entries (negative = disabled)")
+		execMode  = flag.String("exec", "simulated", "execution mode: simulated (round accounting) | direct (kernel, identical answers, fast startup; ignored with -load)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v (use -graph/-load)", flag.Args())
+	}
+	exec, err := ccsp.ParseExecution(*execMode)
+	if err != nil {
+		return err
 	}
 
 	// One signal context governs the whole lifecycle: SIGINT/SIGTERM
@@ -81,7 +87,8 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng, err := buildEngine(ctx, *graphPath, *loadPath, *savePath, ccsp.Options{Epsilon: *eps, Workers: *workers})
+	eng, err := buildEngine(ctx, *graphPath, *loadPath, *savePath,
+		ccsp.Options{Epsilon: *eps, Workers: *workers, Execution: exec})
 	if err != nil {
 		if errors.Is(err, ccsp.ErrCanceled) {
 			log.Printf("ccspd: interrupted during startup, exiting (no snapshot written)")

@@ -1,0 +1,235 @@
+package ccsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/congestedclique/ccsp/internal/apsp"
+	"github.com/congestedclique/ccsp/internal/diameter"
+	"github.com/congestedclique/ccsp/internal/disttools"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/mssp"
+	"github.com/congestedclique/ccsp/internal/semiring"
+	"github.com/congestedclique/ccsp/internal/sssp"
+)
+
+// This file implements ExecDirect (DESIGN.md §12): every Engine query and
+// preprocessing step computed on flat host-side matrices with the matmul
+// kernels, bypassing the per-node simulator. The results are byte-identical
+// to the simulated paths - each direct function mirrors its collective
+// sibling step by step, and the differential oracle suite (direct_test.go,
+// FuzzDirectVsSimulated) asserts the equivalence over graph families,
+// algorithms, and worker counts.
+
+// directState is the Engine's direct-mode cache: the full augmented weight
+// matrix, materialized once on first direct use and immutable afterwards
+// (the graph must not change after NewEngine).
+type directState struct {
+	once sync.Once
+	w    *matrix.Mat[semiring.WH]
+}
+
+// weightMat returns the cached full augmented weight matrix.
+func (e *Engine) weightMat() *matrix.Mat[semiring.WH] {
+	e.direct.once.Do(func() {
+		e.direct.w = e.gr.g.WeightMatrix()
+	})
+	return e.direct.w
+}
+
+// directStats is the Stats of a direct-mode computation: no rounds, no
+// messages - the maps are empty rather than nil so snapshots round-trip
+// losslessly - and the real cost as wall-clock time.
+func directStats(n int, wall time.Duration) Stats {
+	return Stats{
+		Nodes:          n,
+		Exec:           ExecDirect,
+		ChargedRounds:  map[string]int{},
+		PhaseRounds:    map[string]int{},
+		CollectiveTime: map[string]time.Duration{"direct": wall},
+	}
+}
+
+// wrapDirectErr is the direct-mode analogue of wrapRun: it maps the raw
+// context sentinels (which the kernel loops return on cancellation) into
+// the public ErrCanceled taxonomy, keeping the originals matchable.
+func wrapDirectErr(op string, err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("ccsp: %s: %w: %w", op, ErrCanceled, err)
+	default:
+		return fmt.Errorf("ccsp: %s: %w", op, err)
+	}
+}
+
+// buildArtifactDirect is the ExecDirect counterpart of buildArtifact: the
+// §4 hopset construction on the host via hopset.BuildDirect. The resulting
+// artifactEntry is byte-identical to the simulated build's (same Artifact,
+// same degs vector); only its stats differ (wall-clock instead of rounds).
+func (e *Engine) buildArtifactDirect(ctx context.Context, key artifactKey) (*artifactEntry, error) {
+	op := fmt.Sprintf("preprocess (%s)", key.variant)
+	if err := ctx.Err(); err != nil {
+		return nil, wrapDirectErr(op, err)
+	}
+	n := e.gr.N()
+	sr := e.gr.g.AugSemiring()
+	start := time.Now()
+	w := e.weightMat()
+	var degsShared []int64
+	if key.variant == artLowDegree {
+		degs := make([]int64, n)
+		for v := 0; v < n; v++ {
+			degs[v] = int64(len(w.Rows[v])) // the row includes the diagonal: |N(v)|
+		}
+		degsShared = degs
+		k := apsp.DegreeThreshold(n)
+		low := matrix.New[semiring.WH](n)
+		for v := 0; v < n; v++ {
+			low.Rows[v] = apsp.LowDegreeRow(v, w.Rows[v], degs, k)
+		}
+		w = low
+	}
+	art, err := hopset.BuildDirect(ctx, sr, w, key.params, e.opts.Workers)
+	if err != nil {
+		return nil, wrapDirectErr(op, err)
+	}
+	return &artifactEntry{art: art, degs: degsShared, stats: directStats(n, time.Since(start))}, nil
+}
+
+// msspDirect answers an MSSP query from the cached artifact on the host.
+func (e *Engine) msspDirect(ctx context.Context, inS []bool, srcList []int, srcIdx map[int32]int, ent *artifactEntry) (*MSSPResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapDirectErr("MSSP", err)
+	}
+	n := e.gr.N()
+	start := time.Now()
+	res, err := mssp.RunDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), inS, ent.art, e.opts.Workers)
+	if err != nil {
+		return nil, wrapDirectErr("MSSP", err)
+	}
+	dist := make([][]int64, n)
+	for v := 0; v < n; v++ {
+		row := make([]int64, len(srcList))
+		for i := range row {
+			row[i] = Unreachable
+		}
+		for _, en := range res.Rows[v] {
+			if i, ok := srcIdx[en.Col]; ok {
+				row[i] = en.Val.W
+			}
+		}
+		dist[v] = row
+	}
+	return &MSSPResult{Sources: srcList, Dist: dist, Stats: directStats(n, time.Since(start))}, nil
+}
+
+// ssspDirect answers an exact SSSP query on the host.
+func (e *Engine) ssspDirect(ctx context.Context, source int) (*SSSPResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapDirectErr("SSSP", err)
+	}
+	n := e.gr.N()
+	start := time.Now()
+	dist, iters, err := sssp.ExactDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), source, 0, e.opts.Workers)
+	if err != nil {
+		return nil, wrapDirectErr("SSSP", err)
+	}
+	return &SSSPResult{Source: source, Dist: dist, Iterations: iters, Stats: directStats(n, time.Since(start))}, nil
+}
+
+// apspDirect wraps one direct APSP variant into an APSPResult.
+func (e *Engine) apspDirect(ctx context.Context, name string, algo func() ([][]int64, error)) (*APSPResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapDirectErr(name+" APSP", err)
+	}
+	start := time.Now()
+	dist, err := algo()
+	if err != nil {
+		return nil, wrapDirectErr(name+" APSP", err)
+	}
+	return &APSPResult{Dist: dist, Stats: directStats(e.gr.N(), time.Since(start))}, nil
+}
+
+// diameterDirect answers a diameter query from the cached base artifact on
+// the host.
+func (e *Engine) diameterDirect(ctx context.Context, ent *artifactEntry) (*DiameterResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapDirectErr("diameter", err)
+	}
+	n := e.gr.N()
+	start := time.Now()
+	est, err := diameter.ApproxDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), ent.art, e.opts.Workers)
+	if err != nil {
+		return nil, wrapDirectErr("diameter", err)
+	}
+	return &DiameterResult{Estimate: est, Stats: directStats(n, time.Since(start))}, nil
+}
+
+// knearestDirect answers a k-nearest query on the host, over the routed
+// (first-hop witness) semiring like its simulated sibling.
+func (e *Engine) knearestDirect(ctx context.Context, k int) (*KNearestResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapDirectErr("k-nearest", err)
+	}
+	n := e.gr.N()
+	start := time.Now()
+	sr := e.gr.g.RoutedSemiring()
+	w := matrix.New[semiring.WHF](n)
+	for v := 0; v < n; v++ {
+		w.Rows[v] = e.gr.g.WeightRowRouted(v)
+	}
+	knear, err := disttools.KNearestAll[semiring.WHF](ctx, sr, w, k, e.opts.Workers)
+	if err != nil {
+		return nil, wrapDirectErr("k-nearest", err)
+	}
+	out := make([][]Neighbor, n)
+	for v := 0; v < n; v++ {
+		row := knear.Rows[v]
+		nb := make([]Neighbor, 0, len(row))
+		for _, en := range row {
+			nb = append(nb, Neighbor{Node: int(en.Col), Dist: en.Val.W, Hops: int(en.Val.H), FirstHop: int(en.Val.FH)})
+		}
+		sort.Slice(nb, func(i, j int) bool {
+			if nb[i].Dist != nb[j].Dist {
+				return nb[i].Dist < nb[j].Dist
+			}
+			if nb[i].Hops != nb[j].Hops {
+				return nb[i].Hops < nb[j].Hops
+			}
+			return nb[i].Node < nb[j].Node
+		})
+		out[v] = nb
+	}
+	return &KNearestResult{Neighbors: out, Stats: directStats(n, time.Since(start))}, nil
+}
+
+// sourceDetectionDirect answers an (S, d, k)-source detection query on the
+// host.
+func (e *Engine) sourceDetectionDirect(ctx context.Context, inS []bool, d, k int) (*SourceDetectionResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapDirectErr("source detection", err)
+	}
+	n := e.gr.N()
+	start := time.Now()
+	det, err := disttools.SourceDetectKAll[semiring.WH](ctx, e.gr.g.AugSemiring(), e.weightMat(), inS, d, k, e.opts.Workers)
+	if err != nil {
+		return nil, wrapDirectErr("source detection", err)
+	}
+	out := make([][]Neighbor, n)
+	for v := 0; v < n; v++ {
+		row := det.Rows[v]
+		nb := make([]Neighbor, 0, len(row))
+		for _, en := range row {
+			nb = append(nb, Neighbor{Node: int(en.Col), Dist: en.Val.W, Hops: int(en.Val.H), FirstHop: -1})
+		}
+		out[v] = nb
+	}
+	return &SourceDetectionResult{Detected: out, Stats: directStats(n, time.Since(start))}, nil
+}

@@ -1,0 +1,84 @@
+package ccsp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/congestedclique/ccsp/api"
+)
+
+// FuzzDirectVsSimulated fuzzes the differential oracle: an arbitrary
+// byte string decodes to a small graph, a stretch setting, and one query,
+// and the direct-mode answer must equal the simulated-mode answer exactly
+// - including which calls fail (validation is mode-independent). The
+// committed corpus under testdata/fuzz covers every kind; the CI fuzz
+// smoke mutates from there.
+func FuzzDirectVsSimulated(f *testing.F) {
+	f.Add([]byte{8, 0, 0, 1, 2, 0, 1, 3, 1, 2, 5, 2, 3, 1, 0, 4, 7})
+	f.Add([]byte{5, 1, 3, 0, 1, 0, 1, 1, 1, 2, 1, 2, 3, 1, 3, 4, 1})
+	f.Add([]byte{9, 2, 5, 1, 4, 0, 8, 2, 1, 7, 6, 3, 4, 9, 5, 6, 2, 0, 3, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		n := 2 + int(data[0])%9 // 2..10 nodes
+		eps := []float64{0.25, 0.5, 1.0}[int(data[1])%3]
+		kinds := api.Kinds()
+		kind := kinds[int(data[2])%len(kinds)]
+		unweighted := data[3]&1 == 1
+		pick := int(data[4])
+
+		gr := NewGraph(n)
+		for i := 5; i+2 < len(data); i += 3 {
+			u, v := int(data[i])%n, int(data[i+1])%n
+			if u == v {
+				continue
+			}
+			w := int64(data[i+2])%8 + 1
+			if unweighted {
+				w = 1
+			}
+			gr.MustAddEdge(u, v, w)
+		}
+
+		req := api.Request{Kind: kind}
+		switch kind {
+		case api.KindSSSP:
+			req.SSSP = &api.SSSPParams{Source: pick % n}
+		case api.KindMSSP:
+			req.MSSP = &api.MSSPParams{Sources: []int{pick % n, (pick / 2) % n}}
+		case api.KindAPSP:
+			variants := []api.APSPVariant{api.APSPAuto, api.APSPWeighted, api.APSPWeighted3, api.APSPUnweighted}
+			req.APSP = &api.APSPParams{Variant: variants[pick%len(variants)]}
+		case api.KindDistance:
+			req.Distance = &api.DistanceParams{From: pick % n, To: (pick / 3) % n}
+		case api.KindKNearest:
+			req.KNearest = &api.KNearestParams{K: pick%n + 1}
+		case api.KindSourceDetection:
+			req.SourceDetection = &api.SourceDetectionParams{Sources: []int{pick % n}, D: pick%4 + 1, K: pick%3 + 1}
+		}
+
+		ctx := context.Background()
+		sim, err := newEngine(gr, Options{Epsilon: eps})
+		if err != nil {
+			t.Fatalf("simulated newEngine: %v", err)
+		}
+		dir, err := newEngine(gr, Options{Epsilon: eps, Execution: ExecDirect})
+		if err != nil {
+			t.Fatalf("direct newEngine: %v", err)
+		}
+		simResp, simErr := sim.Query(ctx, req)
+		dirResp, dirErr := dir.Query(ctx, req)
+		if (simErr == nil) != (dirErr == nil) {
+			t.Fatalf("error mismatch for %s: simulated %v, direct %v", kind, simErr, dirErr)
+		}
+		if simErr != nil {
+			return
+		}
+		simResp.Stats, dirResp.Stats = nil, nil
+		if !reflect.DeepEqual(simResp, dirResp) {
+			t.Fatalf("answers differ for %s on n=%d:\nsimulated: %+v\ndirect:    %+v", kind, n, simResp, dirResp)
+		}
+	})
+}

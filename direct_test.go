@@ -1,0 +1,234 @@
+package ccsp
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"github.com/congestedclique/ccsp/api"
+	"github.com/congestedclique/ccsp/internal/graphgen"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/wire"
+)
+
+// The differential oracle suite: the simulated execution mode is the
+// oracle, and every direct-mode artifact and query answer must be
+// byte-identical to it - over graph families, every api.Request kind and
+// APSP variant, and multiple kernel worker counts (DESIGN.md §12).
+
+// diffFamilies are the graph families the oracle runs over.
+func diffFamilies() []struct {
+	name string
+	gr   *Graph
+} {
+	clique := &Graph{g: graphgen.GNP(9, 1.0, graphgen.Weights{Max: 7}, 3)}
+	grid := &Graph{g: graphgen.Grid(4, 5, graphgen.Weights{Max: 6}, 4)}
+	path := &Graph{g: graphgen.Path(13, graphgen.Weights{Max: 9}, 5)}
+	unweighted := &Graph{g: graphgen.Connected(16, 20, graphgen.Weights{Max: 1}, 6)}
+
+	disconnected := NewGraph(14)
+	for v := 1; v <= 5; v++ {
+		disconnected.MustAddEdge(v, (v-1)/2, int64(v%3+1))
+	}
+	for v := 7; v <= 11; v++ {
+		disconnected.MustAddEdge(v, 6+(v-7)/2, int64(v%4+1))
+	}
+	// Nodes 12 and 13 stay isolated.
+
+	return []struct {
+		name string
+		gr   *Graph
+	}{
+		{"random-weighted", testGraph(18, 24, 8, 1)},
+		{"path", path},
+		{"grid", grid},
+		{"clique", clique},
+		{"disconnected", disconnected},
+		{"unweighted", unweighted},
+	}
+}
+
+// diffWorkerCounts returns the direct-mode worker counts to exercise. The
+// CI race matrix pins one count per job via CCSP_WORKERS; locally both the
+// serial and the GOMAXPROCS pools run.
+func diffWorkerCounts(t *testing.T) []int {
+	if s := os.Getenv("CCSP_WORKERS"); s != "" {
+		w, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad CCSP_WORKERS %q: %v", s, err)
+		}
+		return []int{w}
+	}
+	return []int{1, 0}
+}
+
+// diffRequests covers every api.Request kind (and every APSP variant).
+func diffRequests(n int) []api.Request {
+	return []api.Request{
+		{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: 0}},
+		{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: n - 1}},
+		{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{0, 1, n / 2}}},
+		{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: api.APSPWeighted}},
+		{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: api.APSPWeighted3}},
+		{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: api.APSPUnweighted}},
+		{Kind: api.KindAPSP},
+		{Kind: api.KindDistance, Distance: &api.DistanceParams{From: 1, To: n - 1}},
+		{Kind: api.KindDiameter},
+		{Kind: api.KindKNearest, KNearest: &api.KNearestParams{K: 3}},
+		{Kind: api.KindSourceDetection, SourceDetection: &api.SourceDetectionParams{Sources: []int{0, n / 3}, D: 4, K: 2}},
+	}
+}
+
+// stripStats removes the cost report before comparison: Stats are the one
+// intentional difference between the modes (rounds/messages vs
+// wall-clock).
+func stripStats(r *api.Response) *api.Response {
+	r.Stats = nil
+	return r
+}
+
+// assertSameArtifacts asserts that every artifact the simulated engine
+// built has a byte-identical direct twin (same cache key, same encoded
+// bytes, same degree vector).
+func assertSameArtifacts(t *testing.T, sim, dir *Engine) {
+	t.Helper()
+	sim.pre.mu.Lock()
+	simArts := make(map[artifactKey]*artifactEntry, len(sim.pre.arts))
+	for k, v := range sim.pre.arts {
+		simArts[k] = v
+	}
+	sim.pre.mu.Unlock()
+	dir.pre.mu.Lock()
+	defer dir.pre.mu.Unlock()
+	if len(simArts) == 0 {
+		t.Fatal("simulated engine built no artifacts")
+	}
+	for key, simEnt := range simArts {
+		dirEnt, ok := dir.pre.arts[key]
+		if !ok {
+			t.Errorf("direct engine missing artifact %v", key)
+			continue
+		}
+		var simW, dirW wire.Writer
+		hopset.EncodeArtifact(&simW, simEnt.art)
+		hopset.EncodeArtifact(&dirW, dirEnt.art)
+		simBytes, dirBytes := simW.Bytes(), dirW.Bytes()
+		if !bytes.Equal(simBytes, dirBytes) {
+			t.Errorf("artifact %v differs between modes (%d vs %d encoded bytes)", key, len(simBytes), len(dirBytes))
+		}
+		if !reflect.DeepEqual(simEnt.degs, dirEnt.degs) {
+			t.Errorf("artifact %v degree vectors differ", key)
+		}
+	}
+}
+
+// TestDirectOracle is the cross-validation centerpiece: for each graph
+// family, run every query kind in both modes and require byte-identical
+// answers and byte-identical preprocessing artifacts.
+func TestDirectOracle(t *testing.T) {
+	ctx := context.Background()
+	for _, fam := range diffFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			n := fam.gr.N()
+			sim, err := NewEngine(ctx, fam.gr, Options{Epsilon: 0.5})
+			if err != nil {
+				t.Fatalf("simulated NewEngine: %v", err)
+			}
+			for _, workers := range diffWorkerCounts(t) {
+				dir, err := NewEngine(ctx, fam.gr, Options{Epsilon: 0.5, Workers: workers, Execution: ExecDirect})
+				if err != nil {
+					t.Fatalf("direct NewEngine (workers=%d): %v", workers, err)
+				}
+				for _, req := range diffRequests(n) {
+					simResp, simErr := sim.Query(ctx, req)
+					dirResp, dirErr := dir.Query(ctx, req)
+					if (simErr == nil) != (dirErr == nil) {
+						t.Fatalf("%s workers=%d: error mismatch: simulated %v, direct %v", req.Kind, workers, simErr, dirErr)
+					}
+					if simErr != nil {
+						continue
+					}
+					if !reflect.DeepEqual(stripStats(simResp), stripStats(dirResp)) {
+						t.Errorf("%s workers=%d: answers differ\nsimulated: %+v\ndirect:    %+v", req.Kind, workers, simResp, dirResp)
+					}
+				}
+				assertSameArtifacts(t, sim, dir)
+			}
+		})
+	}
+}
+
+// TestDirectOracleEpsilons re-runs one family at other stretch settings:
+// the equivalence must hold for every hopset parameterization, not just
+// the default.
+func TestDirectOracleEpsilons(t *testing.T) {
+	ctx := context.Background()
+	gr := testGraph(15, 18, 6, 9)
+	for _, eps := range []float64{0.25, 1.0} {
+		opts := Options{Epsilon: eps}
+		sim, err := NewEngine(ctx, gr, opts)
+		if err != nil {
+			t.Fatalf("simulated NewEngine (eps=%v): %v", eps, err)
+		}
+		opts.Execution = ExecDirect
+		dir, err := NewEngine(ctx, gr, opts)
+		if err != nil {
+			t.Fatalf("direct NewEngine (eps=%v): %v", eps, err)
+		}
+		for _, req := range diffRequests(gr.N()) {
+			simResp, err := sim.Query(ctx, req)
+			if err != nil {
+				t.Fatalf("simulated %s (eps=%v): %v", req.Kind, eps, err)
+			}
+			dirResp, err := dir.Query(ctx, req)
+			if err != nil {
+				t.Fatalf("direct %s (eps=%v): %v", req.Kind, eps, err)
+			}
+			if !reflect.DeepEqual(stripStats(simResp), stripStats(dirResp)) {
+				t.Errorf("%s eps=%v: answers differ", req.Kind, eps)
+			}
+		}
+		assertSameArtifacts(t, sim, dir)
+	}
+}
+
+// TestDirectPreprocessStats locks the satellite contract: a direct-mode
+// engine reports zero rounds and messages but a real wall-clock cost, and
+// tags its stats with the execution mode.
+func TestDirectPreprocessStats(t *testing.T) {
+	ctx := context.Background()
+	gr := testGraph(16, 20, 5, 11)
+	eng, err := NewEngine(ctx, gr, Options{Epsilon: 0.5, Execution: ExecDirect})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	ps := eng.PreprocessStats()
+	if len(ps.Builds) != 1 {
+		t.Fatalf("got %d builds, want 1", len(ps.Builds))
+	}
+	st := ps.Builds[0].Stats
+	if st.Exec != ExecDirect {
+		t.Errorf("build stats Exec = %v, want direct", st.Exec)
+	}
+	if st.TotalRounds != 0 || st.SimRounds != 0 || st.Messages != 0 || st.Words != 0 {
+		t.Errorf("direct build reported nonzero communication: %+v", st)
+	}
+	if st.Wall() <= 0 {
+		t.Errorf("direct build reported no wall-clock time: %+v", st)
+	}
+	if ps.Total.Exec != ExecDirect {
+		t.Errorf("merged total Exec = %v, want direct", ps.Total.Exec)
+	}
+	res, err := eng.MSSP(ctx, []int{0, 3})
+	if err != nil {
+		t.Fatalf("MSSP: %v", err)
+	}
+	if res.Stats.Exec != ExecDirect || res.Stats.TotalRounds != 0 || res.Stats.Messages != 0 {
+		t.Errorf("direct query stats = %+v, want zero rounds/messages and direct tag", res.Stats)
+	}
+}

@@ -55,6 +55,9 @@ type Engine struct {
 	gr   *Graph
 	opts Options
 	pre  *Preprocessed
+	// direct caches the host-side weight matrix for ExecDirect runs
+	// (direct.go); unused in simulated mode.
+	direct directState
 }
 
 // Preprocessed is the cache of reusable preprocessing artifacts - per-node
@@ -230,8 +233,12 @@ func (e *Engine) build(ctx context.Context, key artifactKey, call *buildCall) {
 // buildArtifact runs the preprocessing simulator run for one artifact: the
 // collective hopset construction of §4 (plus, for the low-degree variant,
 // the one-round degree broadcast that defines G'), collected into
-// host-side form.
+// host-side form. Under ExecDirect the same artifact is computed on flat
+// matrices instead (direct.go); the entry is byte-identical either way.
 func (e *Engine) buildArtifact(ctx context.Context, key artifactKey) (*artifactEntry, error) {
+	if e.opts.Execution == ExecDirect {
+		return e.buildArtifactDirect(ctx, key)
+	}
 	n := e.gr.N()
 	sr := e.gr.g.AugSemiring()
 	board := hitting.NewBoard(n)
@@ -357,6 +364,9 @@ func (e *Engine) MSSP(ctx context.Context, sources []int) (*MSSPResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.opts.Execution == ExecDirect {
+		return e.msspDirect(ctx, inS, srcList, srcIdx, ent)
+	}
 	sr := e.gr.g.AugSemiring()
 	dist := make([][]int64, n)
 	stats, err := cc.Run(ctx, e.opts.config(n), func(nd *cc.Node) error {
@@ -389,6 +399,9 @@ func (e *Engine) SSSP(ctx context.Context, source int) (*SSSPResult, error) {
 	n := e.gr.N()
 	if source < 0 || source >= n {
 		return nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrInvalidSource, source, n)
+	}
+	if e.opts.Execution == ExecDirect {
+		return e.ssspDirect(ctx, source)
 	}
 	sr := e.gr.g.AugSemiring()
 	var dist []int64
@@ -447,6 +460,11 @@ func (e *Engine) APSPWeighted(ctx context.Context) (*APSPResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.opts.Execution == ExecDirect {
+		return e.apspDirect(ctx, "weighted", func() ([][]int64, error) {
+			return apsp.TwoPlusEpsWeightedDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), ent.art, e.opts.Workers)
+		})
+	}
 	eps := e.opts.Epsilon
 	return e.runAPSPQuery(ctx, "weighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
 		return apsp.TwoPlusEpsWeightedWithHopset(nd, sr, wrow, eps, boards, ent.art.At(nd.ID))
@@ -459,6 +477,11 @@ func (e *Engine) APSPWeighted3(ctx context.Context) (*APSPResult, error) {
 	ent, err := e.artifact(ctx, e.apspKey())
 	if err != nil {
 		return nil, err
+	}
+	if e.opts.Execution == ExecDirect {
+		return e.apspDirect(ctx, "3+eps", func() ([][]int64, error) {
+			return apsp.ThreePlusEpsDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), ent.art, e.opts.Workers)
+		})
 	}
 	eps := e.opts.Epsilon
 	return e.runAPSPQuery(ctx, "3+eps", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
@@ -478,6 +501,11 @@ func (e *Engine) APSPUnweighted(ctx context.Context) (*APSPResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.opts.Execution == ExecDirect {
+		return e.apspDirect(ctx, "unweighted", func() ([][]int64, error) {
+			return apsp.TwoPlusEpsUnweightedDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), entLow.degs, entG.art, entLow.art, e.opts.Workers)
+		})
+	}
 	eps := e.opts.Epsilon
 	return e.runAPSPQuery(ctx, "unweighted", func(nd *cc.Node, sr semiring.AugMinPlus, wrow matrix.Row[semiring.WH], boards *hitting.BoardSeq) ([]int64, error) {
 		return apsp.TwoPlusEpsUnweightedWithHopsets(nd, sr, wrow, eps, boards, entLow.degs, entG.art.At(nd.ID), entLow.art.At(nd.ID))
@@ -490,6 +518,9 @@ func (e *Engine) Diameter(ctx context.Context) (*DiameterResult, error) {
 	ent, err := e.artifact(ctx, e.baseKey())
 	if err != nil {
 		return nil, err
+	}
+	if e.opts.Execution == ExecDirect {
+		return e.diameterDirect(ctx, ent)
 	}
 	n := e.gr.N()
 	sr := e.gr.g.AugSemiring()
@@ -516,6 +547,9 @@ func (e *Engine) Diameter(ctx context.Context) (*DiameterResult, error) {
 func (e *Engine) KNearest(ctx context.Context, k int) (*KNearestResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("%w: k must be positive, got %d", ErrInvalidOption, k)
+	}
+	if e.opts.Execution == ExecDirect {
+		return e.knearestDirect(ctx, k)
 	}
 	n := e.gr.N()
 	sr := e.gr.g.RoutedSemiring()
@@ -563,6 +597,9 @@ func (e *Engine) SourceDetection(ctx context.Context, sources []int, d, k int) (
 			return nil, fmt.Errorf("%w: source %d out of range [0,%d)", ErrInvalidSource, s, n)
 		}
 		inS[s] = true
+	}
+	if e.opts.Execution == ExecDirect {
+		return e.sourceDetectionDirect(ctx, inS, d, k)
 	}
 	sr := e.gr.g.AugSemiring()
 	out := make([][]Neighbor, n)

@@ -1,0 +1,308 @@
+// Direct (host-side) counterparts of the §6 APSP query stages
+// (DESIGN.md §12): the same algebra as the ...WithHopset collectives,
+// computed for all nodes at once on the full weight matrix with the
+// matmul kernels. Every estimate update is a monotone min on dense rows,
+// so the accumulation order is irrelevant and each function's row v is
+// byte-identical to what its collective sibling returns at node v.
+package apsp
+
+import (
+	"context"
+	"math"
+
+	"github.com/congestedclique/ccsp/internal/disttools"
+	"github.com/congestedclique/ccsp/internal/hitting"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/matmul"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/mssp"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// estAll is the dense n×n estimate table: row v mirrors node v's est.
+type estAll struct {
+	rows [][]int64
+}
+
+func newEstAll(n int) *estAll {
+	e := &estAll{rows: make([][]int64, n)}
+	for v := 0; v < n; v++ {
+		row := make([]int64, n)
+		for i := range row {
+			row[i] = semiring.Inf
+		}
+		row[v] = 0
+		e.rows[v] = row
+	}
+	return e
+}
+
+func (e *estAll) upd(v int, u int32, val int64) {
+	if val < e.rows[v][u] {
+		e.rows[v][u] = val
+	}
+}
+
+func (e *estAll) updMatWH(m *matrix.Mat[semiring.WH]) {
+	for v, r := range m.Rows {
+		for _, en := range r {
+			e.upd(v, en.Col, en.Val.W)
+		}
+	}
+}
+
+func (e *estAll) updMat(m *matrix.Mat[int64]) {
+	for v, r := range m.Rows {
+		for _, en := range r {
+			e.upd(v, en.Col, en.Val)
+		}
+	}
+}
+
+// exactKNearestAll mirrors exactKNearest for all nodes: k-nearest rows
+// plus the symmetric update (u learns d(v,u) for v with u ∈ N_k(v)).
+func exactKNearestAll(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], k, workers int, e *estAll) (*matrix.Mat[semiring.WH], error) {
+	knear, err := disttools.KNearestAll[semiring.WH](ctx, sr, w, k, workers)
+	if err != nil {
+		return nil, err
+	}
+	for v, r := range knear.Rows {
+		for _, en := range r {
+			e.upd(v, en.Col, en.Val.W)
+			if int(en.Col) != v {
+				e.upd(int(en.Col), int32(v), en.Val.W)
+			}
+		}
+	}
+	return knear, nil
+}
+
+// pivotsAll mirrors pivotOf for all nodes.
+func pivotsAll(knear *matrix.Mat[semiring.WH], inA []bool) (pvs []int64, dpvs []int64) {
+	n := knear.N
+	pvs = make([]int64, n)
+	dpvs = make([]int64, n)
+	for v := 0; v < n; v++ {
+		pv, dpv := pivotOf(knear.Rows[v], inA)
+		pvs[v] = int64(pv)
+		dpvs[v] = dpv.W
+	}
+	return pvs, dpvs
+}
+
+// pivotCombineAll applies the §6.2 line (7) / §6.3 line (10) updates for
+// every pair, mirroring pivotCombine: mssp[v] is node v's dense MSSP row.
+func pivotCombineAll(e *estAll, mssp [][]int64, pvs, dpvs []int64) {
+	n := len(pvs)
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if pvs[v] >= 0 {
+				e.upd(v, int32(u), addSat(dpvs[v], mssp[u][pvs[v]]))
+			}
+			if pu := pvs[u]; pu >= 0 {
+				e.upd(v, int32(u), addSat(dpvs[u], mssp[v][pu]))
+			}
+		}
+	}
+}
+
+// denseAll converts an augmented result matrix to per-node dense rows.
+func denseAll(m *matrix.Mat[semiring.WH]) [][]int64 {
+	out := make([][]int64, m.N)
+	for v := 0; v < m.N; v++ {
+		out[v] = whToDense(m.N, m.Rows[v])
+	}
+	return out
+}
+
+// colSets extracts each row's column set (the hitting-set inputs).
+func colSets(m *matrix.Mat[semiring.WH]) [][]int32 {
+	sets := make([][]int32, m.N)
+	for v := 0; v < m.N; v++ {
+		sets[v] = colsOf(m.Rows[v])
+	}
+	return sets
+}
+
+// ThreePlusEpsDirect is the host-side counterpart of
+// ThreePlusEpsWithHopset for all nodes (art built at HopsetParams eps/2
+// on G). Row v of the result is byte-identical to node v's collective
+// output.
+func ThreePlusEpsDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], art *hopset.Artifact, workers int) ([][]int64, error) {
+	n := w.N
+	e := newEstAll(n)
+	for v := 0; v < n; v++ {
+		for _, en := range w.Rows[v] {
+			e.upd(v, en.Col, en.Val.W)
+		}
+	}
+	knear, err := exactKNearestAll(ctx, sr, w, sqrtCeil(n), workers, e)
+	if err != nil {
+		return nil, err
+	}
+	inA := hitting.Greedy(n, colSets(knear))
+	res, err := mssp.RunDirect(ctx, sr, w, inA, art, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.updMatWH(res)
+	msspDense := denseAll(res)
+	pvs, dpvs := pivotsAll(knear, inA)
+	// The one-sided §6.1 combine: δ(v,u) = min(δ, d(u,p(u)) + δ̃(v, p(u))).
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if pu := pvs[u]; pu >= 0 {
+				e.upd(v, int32(u), addSat(dpvs[u], msspDense[v][pu]))
+			}
+		}
+	}
+	return e.rows, nil
+}
+
+// TwoPlusEpsWeightedDirect is the host-side counterpart of
+// TwoPlusEpsWeightedWithHopset for all nodes (art built at HopsetParams
+// eps/2 on G).
+func TwoPlusEpsWeightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], art *hopset.Artifact, workers int) ([][]int64, error) {
+	n := w.N
+	// Line (1): edge estimates.
+	e := newEstAll(n)
+	for v := 0; v < n; v++ {
+		for _, en := range w.Rows[v] {
+			e.upd(v, en.Col, en.Val.W)
+		}
+	}
+	// Line (2): exact distances to the √n nearest (both directions).
+	knear, err := exactKNearestAll(ctx, sr, w, sqrtCeil(n), workers, e)
+	if err != nil {
+		return nil, err
+	}
+	// Line (3): distances through N_k(u) ∩ N_k(v).
+	ests := make([][]disttools.Est, n)
+	for v := 0; v < n; v++ {
+		ests[v] = estsFromRow(knear.Rows[v])
+	}
+	dts, err := disttools.DistThroughSetsAll(ctx, plainMinPlus(sr), n, ests, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.updMat(dts)
+	// Line (4): hitting set A of the N_k sets.
+	inA := hitting.Greedy(n, colSets(knear))
+	// Line (5): (1+ε')-approximate MSSP from A over the prebuilt hopset.
+	res, err := mssp.RunDirect(ctx, sr, w, inA, art, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.updMatWH(res)
+	// Lines (6)-(7): pivots and the symmetric combination.
+	pvs, dpvs := pivotsAll(knear, inA)
+	pivotCombineAll(e, denseAll(res), pvs, dpvs)
+	return e.rows, nil
+}
+
+// TwoPlusEpsUnweightedDirect is the host-side counterpart of
+// TwoPlusEpsUnweightedWithHopsets for all nodes: artG is the eps/2
+// hopset on G, artLow the eps/2 hopset on the low-degree subgraph G',
+// and degs the |N(v)| vector from the same preprocessing.
+func TwoPlusEpsUnweightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], degs []int64, artG, artLow *hopset.Artifact, workers int) ([][]int64, error) {
+	n := w.N
+
+	// Line (1): edge estimates.
+	e := newEstAll(n)
+	for v := 0; v < n; v++ {
+		for _, en := range w.Rows[v] {
+			e.upd(v, en.Col, en.Val.W)
+		}
+	}
+
+	// --- First phase: shortest paths with a high-degree node. ---
+
+	k := DegreeThreshold(n)
+	sets := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		if len(w.Rows[v]) >= k { // the row includes the diagonal: |N(v)|
+			sets[v] = colsOf(w.Rows[v])
+		} else {
+			sets[v] = make([]int32, 0)
+		}
+	}
+	// Line (2): A hits every high-degree neighborhood.
+	inA := hitting.Greedy(n, sets)
+	// Line (3): MSSP from A over the prebuilt G hopset.
+	res, err := mssp.RunDirect(ctx, sr, w, inA, artG, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.updMatWH(res)
+	// Line (4): distances through A.
+	aEsts := make([][]disttools.Est, n)
+	for v := 0; v < n; v++ {
+		lst := make([]disttools.Est, 0, len(res.Rows[v]))
+		for _, en := range res.Rows[v] {
+			lst = append(lst, disttools.Est{W: en.Col, To: en.Val.W, From: en.Val.W})
+		}
+		aEsts[v] = lst
+	}
+	dts, err := disttools.DistThroughSetsAll(ctx, plainMinPlus(sr), n, aEsts, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.updMat(dts)
+
+	// --- Second phase: shortest paths among low-degree nodes only. ---
+
+	low := matrix.New[semiring.WH](n)
+	for v := 0; v < n; v++ {
+		low.Rows[v] = LowDegreeRow(v, w.Rows[v], degs, k)
+	}
+	// Line (5): n^{1/4}-nearest in G'.
+	kq := int(math.Ceil(math.Pow(float64(n), 0.25)))
+	knearLow, err := disttools.KNearestAll[semiring.WH](ctx, sr, low, kq, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.updMatWH(knearLow)
+	// Line (6): distances through N_{k'}(u) ∩ N_{k'}(v).
+	ests2 := make([][]disttools.Est, n)
+	for v := 0; v < n; v++ {
+		ests2[v] = estsFromRow(knearLow.Rows[v])
+	}
+	dts2, err := disttools.DistThroughSetsAll(ctx, plainMinPlus(sr), n, ests2, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.updMat(dts2)
+	// Line (7): A' hits the N_{k'} sets of G' nodes.
+	inA2 := hitting.Greedy(n, colSets(knearLow))
+	// Line (8): sparse MSSP from A' in G' over the prebuilt G' hopset.
+	res2, err := mssp.RunDirect(ctx, sr, low, inA2, artLow, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.updMatWH(res2)
+	// Lines (9)-(10): pivots p'(v) and the symmetric combination.
+	pvs, dpvs := pivotsAll(knearLow, inA2)
+	pivotCombineAll(e, denseAll(res2), pvs, dpvs)
+
+	// Lines (11)-(12): the 3-hop triple product M1·M2·M3 over min-plus.
+	pm := plainMinPlus(sr)
+	m1 := matrix.New[int64](n)
+	m2 := matrix.New[int64](n)
+	for v := 0; v < n; v++ {
+		r1 := make(matrix.Row[int64], 0, len(knearLow.Rows[v]))
+		for _, en := range knearLow.Rows[v] {
+			r1 = append(r1, matrix.Entry[int64]{Col: en.Col, Val: en.Val.W})
+		}
+		m1.Rows[v] = r1
+		for _, en := range low.Rows[v] {
+			if int(en.Col) != v {
+				m2.Rows[v] = append(m2.Rows[v], matrix.Entry[int64]{Col: en.Col, Val: en.Val.W})
+			}
+		}
+	}
+	m3 := m1.Transpose()
+	p1 := matmul.KernelMul[int64](pm, m1, m2, workers)
+	p2 := matmul.KernelMul[int64](pm, p1, m3, workers)
+	e.updMat(p2)
+	return e.rows, nil
+}

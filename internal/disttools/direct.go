@@ -1,0 +1,129 @@
+// Direct (host-side) counterparts of the distance tools: the same §3
+// algebra computed on whole matrices with the matmul kernels instead of
+// per-node collectives. Each function mirrors its distributed sibling
+// step by step - same clamping, same iteration counts, same filter
+// orders - so the outputs are byte-identical rows for every node (the
+// oracle-equivalence guarantee of DESIGN.md §12). The ctx parameter is
+// checked between product iterations: these are the long loops of direct
+// preprocessing, and a canceled caller unwinds within one multiply.
+package disttools
+
+import (
+	"context"
+	"math/bits"
+
+	"github.com/congestedclique/ccsp/internal/matmul"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// KNearestAll solves the k-nearest problem (Theorem 18) for every node at
+// once on the host: row v of the result equals what KNearest returns at
+// node v. w is the full augmented weight matrix (diagonal included).
+func KNearestAll[E any](ctx context.Context, sr semiring.Ordered[E], w *matrix.Mat[E], k, workers int) (*matrix.Mat[E], error) {
+	n := w.N
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	cur := matrix.New[E](n)
+	for v := 0; v < n; v++ {
+		cur.Rows[v] = matrix.FilterRow(sr, w.Rows[v], k)
+	}
+	iters := bits.Len(uint(k - 1)) // ceil(log2 k), as in KNearest
+	for t := 0; t < iters; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cur = matmul.KernelMulFiltered(sr, cur, cur, k, workers)
+	}
+	return cur, nil
+}
+
+// SourceDetectAll solves (S,d,|S|)-source detection (Theorem 19, second
+// variant) for every node at once: row v of the result equals what
+// SourceDetect returns at node v. g is the full augmented weight matrix
+// of the graph (which may include hopset edges).
+func SourceDetectAll[E any](ctx context.Context, sr semiring.Semiring[E], g *matrix.Mat[E], inS []bool, d, workers int) (*matrix.Mat[E], error) {
+	n := g.N
+	nS := 0
+	for _, s := range inS {
+		if s {
+			nS++
+		}
+	}
+	u := matrix.New[E](n)
+	if nS == 0 {
+		return u, nil // every per-node row is nil, as in SourceDetect
+	}
+	for v := 0; v < n; v++ {
+		row := make(matrix.Row[E], 0, nS)
+		for _, e := range g.Rows[v] {
+			if inS[e.Col] {
+				row = append(row, e)
+			}
+		}
+		u.Rows[v] = row
+	}
+	for i := 1; i < d; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		u = matmul.KernelMul(sr, g, u, workers)
+	}
+	return u, nil
+}
+
+// SourceDetectKAll solves (S,d,k)-source detection (Theorem 19, first
+// variant) for every node at once: row v equals what SourceDetectK
+// returns at node v.
+func SourceDetectKAll[E any](ctx context.Context, sr semiring.Ordered[E], w *matrix.Mat[E], inS []bool, d, k, workers int) (*matrix.Mat[E], error) {
+	n := w.N
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	u := matrix.New[E](n)
+	for v := 0; v < n; v++ {
+		row := make(matrix.Row[E], 0, k)
+		for _, e := range w.Rows[v] {
+			if inS[e.Col] {
+				row = append(row, e)
+			}
+		}
+		u.Rows[v] = matrix.FilterRow(sr, row, k)
+	}
+	for i := 1; i < d; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		u = matmul.KernelMulFiltered(sr, w, u, k, workers)
+	}
+	return u, nil
+}
+
+// DistThroughSetsAll solves distance-through-sets (Theorem 20) for every
+// node at once: ests[v] is node v's estimate list, and row v of the
+// result equals what DistThroughSets returns at node v. W2 rows are
+// assembled in ascending sender order, matching the Sync inbox ordering
+// of the collective version.
+func DistThroughSetsAll(ctx context.Context, sr semiring.MinPlus, n int, ests [][]Est, workers int) (*matrix.Mat[int64], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w1 := matrix.New[int64](n)
+	w2 := matrix.New[int64](n)
+	for v := 0; v < n; v++ {
+		row := make(matrix.Row[int64], 0, len(ests[v]))
+		for _, e := range ests[v] {
+			row = append(row, matrix.Entry[int64]{Col: e.W, Val: e.To})
+			w2.Rows[e.W] = append(w2.Rows[e.W], matrix.Entry[int64]{Col: int32(v), Val: e.From})
+		}
+		w1.Rows[v] = matrix.SortRow(row)
+	}
+	return matmul.KernelMul(sr, w1, w2, workers), nil
+}

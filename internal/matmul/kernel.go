@@ -1,0 +1,142 @@
+// Host-side ("direct") semiring product kernels. The distributed
+// algorithms of this package compute S·T by shuffling row fragments
+// between simulated nodes; when the caller only wants the algebra - the
+// direct execution mode of DESIGN.md §12 - the same products can be
+// computed on flat, cache-blocked matrices with a worker pool and zero
+// message construction. KernelMul is row-for-row equal to matrix.MulRef
+// (and therefore to the distributed Multiply), and KernelMulFiltered
+// equals matrix.Filter ∘ matrix.MulRef (and therefore MultiplyFiltered):
+// rows are independent, the scratch accumulators replicate MulRef's
+// accumulation exactly, and semiring addition is commutative, so the
+// output is byte-identical for every worker count.
+package matmul
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// kernelBlock is the number of consecutive rows a worker claims at a
+// time: large enough that the claim counter is cold, small enough that
+// the rows of one block (plus the scratch accumulator) stay
+// cache-resident and the tail imbalance is negligible.
+const kernelBlock = 32
+
+// kernelWorkers resolves a worker-count knob: <= 0 means GOMAXPROCS,
+// and the count is capped so no worker would sit idle.
+func kernelWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if blocks := (n + kernelBlock - 1) / kernelBlock; workers > blocks {
+		workers = blocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runRows executes a per-row function over rows [0, n), block-partitioned
+// across workers. newWorker is called once per worker to allocate its
+// private scratch state and returns the row function; with one worker the
+// loop runs inline with no goroutines (the serial engine analogue).
+func runRows(n, workers int, newWorker func() func(row int)) {
+	w := kernelWorkers(workers, n)
+	if w == 1 {
+		fn := newWorker()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn := newWorker()
+			for {
+				lo := int(next.Add(kernelBlock)) - kernelBlock
+				if lo >= n {
+					return
+				}
+				hi := min(lo+kernelBlock, n)
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// kernelMulRow computes row i of S·T into the caller's scratch, exactly
+// like the inner loop of matrix.MulRef: accumulate products column-wise,
+// drop semiring zeros, sort by column.
+func kernelMulRow[E any](sr semiring.Semiring[E], srow matrix.Row[E], t *matrix.Mat[E], acc []E, hit []bool, touched *[]int32) matrix.Row[E] {
+	tch := (*touched)[:0]
+	for _, es := range srow {
+		for _, et := range t.Rows[es.Col] {
+			prod := sr.Mul(es.Val, et.Val)
+			if hit[et.Col] {
+				acc[et.Col] = sr.Add(acc[et.Col], prod)
+			} else {
+				hit[et.Col] = true
+				acc[et.Col] = prod
+				tch = append(tch, et.Col)
+			}
+		}
+	}
+	row := make(matrix.Row[E], 0, len(tch))
+	for _, j := range tch {
+		if !sr.IsZero(acc[j]) {
+			row = append(row, matrix.Entry[E]{Col: j, Val: acc[j]})
+		}
+		hit[j] = false
+	}
+	*touched = tch
+	return matrix.SortRow(row)
+}
+
+// KernelMul computes P = S·T over sr on the host, parallel over
+// cache-sized row blocks. The result equals matrix.MulRef(sr, s, t)
+// entry-for-entry at every worker count (workers <= 0 means GOMAXPROCS,
+// 1 runs serially).
+func KernelMul[E any](sr semiring.Semiring[E], s, t *matrix.Mat[E], workers int) *matrix.Mat[E] {
+	n := s.N
+	p := matrix.New[E](n)
+	runRows(n, workers, func() func(int) {
+		acc := make([]E, n)
+		hit := make([]bool, n)
+		touched := make([]int32, 0, n)
+		return func(i int) {
+			p.Rows[i] = kernelMulRow(sr, s.Rows[i], t, acc, hit, &touched)
+		}
+	})
+	return p
+}
+
+// KernelMulFiltered computes the ρ-filtered product Filter(S·T, rho) on
+// the host: each output row keeps its rho smallest entries under the
+// (Rank, column) order of §2.2. It equals
+// matrix.Filter(sr, matrix.MulRef(sr, s, t), rho) - and therefore the
+// distributed MultiplyFiltered - at every worker count.
+func KernelMulFiltered[E any](sr semiring.Ordered[E], s, t *matrix.Mat[E], rho, workers int) *matrix.Mat[E] {
+	n := s.N
+	p := matrix.New[E](n)
+	runRows(n, workers, func() func(int) {
+		acc := make([]E, n)
+		hit := make([]bool, n)
+		touched := make([]int32, 0, n)
+		return func(i int) {
+			p.Rows[i] = matrix.FilterRow(sr, kernelMulRow(sr, s.Rows[i], t, acc, hit, &touched), rho)
+		}
+	})
+	return p
+}

@@ -155,6 +155,123 @@ func TestMultiplyDeterministic(t *testing.T) {
 	}
 }
 
+// withReflexiveDiagonal returns m with every diagonal entry forced to 0
+// (the reflexive closure min-plus convergence needs).
+func withReflexiveDiagonal(m *matrix.Mat[int64]) *matrix.Mat[int64] {
+	out := matrix.New[int64](m.N)
+	for v := range m.Rows {
+		row := make(matrix.Row[int64], 0, len(m.Rows[v])+1)
+		hasDiag := false
+		for _, e := range m.Rows[v] {
+			if int(e.Col) == v {
+				hasDiag = true
+				row = append(row, matrix.Entry[int64]{Col: e.Col, Val: 0})
+			} else {
+				row = append(row, e)
+			}
+		}
+		if !hasDiag {
+			row = append(row, matrix.Entry[int64]{Col: int32(v), Val: 0})
+		}
+		out.Rows[v] = matrix.SortRow(row)
+	}
+	return out
+}
+
+// TestKernelMulEquivalence: the block-partitioned host kernel equals the
+// unpartitioned sequential reference for every worker count - the direct
+// execution mode's ground contract (DESIGN.md §12). Worker count 1 runs
+// the serial inline path; larger counts exercise the atomic block
+// claiming.
+func TestKernelMulEquivalence(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 40)
+	prop := func(seed int64, nRaw, dS, dT uint8) bool {
+		n := int(nRaw)%24 + 2
+		s := randMat(n, int(dS)%n+1, seed+400)
+		tm := randMat(n, int(dT)%n+1, seed+401)
+		want := matrix.MulRef[int64](sr, s, tm)
+		for _, workers := range []int{1, 3, 8} {
+			if !matrix.Equal[int64](sr, KernelMul[int64](sr, s, tm, workers), want) {
+				t.Logf("workers=%d differs (n=%d)", workers, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelMulFilteredEquivalence: the filtered kernel equals
+// Filter ∘ MulRef - the same identity MultiplyFiltered satisfies
+// (Theorem 14's output contract) - for every worker count.
+func TestKernelMulFilteredEquivalence(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 20)
+	prop := func(seed int64, nRaw, dRaw, rhoRaw uint8) bool {
+		n := int(nRaw)%24 + 2
+		d := int(dRaw)%n + 1
+		rho := int(rhoRaw)%n + 1
+		s := randMat(n, d, seed+500)
+		tm := randMat(n, d, seed+501)
+		want := matrix.Filter[int64](sr, matrix.MulRef[int64](sr, s, tm), rho)
+		for _, workers := range []int{1, 3, 8} {
+			if !matrix.Equal[int64](sr, KernelMulFiltered[int64](sr, s, tm, rho, workers), want) {
+				t.Logf("workers=%d differs (n=%d rho=%d)", workers, n, rho)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinPlusAssociativity: (A·B)·C == A·(B·C) over the min-plus
+// semiring - the algebraic fact that lets the direct mode regroup and
+// reorder the paper's product chains without changing any entry.
+func TestMinPlusAssociativity(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 40)
+	prop := func(seed int64, nRaw, dRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		d := int(dRaw)%n + 1
+		a := randMat(n, d, seed+600)
+		b := randMat(n, d, seed+601)
+		c := randMat(n, d, seed+602)
+		left := KernelMul[int64](sr, KernelMul[int64](sr, a, b, 3), c, 3)
+		right := KernelMul[int64](sr, a, KernelMul[int64](sr, b, c, 3), 3)
+		return matrix.Equal[int64](sr, left, right)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdempotentClosureConvergence: with a reflexive diagonal, repeated
+// self-products are monotone and reach the min-plus closure within
+// ⌈log₂ n⌉ squarings; one more squaring is a no-op (idempotence). This is
+// the fixed-point argument behind the k-nearest iteration count
+// (Lemma 17) that both execution modes rely on.
+func TestIdempotentClosureConvergence(t *testing.T) {
+	sr := semiring.NewMinPlus(1 << 40)
+	prop := func(seed int64, nRaw, dRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		d := int(dRaw)%n + 1
+		a := withReflexiveDiagonal(randMat(n, d, seed+700))
+		cur := a
+		// ceil(log2 n) squarings reach the closure A^n.
+		for sq := 1; sq < n; sq *= 2 {
+			cur = KernelMul[int64](sr, cur, cur, 3)
+		}
+		again := KernelMul[int64](sr, cur, cur, 3)
+		return matrix.Equal[int64](sr, again, cur)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestChunkHelpers covers the chunk-selection arithmetic directly.
 func TestChunkHelpers(t *testing.T) {
 	product := make([]triple[int64], 10)

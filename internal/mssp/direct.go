@@ -1,0 +1,34 @@
+package mssp
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/congestedclique/ccsp/internal/disttools"
+	"github.com/congestedclique/ccsp/internal/hopset"
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// RunDirect is the host-side counterpart of RunWithHopset for every node
+// at once (DESIGN.md §12): β-hop source detection on G ∪ H computed with
+// the matmul kernels. Row v of the result is byte-identical to the Dist
+// row RunWithHopset returns at node v against the same artifact. w is
+// the full augmented weight matrix of the graph the artifact was built
+// on; workers sizes the kernel pool (<= 0 means GOMAXPROCS).
+func RunDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], inS []bool, art *hopset.Artifact, workers int) (*matrix.Mat[semiring.WH], error) {
+	n := w.N
+	g := matrix.New[semiring.WH](n)
+	for v := 0; v < n; v++ {
+		g.Rows[v] = matrix.MergeRows(sr, w.Rows[v], art.Rows[v])
+	}
+	d := art.Beta
+	if d > n {
+		d = n
+	}
+	dist, err := disttools.SourceDetectAll[semiring.WH](ctx, sr, g, inS, d, workers)
+	if err != nil {
+		return nil, fmt.Errorf("mssp: source detection: %w", err)
+	}
+	return dist, nil
+}

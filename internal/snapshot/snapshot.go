@@ -42,8 +42,9 @@ const Magic = "ccspsnap"
 
 // Version is the current format version. Bump it on any incompatible
 // layout change; decoders reject snapshots from other versions rather
-// than guessing (the compat policy of DESIGN.md §9).
-const Version = 1
+// than guessing (the compat policy of DESIGN.md §9). Version 2 added the
+// execution-mode byte to the options and stats encodings.
+const Version = 2
 
 // Section type tags.
 const (
@@ -65,6 +66,10 @@ type Options struct {
 	Seed      int64
 	MaxRounds int
 	Workers   int
+	// Exec is the execution mode (the ccsp.Execution: 0 = simulated,
+	// 1 = direct). Persisted so a loaded engine keeps answering in the
+	// mode it was saved with.
+	Exec uint8
 }
 
 // Stats mirrors the public ccsp.Stats; preprocessing stats are persisted
@@ -79,6 +84,9 @@ type Stats struct {
 	Words          int64
 	PhaseRounds    map[string]int
 	CollectiveTime map[string]time.Duration
+	// Exec is the execution mode that produced these stats (0 = simulated,
+	// 1 = direct).
+	Exec uint8
 }
 
 // Artifact is one persisted hopset parameterization: the cache key
@@ -190,6 +198,7 @@ func encodeOptions(o Options) []byte {
 	w.Varint(o.Seed)
 	w.Int(o.MaxRounds)
 	w.Int(o.Workers)
+	w.Byte(o.Exec)
 	return w.Bytes()
 }
 
@@ -201,6 +210,7 @@ func decodeOptions(payload []byte) (Options, error) {
 		Seed:      r.Varint(),
 		MaxRounds: r.Int(),
 		Workers:   r.Int(),
+		Exec:      r.Byte(),
 	}
 	r.Expect(0)
 	return o, r.Err()
@@ -221,6 +231,7 @@ func encodeStats(w *wire.Writer, s Stats) {
 		w.String(k)
 		w.Varint(int64(s.CollectiveTime[k]))
 	}
+	w.Byte(s.Exec)
 }
 
 func decodeStats(r *wire.Reader) (Stats, error) {
@@ -250,6 +261,7 @@ func decodeStats(r *wire.Reader) (Stats, error) {
 			s.CollectiveTime[k] = time.Duration(v)
 		}
 	}
+	s.Exec = r.Byte()
 	return s, r.Err()
 }
 

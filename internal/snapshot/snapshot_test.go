@@ -114,7 +114,7 @@ func TestDecodeRejectsEveryTruncation(t *testing.T) {
 func TestDecodeRejectsVersionSkew(t *testing.T) {
 	data := encodeToBytes(t, testSnapshot(t))
 	mut := append([]byte(nil), data...)
-	mut[8], mut[9] = 0x02, 0x00 // version 2
+	mut[8], mut[9] = 0x63, 0x00 // version 99
 	_, err := Decode(bytes.NewReader(mut))
 	if err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("version skew: err = %v, want version error", err)

@@ -25,8 +25,46 @@ const (
 	PresetPaper
 )
 
+// Execution selects how preprocessing and queries are computed
+// (DESIGN.md §12).
+type Execution uint8
+
+const (
+	// ExecSimulated (the default) runs every algorithm inside the
+	// round-synchronous Congested Clique simulator, paying per-node
+	// message construction, routing and sorting, and reporting the full
+	// round/message accounting in Stats.
+	ExecSimulated Execution = iota
+	// ExecDirect computes the same algebra directly on flat host-side
+	// matrices with the matmul kernels and a worker pool, skipping the
+	// simulator entirely. Results are byte-identical to ExecSimulated
+	// (the differential oracle guarantee); Stats report zero rounds and
+	// messages but real wall-clock time.
+	ExecDirect
+)
+
+// String returns "simulated" or "direct".
+func (x Execution) String() string {
+	if x == ExecDirect {
+		return "direct"
+	}
+	return "simulated"
+}
+
+// ParseExecution parses an execution-mode name as accepted by the CLI
+// -exec flags: "simulated" (or "sim", or empty) and "direct".
+func ParseExecution(s string) (Execution, error) {
+	switch s {
+	case "", "simulated", "sim":
+		return ExecSimulated, nil
+	case "direct":
+		return ExecDirect, nil
+	}
+	return ExecSimulated, fmt.Errorf("%w: unknown execution mode %q (want \"simulated\" or \"direct\")", ErrInvalidOption, s)
+}
+
 // Options configures a run. The zero value is valid: ε = 0.5, the
-// practical preset, seed 0.
+// practical preset, seed 0, simulated execution.
 type Options struct {
 	// Epsilon is the approximation parameter ε ∈ (0, 1]; 0 means 0.5.
 	Epsilon float64
@@ -45,8 +83,14 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 forces the serial engine. Results and all
 	// deterministic statistics are identical for every value - only
 	// wall-clock time (and the observational Stats.CollectiveTime)
-	// changes.
+	// changes. In direct mode the same knob sizes the kernel worker pool.
 	Workers int
+	// Execution selects the execution mode: ExecSimulated (default) runs
+	// the round-synchronous simulator, ExecDirect computes the identical
+	// results on flat matrices with the kernel worker pool (DESIGN.md
+	// §12). Answers are byte-identical in both modes; only Stats (and
+	// wall-clock) differ.
+	Execution Execution
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +109,9 @@ func (o Options) validate() error {
 	}
 	if o.MaxRounds < 0 {
 		return fmt.Errorf("%w: negative MaxRounds %d", ErrInvalidOption, o.MaxRounds)
+	}
+	if o.Execution > ExecDirect {
+		return fmt.Errorf("%w: unknown Execution %d", ErrInvalidOption, o.Execution)
 	}
 	return nil
 }
@@ -98,7 +145,12 @@ func prepare(gr *Graph, opts Options) (Options, error) {
 // rounds charged by the primitives the paper cites as black boxes (Lenzen
 // routing/sorting, the Lemma 4 hitting set), broken down in ChargedRounds.
 type Stats struct {
-	Nodes         int
+	Nodes int
+	// Exec records which execution mode produced these stats. Direct-mode
+	// runs have no rounds or messages - the round/message fields are all
+	// zero by construction, not unmeasured - and report their cost as
+	// wall-clock time under CollectiveTime["direct"].
+	Exec          Execution
 	TotalRounds   int
 	SimRounds     int
 	ChargedRounds map[string]int
@@ -142,10 +194,25 @@ func statsFrom(s cc.Stats) Stats {
 
 // String renders a one-line summary. Words is included alongside the
 // message count: machine words are the currency the paper's bandwidth
-// bounds are stated in.
+// bounds are stated in. Direct-mode stats have no round or message
+// accounting, so they render the mode tag and the wall-clock cost
+// instead.
 func (s Stats) String() string {
+	if s.Exec == ExecDirect {
+		return fmt.Sprintf("n=%d exec=direct rounds=0 msgs=0 wall=%s", s.Nodes, s.Wall())
+	}
 	return fmt.Sprintf("n=%d rounds=%d (sim=%d charged=%d) msgs=%d words=%d",
 		s.Nodes, s.TotalRounds, s.SimRounds, s.TotalRounds-s.SimRounds, s.Messages, s.Words)
+}
+
+// Wall returns the total wall-clock time recorded in CollectiveTime -
+// for a direct-mode run, the real cost of the computation.
+func (s Stats) Wall() time.Duration {
+	var total time.Duration
+	for _, d := range s.CollectiveTime {
+		total += d
+	}
+	return total
 }
 
 // Merge returns the element-wise sum of s and o: rounds, messages and the
@@ -155,7 +222,9 @@ func (s Stats) String() string {
 // report.
 func (s Stats) Merge(o Stats) Stats {
 	out := Stats{
-		Nodes:          s.Nodes,
+		Nodes: s.Nodes,
+		Exec:  max(s.Exec, o.Exec), // direct taints the total: its rounds are not comparable
+
 		TotalRounds:    s.TotalRounds + o.TotalRounds,
 		SimRounds:      s.SimRounds + o.SimRounds,
 		Messages:       s.Messages + o.Messages,

@@ -1,6 +1,7 @@
 package ccsp
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -42,6 +43,35 @@ func TestOptionsValidateEdgeCases(t *testing.T) {
 	}
 }
 
+func TestParseExecution(t *testing.T) {
+	valid := map[string]Execution{
+		"": ExecSimulated, "simulated": ExecSimulated, "sim": ExecSimulated,
+		"direct": ExecDirect,
+	}
+	for in, want := range valid {
+		got, err := ParseExecution(in)
+		if err != nil || got != want {
+			t.Errorf("ParseExecution(%q) = %v, %v; want %v, nil", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"Direct", "DIRECT", "fast", "simulate", "0"} {
+		if _, err := ParseExecution(in); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("ParseExecution(%q) err = %v, want ErrInvalidOption", in, err)
+		}
+	}
+	if got, want := ExecSimulated.String(), "simulated"; got != want {
+		t.Errorf("ExecSimulated.String() = %q, want %q", got, want)
+	}
+	if got, want := ExecDirect.String(), "direct"; got != want {
+		t.Errorf("ExecDirect.String() = %q, want %q", got, want)
+	}
+	// Out-of-range modes are rejected at validate time, matching the
+	// snapshot loader's check.
+	if err := (Options{Epsilon: 0.5, Execution: ExecDirect + 1}).validate(); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("validate(Execution=%d) err = %v, want ErrInvalidOption", ExecDirect+1, err)
+	}
+}
+
 func TestStatsStringFormat(t *testing.T) {
 	// The word count must appear: it is the unit the paper's bandwidth
 	// bounds are stated in (a summary that drops it hides the cost).
@@ -51,6 +81,16 @@ func TestStatsStringFormat(t *testing.T) {
 	}
 	if got := (Stats{}).String(); got != "n=0 rounds=0 (sim=0 charged=0) msgs=0 words=0" {
 		t.Errorf("zero Stats.String() = %q", got)
+	}
+	// Direct-mode stats have no round accounting; the summary says so
+	// explicitly instead of printing misleading zeros as if measured.
+	d := Stats{Nodes: 7, Exec: ExecDirect,
+		CollectiveTime: map[string]time.Duration{"direct": 3 * time.Millisecond}}
+	if got, want := d.String(), "n=7 exec=direct rounds=0 msgs=0 wall=3ms"; got != want {
+		t.Errorf("direct Stats.String() = %q, want %q", got, want)
+	}
+	if got, want := d.Wall(), 3*time.Millisecond; got != want {
+		t.Errorf("Wall() = %v, want %v", got, want)
 	}
 }
 
@@ -83,5 +123,18 @@ func TestStatsMerge(t *testing.T) {
 	// Nodes is taken from the non-empty side.
 	if m := (Stats{}).Merge(b); m.Nodes != 8 {
 		t.Errorf("zero.Merge(b).Nodes = %d, want 8", m.Nodes)
+	}
+	// Exec propagates as a max: merging any direct-mode stats in taints
+	// the total, because its zero rounds are not comparable to simulated
+	// round counts.
+	d := Stats{Nodes: 8, Exec: ExecDirect}
+	if m := a.Merge(d); m.Exec != ExecDirect {
+		t.Errorf("sim.Merge(direct).Exec = %v, want direct", m.Exec)
+	}
+	if m := d.Merge(a); m.Exec != ExecDirect {
+		t.Errorf("direct.Merge(sim).Exec = %v, want direct", m.Exec)
+	}
+	if m := a.Merge(b); m.Exec != ExecSimulated {
+		t.Errorf("sim.Merge(sim).Exec = %v, want simulated", m.Exec)
 	}
 }

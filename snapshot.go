@@ -28,6 +28,7 @@ func (e *Engine) Save(w io.Writer) error {
 			Seed:      e.opts.Seed,
 			MaxRounds: e.opts.MaxRounds,
 			Workers:   e.opts.Workers,
+			Exec:      uint8(e.opts.Execution),
 		},
 	}
 	e.pre.mu.Lock()
@@ -70,6 +71,9 @@ func LoadEngine(ctx context.Context, r io.Reader) (*Engine, error) {
 	if p := Preset(snap.Opts.Preset); p != PresetPractical && p != PresetPaper {
 		return nil, fmt.Errorf("ccsp: snapshot has unknown preset %d", snap.Opts.Preset)
 	}
+	if snap.Opts.Exec > uint8(ExecDirect) {
+		return nil, fmt.Errorf("ccsp: snapshot has unknown execution mode %d", snap.Opts.Exec)
+	}
 	gr := &Graph{g: snap.Graph}
 	opts := Options{
 		Epsilon:   snap.Opts.Epsilon,
@@ -77,6 +81,7 @@ func LoadEngine(ctx context.Context, r io.Reader) (*Engine, error) {
 		Seed:      snap.Opts.Seed,
 		MaxRounds: snap.Opts.MaxRounds,
 		Workers:   snap.Opts.Workers,
+		Execution: Execution(snap.Opts.Exec),
 	}
 	e, err := newEngine(gr, opts)
 	if err != nil {
@@ -112,6 +117,7 @@ func toSnapStats(s Stats) snapshot.Stats {
 		Words:          s.Words,
 		PhaseRounds:    s.PhaseRounds,
 		CollectiveTime: s.CollectiveTime,
+		Exec:           uint8(s.Exec),
 	}
 }
 
@@ -128,6 +134,7 @@ func fromSnapStats(s snapshot.Stats) Stats {
 		Words:          s.Words,
 		PhaseRounds:    s.PhaseRounds,
 		CollectiveTime: s.CollectiveTime,
+		Exec:           Execution(s.Exec),
 	}
 	if out.ChargedRounds == nil {
 		out.ChargedRounds = map[string]int{}

@@ -154,6 +154,112 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	statsEqual(t, "loaded vs cold MSSP", gotM.Stats, coldM.Stats)
 }
 
+// TestSnapshotDirectInterop extends the round-trip contract to ExecDirect:
+// a direct-mode engine saves and loads like any other (byte-identical
+// re-save, verbatim PreprocessStats, preserved execution mode), and the
+// answers served from its snapshot are byte-identical to the answers
+// served from a simulated-mode snapshot of the same graph and options.
+func TestSnapshotDirectInterop(t *testing.T) {
+	ctx := context.Background()
+	gr := testGraph(24, 30, 8, 77)
+	sources := []int{2, 7, 13}
+
+	dir, err := NewEngine(ctx, gr, Options{Epsilon: 0.5, Execution: ExecDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate both weighted artifacts (base + ε/2) before saving.
+	if _, err := dir.MSSP(ctx, sources); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.APSPWeighted(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var dirBuf bytes.Buffer
+	if err := dir.Save(&dirBuf); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), dirBuf.Bytes()...)
+	loadedDir, err := LoadEngine(ctx, bytes.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loadedDir.Options().Execution; got != ExecDirect {
+		t.Errorf("loaded engine execution = %v, want direct", got)
+	}
+	var reBuf bytes.Buffer
+	if err := loadedDir.Save(&reBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, reBuf.Bytes()) {
+		t.Error("direct-mode Save → Load → Save is not byte-identical")
+	}
+	if !reflect.DeepEqual(loadedDir.PreprocessStats(), dir.PreprocessStats()) {
+		t.Errorf("loaded direct PreprocessStats differ:\n got %+v\nwant %+v",
+			loadedDir.PreprocessStats(), dir.PreprocessStats())
+	}
+
+	// A simulated-mode snapshot of the same graph and options.
+	sim, err := NewEngine(ctx, gr, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.MSSP(ctx, sources); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.APSPWeighted(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var simBuf bytes.Buffer
+	if err := sim.Save(&simBuf); err != nil {
+		t.Fatal(err)
+	}
+	loadedSim, err := LoadEngine(ctx, &simBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Answers from the two snapshots are byte-identical; only the cost
+	// reports differ (wall-clock vs rounds).
+	dM, err := loadedDir.MSSP(ctx, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sM, err := loadedSim.MSSP(ctx, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dM.Dist, sM.Dist) || !reflect.DeepEqual(dM.Sources, sM.Sources) {
+		t.Error("MSSP from direct snapshot differs from simulated snapshot")
+	}
+	if dM.Stats.Exec != ExecDirect || dM.Stats.TotalRounds != 0 {
+		t.Errorf("direct snapshot query stats = %+v, want direct tag and zero rounds", dM.Stats)
+	}
+	dA, err := loadedDir.APSPWeighted(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA, err := loadedSim.APSPWeighted(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dA.Dist, sA.Dist) {
+		t.Error("APSP from direct snapshot differs from simulated snapshot")
+	}
+	dD, err := loadedDir.Diameter(ctx) // served from the snapshot's base artifact
+	if err != nil {
+		t.Fatal(err)
+	}
+	sD, err := loadedSim.Diameter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dD.Estimate != sD.Estimate {
+		t.Errorf("diameter from direct snapshot %d, simulated snapshot %d", dD.Estimate, sD.Estimate)
+	}
+}
+
 // TestSnapshotLowDegreeArtifact round-trips the §6.3 low-degree variant:
 // its artifact carries the degree broadcast alongside the hopset.
 func TestSnapshotLowDegreeArtifact(t *testing.T) {
