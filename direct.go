@@ -27,11 +27,15 @@ import (
 // algorithms, and worker counts.
 
 // directState is the Engine's direct-mode cache: the full augmented weight
-// matrix, materialized once on first direct use and immutable afterwards
-// (the graph must not change after NewEngine).
+// matrix and its routed (first-hop witness) sibling, each materialized
+// once on first direct use and immutable afterwards (the graph must not
+// change after NewEngine).
 type directState struct {
 	once sync.Once
 	w    *matrix.Mat[semiring.WH]
+
+	routedOnce sync.Once
+	routed     *matrix.Mat[semiring.WHF]
 }
 
 // weightMat returns the cached full augmented weight matrix.
@@ -40,6 +44,45 @@ func (e *Engine) weightMat() *matrix.Mat[semiring.WH] {
 		e.direct.w = e.gr.g.WeightMatrix()
 	})
 	return e.direct.w
+}
+
+// routedMat returns the cached routed weight matrix (the k-nearest query
+// input), so repeated queries stop paying the O(n·deg) row rebuild.
+func (e *Engine) routedMat() *matrix.Mat[semiring.WHF] {
+	e.direct.routedOnce.Do(func() {
+		n := e.gr.N()
+		w := matrix.New[semiring.WHF](n)
+		for v := 0; v < n; v++ {
+			w.Rows[v] = e.gr.g.WeightRowRouted(v)
+		}
+		e.direct.routed = w
+	})
+	return e.direct.routed
+}
+
+// artifactMats returns the artifact's cached direct-query matrices: the
+// weight matrix the artifact was built on (G, or the low-degree subgraph
+// G' for artLowDegree, reconstructed from the entry's degs vector exactly
+// as the build did) and the merged G ∪ H matrix the β-hop detections run
+// over. Built once per entry under its sync.Once - also for entries
+// restored from a snapshot - and immutable afterwards, so every query
+// after the first skips the O(n·deg) merge entirely (DESIGN.md §13).
+func (e *Engine) artifactMats(variant artVariant, ent *artifactEntry) (base, gh *matrix.Mat[semiring.WH]) {
+	ent.ghOnce.Do(func() {
+		w := e.weightMat()
+		if variant == artLowDegree {
+			n := e.gr.N()
+			k := apsp.DegreeThreshold(n)
+			low := matrix.New[semiring.WH](n)
+			for v := 0; v < n; v++ {
+				low.Rows[v] = apsp.LowDegreeRow(v, w.Rows[v], ent.degs, k)
+			}
+			w = low
+		}
+		ent.base = w
+		ent.gh = mssp.MergeGH(e.gr.g.AugSemiring(), w, ent.art)
+	})
+	return ent.base, ent.gh
 }
 
 // directStats is the Stats of a direct-mode computation: no rounds, no
@@ -110,7 +153,8 @@ func (e *Engine) msspDirect(ctx context.Context, inS []bool, srcList []int, srcI
 	}
 	n := e.gr.N()
 	start := time.Now()
-	res, err := mssp.RunDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), inS, ent.art, e.opts.Workers)
+	_, gh := e.artifactMats(artFull, ent)
+	res, err := mssp.RunDirectMerged(ctx, gh, ent.art.Beta, inS, e.opts.Workers)
 	if err != nil {
 		return nil, wrapDirectErr("MSSP", err)
 	}
@@ -165,7 +209,8 @@ func (e *Engine) diameterDirect(ctx context.Context, ent *artifactEntry) (*Diame
 	}
 	n := e.gr.N()
 	start := time.Now()
-	est, err := diameter.ApproxDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), ent.art, e.opts.Workers)
+	_, gh := e.artifactMats(artFull, ent)
+	est, err := diameter.ApproxDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), gh, ent.art.Beta, e.opts.Workers)
 	if err != nil {
 		return nil, wrapDirectErr("diameter", err)
 	}
@@ -180,12 +225,7 @@ func (e *Engine) knearestDirect(ctx context.Context, k int) (*KNearestResult, er
 	}
 	n := e.gr.N()
 	start := time.Now()
-	sr := e.gr.g.RoutedSemiring()
-	w := matrix.New[semiring.WHF](n)
-	for v := 0; v < n; v++ {
-		w.Rows[v] = e.gr.g.WeightRowRouted(v)
-	}
-	knear, err := disttools.KNearestAll[semiring.WHF](ctx, sr, w, k, e.opts.Workers)
+	knear, err := disttools.KNearestAll[semiring.WHF](ctx, e.gr.g.RoutedSemiring(), e.routedMat(), k, e.opts.Workers)
 	if err != nil {
 		return nil, wrapDirectErr("k-nearest", err)
 	}

@@ -1,0 +1,84 @@
+package ccsp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/graphgen"
+)
+
+// Benchmarks for the direct query path (DESIGN.md §13). Engines are
+// preprocessed once per size and shared across benchmark runs, so the
+// measured loop is the warm per-query cost: cached G ∪ H, the
+// source-restricted detection panel, and the specialized WH kernel.
+
+var benchEngines sync.Map // n -> *Engine (ExecDirect, eps 0.5)
+
+// benchEngine returns a preprocessed direct-mode engine over the E17/E18
+// graph family at size n, built once per process.
+func benchEngine(b *testing.B, n int) *Engine {
+	b.Helper()
+	if e, ok := benchEngines.Load(n); ok {
+		return e.(*Engine)
+	}
+	g := graphgen.Connected(n, 3*n, graphgen.Weights{Max: 10}, int64(n)+17)
+	gr := NewGraph(n)
+	for v := 0; v < g.N; v++ {
+		for _, ed := range g.Adj[v] {
+			if int(ed.To) > v {
+				if err := gr.AddEdge(v, int(ed.To), ed.W); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	eng, err := NewEngine(context.Background(), gr, Options{Epsilon: 0.5, Execution: ExecDirect})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngines.Store(n, eng)
+	return eng
+}
+
+// BenchmarkDirectQuery measures warm MSSP latency at q sources per query
+// (the E18 workload; run with -benchmem for allocs/op).
+func BenchmarkDirectQuery(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		for _, q := range []int{1, 8} {
+			b.Run(fmt.Sprintf("n=%d/q=%d", n, q), func(b *testing.B) {
+				eng := benchEngine(b, n)
+				sources := make([]int, 0, q)
+				for i := 0; i < q; i++ {
+					sources = append(sources, (i*n/q+1)%n)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.MSSP(context.Background(), sources); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDirectKNearest is the knearestDirect regression benchmark:
+// the routed weight matrix must be built once per engine, not per query,
+// so allocs/op must stay flat in the matrix size.
+func BenchmarkDirectKNearest(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			eng := benchEngine(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.KNearest(context.Background(), 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -197,6 +197,40 @@ func TestDirectOracleEpsilons(t *testing.T) {
 	}
 }
 
+// TestDirectRepeatedQueries locks the per-artifact caching contract
+// (DESIGN.md §13): repeated direct queries reuse the cached G ∪ H and
+// routed matrices, and the second answer must be byte-identical to the
+// first and to the simulated mode - the cache must be a pure memoization.
+func TestDirectRepeatedQueries(t *testing.T) {
+	ctx := context.Background()
+	gr := testGraph(18, 20, 7, 41)
+	sim, err := NewEngine(ctx, gr, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := NewEngine(ctx, gr, Options{Epsilon: 0.5, Execution: ExecDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range diffRequests(gr.N()) {
+		simResp, simErr := sim.Query(ctx, req)
+		first, firstErr := dir.Query(ctx, req)
+		second, secondErr := dir.Query(ctx, req)
+		if (simErr == nil) != (firstErr == nil) || (firstErr == nil) != (secondErr == nil) {
+			t.Fatalf("%s: error mismatch: simulated %v, first %v, second %v", req.Kind, simErr, firstErr, secondErr)
+		}
+		if simErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(stripStats(first), stripStats(second)) {
+			t.Errorf("%s: repeated direct query differs from the first (cache not a pure memoization)", req.Kind)
+		}
+		if !reflect.DeepEqual(stripStats(simResp), stripStats(second)) {
+			t.Errorf("%s: warm direct query differs from simulated", req.Kind)
+		}
+	}
+}
+
 // TestDirectPreprocessStats locks the satellite contract: a direct-mode
 // engine reports zero rounds and messages but a real wall-clock cost, and
 // tags its stats with the execution mode.

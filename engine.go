@@ -112,6 +112,15 @@ type artifactEntry struct {
 	art   *hopset.Artifact
 	degs  []int64 // artLowDegree only: broadcast |N(v)| vector, read-only
 	stats Stats
+
+	// Direct-mode query matrices derived from the artifact (DESIGN.md
+	// §13), built once on first direct query and immutable afterwards:
+	// base is the weight matrix the artifact was built on (G itself, or
+	// the low-degree subgraph G' for artLowDegree) and gh is base merged
+	// with the hopset rows (G ∪ H). Unused in simulated mode.
+	ghOnce sync.Once
+	base   *matrix.Mat[semiring.WH]
+	gh     *matrix.Mat[semiring.WH]
 }
 
 // NewEngine validates the input and runs the preprocessing: one simulator
@@ -462,7 +471,8 @@ func (e *Engine) APSPWeighted(ctx context.Context) (*APSPResult, error) {
 	}
 	if e.opts.Execution == ExecDirect {
 		return e.apspDirect(ctx, "weighted", func() ([][]int64, error) {
-			return apsp.TwoPlusEpsWeightedDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), ent.art, e.opts.Workers)
+			_, gh := e.artifactMats(artFull, ent)
+			return apsp.TwoPlusEpsWeightedDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), gh, ent.art.Beta, e.opts.Workers)
 		})
 	}
 	eps := e.opts.Epsilon
@@ -480,7 +490,8 @@ func (e *Engine) APSPWeighted3(ctx context.Context) (*APSPResult, error) {
 	}
 	if e.opts.Execution == ExecDirect {
 		return e.apspDirect(ctx, "3+eps", func() ([][]int64, error) {
-			return apsp.ThreePlusEpsDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), ent.art, e.opts.Workers)
+			_, gh := e.artifactMats(artFull, ent)
+			return apsp.ThreePlusEpsDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), gh, ent.art.Beta, e.opts.Workers)
 		})
 	}
 	eps := e.opts.Epsilon
@@ -503,7 +514,9 @@ func (e *Engine) APSPUnweighted(ctx context.Context) (*APSPResult, error) {
 	}
 	if e.opts.Execution == ExecDirect {
 		return e.apspDirect(ctx, "unweighted", func() ([][]int64, error) {
-			return apsp.TwoPlusEpsUnweightedDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), entLow.degs, entG.art, entLow.art, e.opts.Workers)
+			_, ghG := e.artifactMats(artFull, entG)
+			low, ghLow := e.artifactMats(artLowDegree, entLow)
+			return apsp.TwoPlusEpsUnweightedDirect(ctx, e.gr.g.AugSemiring(), e.weightMat(), ghG, entG.art.Beta, low, ghLow, entLow.art.Beta, e.opts.Workers)
 		})
 	}
 	eps := e.opts.Epsilon

@@ -12,7 +12,6 @@ import (
 
 	"github.com/congestedclique/ccsp/internal/disttools"
 	"github.com/congestedclique/ccsp/internal/hitting"
-	"github.com/congestedclique/ccsp/internal/hopset"
 	"github.com/congestedclique/ccsp/internal/matmul"
 	"github.com/congestedclique/ccsp/internal/matrix"
 	"github.com/congestedclique/ccsp/internal/mssp"
@@ -125,10 +124,11 @@ func colSets(m *matrix.Mat[semiring.WH]) [][]int32 {
 }
 
 // ThreePlusEpsDirect is the host-side counterpart of
-// ThreePlusEpsWithHopset for all nodes (art built at HopsetParams eps/2
-// on G). Row v of the result is byte-identical to node v's collective
-// output.
-func ThreePlusEpsDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], art *hopset.Artifact, workers int) ([][]int64, error) {
+// ThreePlusEpsWithHopset for all nodes. gh and beta come from the eps/2
+// artifact on G (gh = mssp.MergeGH(sr, w, art), beta = art.Beta);
+// callers serving many queries pass a cached merge (DESIGN.md §13). Row
+// v of the result is byte-identical to node v's collective output.
+func ThreePlusEpsDirect(ctx context.Context, sr semiring.AugMinPlus, w, gh *matrix.Mat[semiring.WH], beta, workers int) ([][]int64, error) {
 	n := w.N
 	e := newEstAll(n)
 	for v := 0; v < n; v++ {
@@ -141,7 +141,7 @@ func ThreePlusEpsDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.M
 		return nil, err
 	}
 	inA := hitting.Greedy(n, colSets(knear))
-	res, err := mssp.RunDirect(ctx, sr, w, inA, art, workers)
+	res, err := mssp.RunDirectMerged(ctx, gh, beta, inA, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -160,9 +160,9 @@ func ThreePlusEpsDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.M
 }
 
 // TwoPlusEpsWeightedDirect is the host-side counterpart of
-// TwoPlusEpsWeightedWithHopset for all nodes (art built at HopsetParams
-// eps/2 on G).
-func TwoPlusEpsWeightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], art *hopset.Artifact, workers int) ([][]int64, error) {
+// TwoPlusEpsWeightedWithHopset for all nodes. gh and beta come from the
+// eps/2 artifact on G, as in ThreePlusEpsDirect.
+func TwoPlusEpsWeightedDirect(ctx context.Context, sr semiring.AugMinPlus, w, gh *matrix.Mat[semiring.WH], beta, workers int) ([][]int64, error) {
 	n := w.N
 	// Line (1): edge estimates.
 	e := newEstAll(n)
@@ -189,7 +189,7 @@ func TwoPlusEpsWeightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *ma
 	// Line (4): hitting set A of the N_k sets.
 	inA := hitting.Greedy(n, colSets(knear))
 	// Line (5): (1+ε')-approximate MSSP from A over the prebuilt hopset.
-	res, err := mssp.RunDirect(ctx, sr, w, inA, art, workers)
+	res, err := mssp.RunDirectMerged(ctx, gh, beta, inA, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -201,10 +201,12 @@ func TwoPlusEpsWeightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *ma
 }
 
 // TwoPlusEpsUnweightedDirect is the host-side counterpart of
-// TwoPlusEpsUnweightedWithHopsets for all nodes: artG is the eps/2
-// hopset on G, artLow the eps/2 hopset on the low-degree subgraph G',
-// and degs the |N(v)| vector from the same preprocessing.
-func TwoPlusEpsUnweightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], degs []int64, artG, artLow *hopset.Artifact, workers int) ([][]int64, error) {
+// TwoPlusEpsUnweightedWithHopsets for all nodes. ghG/betaG come from the
+// eps/2 hopset on G and ghLow/betaLow from the eps/2 hopset on the
+// low-degree subgraph G', whose weight matrix low the caller builds with
+// LowDegreeRow from the preprocessing's |N(v)| vector (and can cache
+// across queries, DESIGN.md §13).
+func TwoPlusEpsUnweightedDirect(ctx context.Context, sr semiring.AugMinPlus, w, ghG *matrix.Mat[semiring.WH], betaG int, low, ghLow *matrix.Mat[semiring.WH], betaLow, workers int) ([][]int64, error) {
 	n := w.N
 
 	// Line (1): edge estimates.
@@ -229,7 +231,7 @@ func TwoPlusEpsUnweightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *
 	// Line (2): A hits every high-degree neighborhood.
 	inA := hitting.Greedy(n, sets)
 	// Line (3): MSSP from A over the prebuilt G hopset.
-	res, err := mssp.RunDirect(ctx, sr, w, inA, artG, workers)
+	res, err := mssp.RunDirectMerged(ctx, ghG, betaG, inA, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -251,10 +253,6 @@ func TwoPlusEpsUnweightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *
 
 	// --- Second phase: shortest paths among low-degree nodes only. ---
 
-	low := matrix.New[semiring.WH](n)
-	for v := 0; v < n; v++ {
-		low.Rows[v] = LowDegreeRow(v, w.Rows[v], degs, k)
-	}
 	// Line (5): n^{1/4}-nearest in G'.
 	kq := int(math.Ceil(math.Pow(float64(n), 0.25)))
 	knearLow, err := disttools.KNearestAll[semiring.WH](ctx, sr, low, kq, workers)
@@ -275,7 +273,7 @@ func TwoPlusEpsUnweightedDirect(ctx context.Context, sr semiring.AugMinPlus, w *
 	// Line (7): A' hits the N_{k'} sets of G' nodes.
 	inA2 := hitting.Greedy(n, colSets(knearLow))
 	// Line (8): sparse MSSP from A' in G' over the prebuilt G' hopset.
-	res2, err := mssp.RunDirect(ctx, sr, low, inA2, artLow, workers)
+	res2, err := mssp.RunDirectMerged(ctx, ghLow, betaLow, inA2, workers)
 	if err != nil {
 		return nil, err
 	}

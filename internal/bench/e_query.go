@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/internal/graphgen"
+)
+
+func init() {
+	register(Experiment{ID: "E18", Title: "Direct query-path latency after the PR7 overhaul", Run: e18})
+}
+
+// e18 measures the warm direct-mode MSSP query latency the PR7 overhaul
+// targets: per-artifact G ∪ H caching, the source-restricted detection
+// panel, and the specialized WH kernel (DESIGN.md §13). The graph family
+// and sources match E17, so the q=3 rows are directly comparable to
+// E17's "direct query ms" column (11.8ms at n=256, 135ms at n=1024
+// before the overhaul). Warm latency and allocations per query come from
+// testing.Benchmark; the cold column is the first query on a fresh
+// engine, which additionally pays the one-time G ∪ H merge.
+func e18(c Config) (*Table, error) {
+	t := &Table{
+		ID:      "E18",
+		Title:   "Direct query path - warm MSSP latency and allocations per query",
+		Columns: []string{"n", "q", "cold query ms", "warm ms/op", "KB/op", "allocs/op"},
+	}
+	eps := 0.5
+	for _, n := range sizes(c.Scale, []int{48, 96}, []int{256, 1024}) {
+		g := graphgen.Connected(n, 3*n, graphgen.Weights{Max: 10}, int64(n)+17)
+		gr, err := toPublic(g)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := ccsp.NewEngine(context.Background(), gr,
+			ccsp.Options{Epsilon: eps, Workers: c.Workers, Execution: ccsp.ExecDirect})
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range []int{1, 3, 8} {
+			sources := make([]int, 0, q)
+			for i := 0; i < q; i++ {
+				sources = append(sources, (i*n/q+1)%n)
+			}
+			if q == 3 {
+				sources = []int{1 % n, n / 2, n - 1} // the E17 query, for comparison
+			}
+			cold, err := coldQueryMS(gr, eps, c.Workers, sources)
+			if err != nil {
+				return nil, err
+			}
+			var qErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.MSSP(context.Background(), sources); err != nil {
+						qErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if qErr != nil {
+				return nil, fmt.Errorf("E18: n=%d q=%d: %w", n, q, qErr)
+			}
+			t.Add(n, q,
+				fmt.Sprintf("%.2f", cold),
+				fmt.Sprintf("%.2f", float64(res.NsPerOp())/1e6),
+				fmt.Sprintf("%.0f", float64(res.AllocedBytesPerOp())/1024),
+				res.AllocsPerOp())
+		}
+	}
+	t.Note("Same graph family and q=3 sources as E17, so those rows are before/after comparable with E17's direct query column. Warm queries reuse the engine's cached G ∪ H merge and run the source-restricted detection panel with the specialized WH kernel; cold is the first query on a fresh engine (one-time merge included). Allocations are per query via testing.Benchmark.")
+	return t, nil
+}
+
+// coldQueryMS times the first MSSP query on a freshly preprocessed
+// engine: the per-artifact caches are empty, so it includes the one-time
+// G ∪ H merge a warm query skips.
+func coldQueryMS(gr *ccsp.Graph, eps float64, workers int, sources []int) (float64, error) {
+	eng, err := ccsp.NewEngine(context.Background(), gr,
+		ccsp.Options{Epsilon: eps, Workers: workers, Execution: ccsp.ExecDirect})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := eng.MSSP(context.Background(), sources); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}

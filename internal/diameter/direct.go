@@ -7,7 +7,6 @@ import (
 
 	"github.com/congestedclique/ccsp/internal/disttools"
 	"github.com/congestedclique/ccsp/internal/hitting"
-	"github.com/congestedclique/ccsp/internal/hopset"
 	"github.com/congestedclique/ccsp/internal/matrix"
 	"github.com/congestedclique/ccsp/internal/mssp"
 	"github.com/congestedclique/ccsp/internal/semiring"
@@ -19,8 +18,11 @@ import (
 // byte-identical to the collective version against the same artifact;
 // every step - the k-nearest sets, the greedy hitting set, the pivot
 // argmax tie-breaking, the N_k(w) membership and both MSSP stages -
-// mirrors it exactly. workers sizes the kernel pool.
-func ApproxDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], art *hopset.Artifact, workers int) (int64, error) {
+// mirrors it exactly. gh and beta come from the artifact (gh =
+// mssp.MergeGH(sr, w, art), beta = art.Beta); callers serving many
+// queries pass a cached merge (DESIGN.md §13). workers sizes the kernel
+// pool.
+func ApproxDirect(ctx context.Context, sr semiring.AugMinPlus, w, gh *matrix.Mat[semiring.WH], beta, workers int) (int64, error) {
 	n := w.N
 	// Line (1): distances to the k nearest, k = O~(√n).
 	k := int(math.Ceil(math.Sqrt(float64(n)) * math.Log2(float64(n)+1)))
@@ -42,7 +44,7 @@ func ApproxDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[sem
 	// Line (2): hitting set S.
 	inS := hitting.Greedy(n, sets)
 	// Line (3): MSSP from S over the shared hopset.
-	res, err := mssp.RunDirect(ctx, sr, w, inS, art, workers)
+	res, err := mssp.RunDirectMerged(ctx, gh, beta, inS, workers)
 	if err != nil {
 		return 0, fmt.Errorf("diameter: %w", err)
 	}
@@ -72,7 +74,7 @@ func ApproxDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[sem
 		inNkwAll[e.Col] = true
 	}
 	inNkwAll[wNode] = true
-	res2, err := mssp.RunDirect(ctx, sr, w, inNkwAll, art, workers)
+	res2, err := mssp.RunDirectMerged(ctx, gh, beta, inNkwAll, workers)
 	if err != nil {
 		return 0, fmt.Errorf("diameter: second MSSP: %w", err)
 	}

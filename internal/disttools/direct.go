@@ -11,6 +11,7 @@ package disttools
 import (
 	"context"
 	"math/bits"
+	"sync/atomic"
 
 	"github.com/congestedclique/ccsp/internal/matmul"
 	"github.com/congestedclique/ccsp/internal/matrix"
@@ -74,6 +75,121 @@ func SourceDetectAll[E any](ctx context.Context, sr semiring.Semiring[E], g *mat
 		u = matmul.KernelMul(sr, g, u, workers)
 	}
 	return u, nil
+}
+
+// SourceDetectAllRestricted solves (S,d,|S|)-source detection over the
+// augmented semiring exactly like SourceDetectAll, but propagates only
+// the |S| source columns through the d iterations as a flat n×|S| panel
+// (DESIGN.md §13). The sparse iteration U_i = G·U_{i-1} never grows
+// support beyond the source columns, so restricting the representation
+// to those columns - two struct-of-arrays (weight, hops) panels, one
+// read and one written per step - changes nothing about the result: row
+// v of the output is entry-for-entry identical to SourceDetectAll's,
+// while each step does tight O(nnz(G)·|S|) flat work with zero
+// allocations. The two panel shortcuts mirror the specialized kernel's
+// (matmul/dense.go): products saturating at or above semiring.Inf are
+// skipped (the sparse path drops them at every per-step emit), and the
+// (Inf, Inf) rest state doubles as "no entry".
+//
+// The iteration also stops at its fixed point: U_i = G·U_{i-1}, so an
+// iteration that changes no cell makes every later iterate identical and
+// the remaining steps are dead work. Hopset-augmented graphs converge in
+// far fewer than β steps (the hopset's whole point), so this routinely
+// saves most of the d-1 iterations without changing a single entry.
+func SourceDetectAllRestricted(ctx context.Context, g *matrix.Mat[semiring.WH], inS []bool, d, workers int) (*matrix.Mat[semiring.WH], error) {
+	n := g.N
+	srcs := make([]int32, 0, n)
+	idx := make([]int32, n)
+	for v := 0; v < n; v++ {
+		idx[v] = -1
+		if inS[v] {
+			idx[v] = int32(len(srcs))
+			srcs = append(srcs, int32(v))
+		}
+	}
+	out := matrix.New[semiring.WH](n)
+	q := len(srcs)
+	if q == 0 {
+		return out, nil // every per-node row is nil, as in SourceDetect
+	}
+	curW := make([]int64, n*q)
+	curH := make([]int64, n*q)
+	nextW := make([]int64, n*q)
+	nextH := make([]int64, n*q)
+	for i := range curW {
+		curW[i] = semiring.Inf
+		curH[i] = semiring.Inf
+	}
+	// U_1: row v of G restricted to source columns (self-distance (0,0)
+	// included for sources via the diagonal of G).
+	for v := 0; v < n; v++ {
+		base := v * q
+		for _, e := range g.Rows[v] {
+			if j := idx[e.Col]; j >= 0 {
+				curW[base+int(j)] = e.Val.W
+				curH[base+int(j)] = e.Val.H
+			}
+		}
+	}
+	for i := 1; i < d; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var changed atomic.Bool
+		matmul.RunRows(n, workers, func() func(int) {
+			return func(v int) {
+				base := v * q
+				rw := nextW[base : base+q]
+				rh := nextH[base : base+q]
+				for j := range rw {
+					rw[j] = semiring.Inf
+					rh[j] = semiring.Inf
+				}
+				for _, es := range g.Rows[v] {
+					tb := int(es.Col) * q
+					ew, eh := es.Val.W, es.Val.H
+					for j := 0; j < q; j++ {
+						cw := curW[tb+j]
+						if cw >= semiring.Inf {
+							continue
+						}
+						w := ew + cw
+						if w >= semiring.Inf || w > rw[j] {
+							continue
+						}
+						h := eh + curH[tb+j]
+						if w < rw[j] || h < rh[j] {
+							rw[j], rh[j] = w, h
+						}
+					}
+				}
+				if !changed.Load() {
+					for j := 0; j < q; j++ {
+						if rw[j] != curW[base+j] || rh[j] != curH[base+j] {
+							changed.Store(true)
+							break
+						}
+					}
+				}
+			}
+		})
+		curW, nextW = nextW, curW
+		curH, nextH = nextH, curH
+		if !changed.Load() {
+			break
+		}
+	}
+	for v := 0; v < n; v++ {
+		base := v * q
+		var row matrix.Row[semiring.WH]
+		for j := 0; j < q; j++ {
+			if curW[base+j] < semiring.Inf {
+				row = append(row, matrix.Entry[semiring.WH]{Col: srcs[j], Val: semiring.WH{W: curW[base+j], H: curH[base+j]}})
+			}
+		}
+		out.Rows[v] = row
+	}
+	return out, nil
 }
 
 // SourceDetectKAll solves (S,d,k)-source detection (Theorem 19, first

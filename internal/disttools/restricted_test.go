@@ -1,0 +1,127 @@
+package disttools
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/matrix"
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// sameWH asserts exact entry-for-entry row equality (including entry
+// order), the contract the restricted panel must honor against the
+// sparse iteration it replaces on the query path.
+func sameWH(t *testing.T, got, want *matrix.Mat[semiring.WH]) bool {
+	t.Helper()
+	for v := 0; v < want.N; v++ {
+		g, w := got.Rows[v], want.Rows[v]
+		if len(g) != len(w) {
+			t.Logf("row %d: length %d != %d", v, len(g), len(w))
+			return false
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Logf("row %d entry %d: %+v != %+v", v, i, g[i], w[i])
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSourceDetectAllRestrictedEquivalence: the flat-panel restricted
+// detection equals SourceDetectAll entry for entry across graph shapes
+// (connected and disconnected), source-set sizes (empty, sparse, all),
+// hop bounds (including d=1, no iterations), and worker counts.
+func TestSourceDetectAllRestrictedEquivalence(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		n, extra, nS, d int
+		seed            int64
+	}{
+		{8, 4, 1, 3, 11},
+		{16, 10, 3, 5, 12},
+		{24, 20, 8, 2, 13},
+		{32, 16, 32, 6, 14}, // S = V
+		{20, 0, 5, 1, 15},   // tree, d=1: U_1 only
+		{24, 12, 0, 4, 16},  // empty S
+		{28, 14, 6, 28, 17}, // d = n
+	}
+	for _, tc := range cases {
+		g := randGraph(tc.n, tc.extra, 20, tc.seed)
+		sr := g.AugSemiring()
+		w := g.WeightMatrix()
+		rng := rand.New(rand.NewSource(tc.seed + 1000))
+		inS := make([]bool, tc.n)
+		for len(srcsOf(inS)) < tc.nS {
+			inS[rng.Intn(tc.n)] = true
+		}
+		want, err := SourceDetectAll[semiring.WH](ctx, sr, w, inS, tc.d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 0} {
+			got, err := SourceDetectAllRestricted(ctx, w, inS, tc.d, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameWH(t, got, want) {
+				t.Errorf("n=%d nS=%d d=%d workers=%d: restricted differs from SourceDetectAll", tc.n, tc.nS, tc.d, workers)
+			}
+		}
+	}
+}
+
+// TestSourceDetectAllRestrictedDisconnected pins the unreachable case:
+// sources in one component must not appear in rows of the other.
+func TestSourceDetectAllRestrictedDisconnected(t *testing.T) {
+	ctx := context.Background()
+	// Two components: a path 0-1-2 and a path 3-4-5.
+	w := matrix.New[semiring.WH](6)
+	add := func(u, v int, wt int64) {
+		w.Rows[u] = append(w.Rows[u], matrix.Entry[semiring.WH]{Col: int32(v), Val: semiring.WH{W: wt, H: 1}})
+		w.Rows[v] = append(w.Rows[v], matrix.Entry[semiring.WH]{Col: int32(u), Val: semiring.WH{W: wt, H: 1}})
+	}
+	for v := 0; v < 6; v++ {
+		w.Rows[v] = append(w.Rows[v], matrix.Entry[semiring.WH]{Col: int32(v)})
+	}
+	add(0, 1, 2)
+	add(1, 2, 3)
+	add(3, 4, 1)
+	add(4, 5, 4)
+	for v := 0; v < 6; v++ {
+		w.Rows[v] = matrix.SortRow(w.Rows[v])
+	}
+	inS := []bool{true, false, false, true, false, false}
+	sr := semiring.NewAugMinPlus(1<<20, 16)
+	want, err := SourceDetectAll[semiring.WH](ctx, sr, w, inS, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SourceDetectAllRestricted(ctx, w, inS, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameWH(t, got, want) {
+		t.Fatal("disconnected case differs from SourceDetectAll")
+	}
+	for v := 0; v < 3; v++ {
+		for _, e := range got.Rows[v] {
+			if e.Col == 3 {
+				t.Fatalf("node %d reached source 3 across components", v)
+			}
+		}
+	}
+}
+
+// srcsOf lists the true indices of a membership vector.
+func srcsOf(inS []bool) []int {
+	var out []int
+	for v, s := range inS {
+		if s {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package matmul
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/congestedclique/ccsp/internal/semiring"
+)
+
+// BenchmarkKernelMul compares the specialized WH kernel against the
+// generic reference on sparse and dense inputs (run with -benchmem: the
+// arena should collapse allocs/op versus the generic per-row makes).
+func BenchmarkKernelMul(b *testing.B) {
+	sr := semiring.NewAugMinPlus(1<<30, 1<<16)
+	for _, tc := range []struct {
+		name   string
+		n, per int
+	}{
+		{"sparse", 512, 4},  // products/row well under n: sparse-row path
+		{"dense", 512, 128}, // products/row far over n: dense-tile path
+	} {
+		s := randMatWH(tc.n, tc.per, 1900)
+		t := randMatWH(tc.n, tc.per, 1901)
+		b.Run(fmt.Sprintf("%s/specialized", tc.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				KernelMulWH(s, t, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/generic", tc.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				KernelMulGeneric[semiring.WH](sr, s, t, 1)
+			}
+		})
+	}
+}

@@ -41,6 +41,15 @@ func kernelWorkers(workers, n int) int {
 	return workers
 }
 
+// RunRows exposes the kernel worker pool's deterministic row
+// partitioning to sibling packages (the restricted source-detection
+// panel of internal/disttools iterates it per product step): each row is
+// computed by exactly one worker, so any per-row function whose output
+// depends only on its row index runs identically at every worker count.
+func RunRows(n, workers int, newWorker func() func(row int)) {
+	runRows(n, workers, newWorker)
+}
+
 // runRows executes a per-row function over rows [0, n), block-partitioned
 // across workers. newWorker is called once per worker to allocate its
 // private scratch state and returns the row function; with one worker the
@@ -107,8 +116,22 @@ func kernelMulRow[E any](sr semiring.Semiring[E], srow matrix.Row[E], t *matrix.
 // KernelMul computes P = S·T over sr on the host, parallel over
 // cache-sized row blocks. The result equals matrix.MulRef(sr, s, t)
 // entry-for-entry at every worker count (workers <= 0 means GOMAXPROCS,
-// 1 runs serially).
+// 1 runs serially). Products over the augmented min-plus semiring
+// dispatch to the specialized flat kernel (dense.go); every other
+// semiring runs the generic reference path.
 func KernelMul[E any](sr semiring.Semiring[E], s, t *matrix.Mat[E], workers int) *matrix.Mat[E] {
+	if _, ok := any(sr).(semiring.AugMinPlus); ok {
+		p := KernelMulWH(any(s).(*matrix.Mat[semiring.WH]), any(t).(*matrix.Mat[semiring.WH]), workers)
+		return any(p).(*matrix.Mat[E])
+	}
+	return KernelMulGeneric(sr, s, t, workers)
+}
+
+// KernelMulGeneric is the generic reference kernel: the exact row
+// accumulation of matrix.MulRef, block-parallelized. The specialized WH
+// kernel is verified against it entry-for-entry (dense_test.go), so it
+// remains the checkable specification of every product.
+func KernelMulGeneric[E any](sr semiring.Semiring[E], s, t *matrix.Mat[E], workers int) *matrix.Mat[E] {
 	n := s.N
 	p := matrix.New[E](n)
 	runRows(n, workers, func() func(int) {
@@ -126,8 +149,19 @@ func KernelMul[E any](sr semiring.Semiring[E], s, t *matrix.Mat[E], workers int)
 // the host: each output row keeps its rho smallest entries under the
 // (Rank, column) order of §2.2. It equals
 // matrix.Filter(sr, matrix.MulRef(sr, s, t), rho) - and therefore the
-// distributed MultiplyFiltered - at every worker count.
+// distributed MultiplyFiltered - at every worker count. Augmented
+// min-plus products dispatch to the specialized flat kernel (dense.go).
 func KernelMulFiltered[E any](sr semiring.Ordered[E], s, t *matrix.Mat[E], rho, workers int) *matrix.Mat[E] {
+	if aug, ok := any(sr).(semiring.AugMinPlus); ok {
+		p := KernelMulFilteredWH(aug, any(s).(*matrix.Mat[semiring.WH]), any(t).(*matrix.Mat[semiring.WH]), rho, workers)
+		return any(p).(*matrix.Mat[E])
+	}
+	return KernelMulFilteredGeneric(sr, s, t, rho, workers)
+}
+
+// KernelMulFilteredGeneric is the generic reference filtered kernel; see
+// KernelMulGeneric.
+func KernelMulFilteredGeneric[E any](sr semiring.Ordered[E], s, t *matrix.Mat[E], rho, workers int) *matrix.Mat[E] {
 	n := s.N
 	p := matrix.New[E](n)
 	runRows(n, workers, func() func(int) {

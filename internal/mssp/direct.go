@@ -10,6 +10,39 @@ import (
 	"github.com/congestedclique/ccsp/internal/semiring"
 )
 
+// MergeGH builds the merged G ∪ H matrix the direct MSSP path detects
+// sources over: row v is the semiring merge of the graph's weight row
+// and the artifact's hopset row, exactly as RunWithHopset's per-node
+// setup computes it. The result is immutable and depends only on
+// (w, art), so callers serving many queries should build it once and
+// reuse it via RunDirectMerged (DESIGN.md §13).
+func MergeGH(sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], art *hopset.Artifact) *matrix.Mat[semiring.WH] {
+	n := w.N
+	g := matrix.New[semiring.WH](n)
+	for v := 0; v < n; v++ {
+		g.Rows[v] = matrix.MergeRows(sr, w.Rows[v], art.Rows[v])
+	}
+	return g
+}
+
+// RunDirectMerged is RunDirect against a prebuilt G ∪ H matrix (see
+// MergeGH) and the artifact's β: the per-query merge is gone, and the
+// β-hop detection runs the source-restricted panel, which propagates
+// only the |S| source columns. Row v of the result is byte-identical to
+// the Dist row RunWithHopset returns at node v against the same
+// artifact.
+func RunDirectMerged(ctx context.Context, gh *matrix.Mat[semiring.WH], beta int, inS []bool, workers int) (*matrix.Mat[semiring.WH], error) {
+	d := beta
+	if d > gh.N {
+		d = gh.N
+	}
+	dist, err := disttools.SourceDetectAllRestricted(ctx, gh, inS, d, workers)
+	if err != nil {
+		return nil, fmt.Errorf("mssp: source detection: %w", err)
+	}
+	return dist, nil
+}
+
 // RunDirect is the host-side counterpart of RunWithHopset for every node
 // at once (DESIGN.md §12): β-hop source detection on G ∪ H computed with
 // the matmul kernels. Row v of the result is byte-identical to the Dist
@@ -17,18 +50,5 @@ import (
 // the full augmented weight matrix of the graph the artifact was built
 // on; workers sizes the kernel pool (<= 0 means GOMAXPROCS).
 func RunDirect(ctx context.Context, sr semiring.AugMinPlus, w *matrix.Mat[semiring.WH], inS []bool, art *hopset.Artifact, workers int) (*matrix.Mat[semiring.WH], error) {
-	n := w.N
-	g := matrix.New[semiring.WH](n)
-	for v := 0; v < n; v++ {
-		g.Rows[v] = matrix.MergeRows(sr, w.Rows[v], art.Rows[v])
-	}
-	d := art.Beta
-	if d > n {
-		d = n
-	}
-	dist, err := disttools.SourceDetectAll[semiring.WH](ctx, sr, g, inS, d, workers)
-	if err != nil {
-		return nil, fmt.Errorf("mssp: source detection: %w", err)
-	}
-	return dist, nil
+	return RunDirectMerged(ctx, MergeGH(sr, w, art), art.Beta, inS, workers)
 }

@@ -8,8 +8,10 @@ cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
 pid=""
+pid2=""
 cleanup() {
   [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  [ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
   rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -108,6 +110,34 @@ if ! diff "$tmp/batch_mssp.txt" "$tmp/cli_mssp.txt"; then
   exit 1
 fi
 echo "mixed batch ok (local == remote == sequential CLI)"
+
+echo "== direct-kernel daemon answers match simulated mode"
+# The same graph served with -exec direct: every /v1/distance answer must
+# equal the simulated daemon's (= the CLI's MSSP column) byte for byte -
+# the differential-oracle guarantee, end to end over the serving stack.
+addr2=127.0.0.1:8949
+"$tmp/ccspd" -graph "$tmp/g.txt" -exec direct -addr "$addr2" &
+pid2=$!
+for _ in $(seq 50); do
+  curl -fs "http://$addr2/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs "http://$addr2/healthz" | grep -q '"status": "ok"'
+fail=0
+for v in 0 1 2 3 4 5 6 7; do
+  cli=$(awk -v v="$v" '$1 == v { print $2 }' "$tmp/cli.out")
+  http=$(curl -fs "http://$addr2/v1/distance?from=0&to=$v" \
+    | tr -d ' \n' | grep -o '"distance":-\?[0-9]*' | cut -d: -f2)
+  if [ "$cli" != "$http" ]; then
+    echo "DIRECT MISMATCH node $v: cli=$cli http=$http"
+    fail=1
+  fi
+done
+[ "$fail" = 0 ]
+kill -TERM "$pid2"
+wait "$pid2"
+pid2=""
+echo "direct-mode agreement ok (8 pairs)"
 
 kill -TERM "$pid"
 wait "$pid"
