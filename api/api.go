@@ -134,8 +134,18 @@ type SourceDetectionParams struct {
 // Request is the tagged union of all query kinds: Kind names the
 // algorithm and exactly the matching parameter field is non-nil
 // (KindDiameter carries no parameters). The zero Request is invalid.
+//
+// Graph optionally names which of a daemon's graphs the query targets.
+// Empty means the default (single-graph daemons serve exactly one
+// engine under the empty ID, so pre-graph-field requests keep their
+// meaning and their wire bytes). The cluster tier routes by this field.
 type Request struct {
 	Kind Kind `json:"kind"`
+
+	// Graph is the target graph ID; empty selects the daemon's default
+	// graph. IDs are limited to [A-Za-z0-9._-] (at most MaxGraphIDLen
+	// bytes) so they embed safely in cache keys, file names and URLs.
+	Graph string `json:"graph,omitempty"`
 
 	SSSP            *SSSPParams            `json:"sssp,omitempty"`
 	MSSP            *MSSPParams            `json:"mssp,omitempty"`
@@ -175,6 +185,9 @@ func (r Request) Validate() error {
 	if !known {
 		return fmt.Errorf("%w: unknown kind %q", ErrMalformed, r.Kind)
 	}
+	if err := ValidateGraphID(r.Graph); err != nil {
+		return err
+	}
 	for kind, set := range present {
 		if set && kind != r.Kind {
 			return fmt.Errorf("%w: kind %q with foreign %q parameters", ErrMalformed, r.Kind, kind)
@@ -208,6 +221,30 @@ func (r Request) Variant() APSPVariant {
 	return r.APSP.Variant
 }
 
+// MaxGraphIDLen bounds the byte length of a graph ID.
+const MaxGraphIDLen = 128
+
+// ValidateGraphID checks that id is a legal graph ID: empty (the
+// default graph) or 1..MaxGraphIDLen bytes of [A-Za-z0-9._-]. The
+// charset deliberately excludes ':' (the cache-key separator), '/' and
+// whitespace, so IDs embed verbatim in cache keys, snapshot file names
+// and URLs without escaping. Violations wrap ErrMalformed.
+func ValidateGraphID(id string) error {
+	if len(id) > MaxGraphIDLen {
+		return fmt.Errorf("%w: graph ID longer than %d bytes", ErrMalformed, MaxGraphIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%w: graph ID %q contains %q (allowed: [A-Za-z0-9._-])", ErrMalformed, id, c)
+		}
+	}
+	return nil
+}
+
 // CacheKey returns the canonical encoding of the request, the string
 // serving layers key response caches by. Two requests with the same
 // semantics encode identically: MSSP and source-detection source sets
@@ -215,12 +252,23 @@ func (r Request) Variant() APSPVariant {
 // "auto". The encoding is versioned ("v1:...") so a schema bump never
 // aliases old cache entries.
 //
+// A non-empty Graph inserts a "g=<id>:" segment right after the version
+// prefix; requests without a graph ID keep the exact pre-graph-field
+// encoding, so existing cache entries (and the golden responses pinned
+// on them) survive the schema addition. The graph charset excludes ':',
+// so a graph-scoped key can never alias a different graph's key or a
+// default-graph key.
+//
 // Note that APSPAuto encodes as "auto": it resolves against a concrete
 // graph, so serving layers that want auto and explicit requests to share
 // cache entries resolve the variant before keying.
 func (r Request) CacheKey() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v%d:%s", Version, r.Kind)
+	if r.Graph != "" {
+		fmt.Fprintf(&b, "v%d:g=%s:%s", Version, r.Graph, r.Kind)
+	} else {
+		fmt.Fprintf(&b, "v%d:%s", Version, r.Kind)
+	}
 	switch r.Kind {
 	case KindSSSP:
 		if r.SSSP != nil {
@@ -325,6 +373,14 @@ const (
 	CodeInvalidOption ErrorCode = "invalid_option"
 	// CodeMalformed: the request is structurally invalid (ErrMalformed).
 	CodeMalformed ErrorCode = "malformed"
+	// CodeUnknownGraph: the request named a graph this daemon does not
+	// serve (HTTP 404).
+	CodeUnknownGraph ErrorCode = "unknown_graph"
+	// CodeUnavailable: the daemon (or, in a cluster, every replica that
+	// could own the graph) cannot serve the request right now - snapshots
+	// still loading, or the owning replica is down (HTTP 503). Transient:
+	// retrying later, or against another replica, may succeed.
+	CodeUnavailable ErrorCode = "unavailable"
 	// CodeInternal: anything the taxonomy does not classify.
 	CodeInternal ErrorCode = "internal"
 )
@@ -414,6 +470,10 @@ type SourceDetectionResult struct {
 type Response struct {
 	Kind Kind `json:"kind"`
 
+	// Graph echoes the request's graph ID (empty for the default graph,
+	// which also keeps pre-graph-field response bytes identical).
+	Graph string `json:"graph,omitempty"`
+
 	SSSP            *SSSPResult            `json:"sssp,omitempty"`
 	MSSP            *MSSPResult            `json:"mssp,omitempty"`
 	APSP            *APSPResult            `json:"apsp,omitempty"`
@@ -442,9 +502,24 @@ type BatchResponse struct {
 	Responses []Response `json:"responses"`
 }
 
-// Health is the body of /healthz.
+// Health is the body of /healthz: process liveness plus the default
+// graph's shape. Graphs lists the named graphs a multi-graph daemon
+// serves (omitted entirely in single-graph mode, keeping the historical
+// body byte-identical).
 type Health struct {
-	Status string `json:"status"`
-	Nodes  int    `json:"nodes"`
-	Edges  int    `json:"edges"`
+	Status string   `json:"status"`
+	Nodes  int      `json:"nodes"`
+	Edges  int      `json:"edges"`
+	Graphs []string `json:"graphs,omitempty"`
+}
+
+// Ready is the body of /readyz, the readiness (as opposed to liveness)
+// probe: a daemon is ready only once every snapshot is loaded or
+// preprocessed. Graphs advertises the graph IDs this replica serves -
+// including "" when a default engine exists - which is what the cluster
+// prober uses to route queries only to replicas that actually hold the
+// target graph.
+type Ready struct {
+	Ready  bool     `json:"ready"`
+	Graphs []string `json:"graphs"`
 }

@@ -91,6 +91,48 @@ func TestCacheKeyCanonical(t *testing.T) {
 	}
 }
 
+func TestGraphIDValidation(t *testing.T) {
+	for _, ok := range []string{"", "roads", "Berlin_2024.v2", "a-b.c_d", strings.Repeat("x", MaxGraphIDLen)} {
+		if err := ValidateGraphID(ok); err != nil {
+			t.Errorf("ValidateGraphID(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"a:b", "a/b", "a b", "päris", strings.Repeat("x", MaxGraphIDLen+1)} {
+		if err := ValidateGraphID(bad); !errors.Is(err, ErrMalformed) {
+			t.Errorf("ValidateGraphID(%q) = %v, want ErrMalformed", bad, err)
+		}
+	}
+	// Validate threads the graph check through the union.
+	req := Request{Kind: KindDiameter, Graph: "no:colons"}
+	if err := req.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("Validate with bad graph = %v, want ErrMalformed", err)
+	}
+	req.Graph = "roads"
+	if err := req.Validate(); err != nil {
+		t.Errorf("Validate with good graph = %v, want nil", err)
+	}
+}
+
+func TestCacheKeyGraphScoped(t *testing.T) {
+	// The pre-graph-field encoding is preserved verbatim...
+	bare := Request{Kind: KindMSSP, MSSP: &MSSPParams{Sources: []int{2, 4}}}
+	if want := "v1:mssp:sources=2,4"; bare.CacheKey() != want {
+		t.Errorf("default-graph key = %q, want %q", bare.CacheKey(), want)
+	}
+	// ...and a graph ID inserts one segment after the version prefix.
+	scoped := bare
+	scoped.Graph = "roads"
+	if want := "v1:g=roads:mssp:sources=2,4"; scoped.CacheKey() != want {
+		t.Errorf("graph-scoped key = %q, want %q", scoped.CacheKey(), want)
+	}
+	other := bare
+	other.Graph = "rails"
+	keys := map[string]bool{bare.CacheKey(): true, scoped.CacheKey(): true, other.CacheKey(): true}
+	if len(keys) != 3 {
+		t.Errorf("same request on three graphs must key three ways, got %v", keys)
+	}
+}
+
 func TestDecodeRequest(t *testing.T) {
 	req, err := DecodeRequest(strings.NewReader(`{"kind":"mssp","mssp":{"sources":[3,1]}}`))
 	if err != nil {

@@ -66,7 +66,7 @@ func (e *Engine) Batch(ctx context.Context, reqs []api.Request) ([]api.Response,
 	groups := make(map[string]*group)
 	for i, req := range reqs {
 		if err := req.Validate(); err != nil {
-			resps[i] = api.Response{Kind: req.Kind, Error: APIError(err)}
+			resps[i] = api.Response{Kind: req.Kind, Graph: req.Graph, Error: APIError(err)}
 			continue
 		}
 		key := e.canonicalKey(req)
@@ -90,7 +90,7 @@ func (e *Engine) Batch(ctx context.Context, reqs []api.Request) ([]api.Response,
 			defer func() { <-sem }()
 			resp, err := e.Query(ctx, g.req)
 			if err != nil {
-				resp = &api.Response{Kind: g.req.Kind, Error: APIError(err)}
+				resp = &api.Response{Kind: g.req.Kind, Graph: g.req.Graph, Error: APIError(err)}
 			}
 			// Duplicates share the response value (and its read-only
 			// result slices); per-position copies stay independent.

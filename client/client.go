@@ -21,10 +21,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/congestedclique/ccsp"
 	"github.com/congestedclique/ccsp/api"
@@ -32,23 +36,77 @@ import (
 
 // Client talks to one ccspd daemon. It is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	retries   int
+	retryBase time.Duration
 }
 
 // Option configures a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports, instrumentation). The default is http.DefaultClient.
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// timeouts, transports, instrumentation), replacing the dedicated
+// default transport.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry enables bounded retries of transiently failed requests:
+// transport errors (connection refused or reset - ErrTransport) and
+// 502/503 statuses, which a restarting or not-yet-ready daemon emits.
+// A failed attempt retries up to n more times, sleeping base, 2·base,
+// 4·base, ... between attempts (capped at maxBackoff) with up to 50%
+// random jitter added so competing clients decorrelate. Typed query
+// failures (invalid source, round limit, unknown graph, ...) never
+// retry: they are deterministic answers, not transients. Off by
+// default.
+func WithRetry(n int, base time.Duration) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.retries = n
+		}
+		if base > 0 {
+			c.retryBase = base
+		}
+	}
+}
+
+// defaultRetryBase is the first backoff sleep when WithRetry leaves the
+// base unset.
+const defaultRetryBase = 100 * time.Millisecond
+
+// defaultHTTPClient builds the transport a Client uses unless
+// WithHTTPClient overrides it. Unlike http.DefaultClient it bounds
+// every connection-establishment phase, so a black-holed daemon
+// surfaces as a typed transport failure in seconds instead of hanging
+// a goroutine forever. There is deliberately no overall request
+// deadline: large queries legitimately run for minutes under a
+// generous server timeout - bound them with a context instead.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   10 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ExpectContinueTimeout: time.Second,
+			IdleConnTimeout:       90 * time.Second,
+			MaxIdleConnsPerHost:   16,
+		},
+	}
 }
 
 // New returns a client for the daemon at baseURL (e.g.
 // "http://localhost:8080"; a trailing slash is tolerated).
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		hc:        defaultHTTPClient(),
+		retryBase: defaultRetryBase,
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -167,61 +225,107 @@ func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 // a misbehaving endpoint.
 const maxResponseBytes = 1 << 30
 
-// post sends one JSON body and decodes the response, translating non-200
-// statuses through the typed-error taxonomy.
+// post sends one JSON body and decodes the response, translating
+// non-200 statuses through the typed-error taxonomy and retrying
+// transient failures when WithRetry enabled them.
 func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
 	payload, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: encode %s: %w", path, err)
 	}
+	for attempt := 0; ; attempt++ {
+		retryable, err := c.postOnce(ctx, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt >= c.retries || ctx.Err() != nil {
+			return err
+		}
+		if serr := sleepBackoff(ctx, c.retryBase, attempt); serr != nil {
+			return err
+		}
+	}
+}
+
+// postOnce runs one round trip. The bool classifies a failure as
+// transient - a transport error, or a 502/503 status (a daemon still
+// loading snapshots, or a proxy whose upstream died) - and therefore
+// eligible for retry; typed query failures are final.
+func (c *Client) postOnce(ctx context.Context, path string, payload []byte, out interface{}) (bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return false, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return transportError(ctx, err)
+		terr := transportError(ctx, err)
+		return errors.Is(terr, ErrTransport), terr
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
-		return transportError(ctx, err)
+		terr := transportError(ctx, err)
+		return errors.Is(terr, ErrTransport), terr
 	}
 	if resp.StatusCode != http.StatusOK {
-		return statusError(path, resp.StatusCode, body)
+		retryable := resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable
+		return retryable, statusError(path, resp.StatusCode, body)
 	}
 	if err := json.Unmarshal(body, out); err != nil {
-		return fmt.Errorf("client: %s: bad JSON response: %w", path, err)
+		return false, fmt.Errorf("client: %s: bad JSON response: %w", path, err)
 	}
-	return nil
+	return false, nil
 }
+
+// maxBackoff caps one backoff sleep, so a long retry budget degrades
+// into steady polling instead of ever-longer silences.
+const maxBackoff = 5 * time.Second
+
+// sleepBackoff sleeps base·2^attempt plus up to 50% jitter, returning
+// early (with the context's error) if ctx dies first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > maxBackoff { // <= 0 catches shift overflow
+		d = maxBackoff
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// ErrTransport marks a round trip that never produced a daemon answer:
+// connection refused or reset, DNS failure, a torn response body.
+// Cluster routing treats it as evidence the replica is gone (mark down
+// and fail over); WithRetry treats it as transient. It is distinct
+// from cancellation - a dead caller context takes precedence and maps
+// to ccsp.ErrCanceled instead.
+var ErrTransport = errors.New("client: transport failure")
 
 // transportError classifies a failed round trip: if the caller's context
 // died, the error joins the ccsp cancellation taxonomy (ErrCanceled plus
-// the context's own sentinel, like every Engine method); otherwise it is
-// a plain transport error.
+// the context's own sentinel, like every Engine method); otherwise it
+// wraps ErrTransport.
 func transportError(ctx context.Context, err error) error {
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		return fmt.Errorf("client: %w: %w", ccsp.ErrCanceled, ctxErr)
 	}
-	return fmt.Errorf("client: %w", err)
+	return fmt.Errorf("%w: %w", ErrTransport, err)
 }
 
 // statusError maps a non-200 response back onto the typed taxonomy via
-// the api.Error envelope, so errors.Is against the ccsp sentinels works
-// identically for local and remote engines:
-//
-//	canceled           ErrCanceled (+ context.Canceled)
-//	deadline_exceeded  ErrCanceled (+ context.DeadlineExceeded; the
-//	                   server's per-request timeout fired)
-//	round_limit        ErrRoundLimit
-//	invalid_source     ErrInvalidSource
-//	invalid_option     ErrInvalidOption
-//	malformed          api.ErrMalformed
-//
-// Responses without a decodable envelope (a proxy's HTML error page, say)
-// degrade to a plain error carrying the status and body.
+// the api.Error envelope. Responses without a decodable envelope (a
+// proxy's HTML error page, say) degrade to a plain error carrying the
+// status and body.
 func statusError(path string, status int, body []byte) error {
 	var envelope struct {
 		Error *api.Error `json:"error"`
@@ -229,21 +333,44 @@ func statusError(path string, status int, body []byte) error {
 	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error == nil {
 		return fmt.Errorf("client: %s: status %d: %s", path, status, strings.TrimSpace(string(body)))
 	}
-	e := envelope.Error
+	return fmt.Errorf("client: %s: %w", path, SentinelError(envelope.Error))
+}
+
+// SentinelError converts a typed api.Error into a Go error wrapping the
+// matching ccsp sentinel, so errors.Is dispatch works identically
+// whether a failure arrived as an HTTP status (surfaced by Query) or
+// in place inside a batch position (Response.Error):
+//
+//	canceled           ErrCanceled (+ context.Canceled)
+//	deadline_exceeded  ErrCanceled (+ context.DeadlineExceeded; a
+//	                   server-side per-request timeout fired)
+//	round_limit        ErrRoundLimit
+//	invalid_source     ErrInvalidSource
+//	invalid_option     ErrInvalidOption
+//	malformed          api.ErrMalformed
+//	unknown_graph      ErrUnknownGraph
+//	unavailable        ErrUnavailable
+//
+// Unrecognized codes pass through as the *api.Error itself.
+func SentinelError(e *api.Error) error {
 	switch e.Code {
 	case api.CodeCanceled:
-		return fmt.Errorf("client: %s: %w: %w: %s", path, ccsp.ErrCanceled, context.Canceled, e.Message)
+		return fmt.Errorf("%w: %w: %s", ccsp.ErrCanceled, context.Canceled, e.Message)
 	case api.CodeDeadline:
-		return fmt.Errorf("client: %s: %w: %w: %s", path, ccsp.ErrCanceled, context.DeadlineExceeded, e.Message)
+		return fmt.Errorf("%w: %w: %s", ccsp.ErrCanceled, context.DeadlineExceeded, e.Message)
 	case api.CodeRoundLimit:
-		return fmt.Errorf("client: %s: %w: %s", path, ccsp.ErrRoundLimit, e.Message)
+		return fmt.Errorf("%w: %s", ccsp.ErrRoundLimit, e.Message)
 	case api.CodeInvalidSource:
-		return fmt.Errorf("client: %s: %w: %s", path, ccsp.ErrInvalidSource, e.Message)
+		return fmt.Errorf("%w: %s", ccsp.ErrInvalidSource, e.Message)
 	case api.CodeInvalidOption:
-		return fmt.Errorf("client: %s: %w: %s", path, ccsp.ErrInvalidOption, e.Message)
+		return fmt.Errorf("%w: %s", ccsp.ErrInvalidOption, e.Message)
 	case api.CodeMalformed:
-		return fmt.Errorf("client: %s: %w: %s", path, api.ErrMalformed, e.Message)
+		return fmt.Errorf("%w: %s", api.ErrMalformed, e.Message)
+	case api.CodeUnknownGraph:
+		return fmt.Errorf("%w: %s", ccsp.ErrUnknownGraph, e.Message)
+	case api.CodeUnavailable:
+		return fmt.Errorf("%w: %s", ccsp.ErrUnavailable, e.Message)
 	default:
-		return fmt.Errorf("client: %s: status %d (%s): %s", path, status, e.Code, e.Message)
+		return e
 	}
 }

@@ -1,0 +1,366 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/api"
+	"github.com/congestedclique/ccsp/internal/cluster"
+)
+
+// Cluster routes queries across a fixed set of ccspd replicas, each
+// serving the graphs a shared consistent-hash ring assigns it. Requests
+// carry a graph ID (api.Request.Graph); the cluster sends each to the
+// graph's owner, failing over along the ring to the next live replica
+// that advertises the graph. A background prober keeps the liveness
+// view current, and data-path transport failures mark replicas down
+// immediately. Close releases the prober; a Cluster is safe for
+// concurrent use.
+//
+// The typed-error contract matches Client: a replica's answer (success
+// or typed failure) returns as-is, and "no live replica serves this
+// graph" is an error wrapping ccsp.ErrUnavailable - the same sentinel
+// a single daemon uses while loading.
+type Cluster struct {
+	ring    *cluster.Ring
+	prober  *cluster.Prober
+	clients map[string]*Client
+	cancel  context.CancelFunc
+}
+
+// ClusterOption configures a Cluster.
+type ClusterOption func(*clusterOptions)
+
+type clusterOptions struct {
+	vnodes     int
+	interval   time.Duration
+	threshold  int
+	timeout    time.Duration
+	clientOpts []Option
+}
+
+// WithVirtualNodes overrides the ring's virtual-node count. Every
+// participant (daemons' placement tooling and clients) must agree on
+// it, or they will disagree on which replica owns which graph.
+func WithVirtualNodes(n int) ClusterOption {
+	return func(o *clusterOptions) { o.vnodes = n }
+}
+
+// WithProbeInterval overrides the health-probe period.
+func WithProbeInterval(d time.Duration) ClusterOption {
+	return func(o *clusterOptions) { o.interval = d }
+}
+
+// WithProbeThreshold overrides the consecutive-failure count after
+// which a replica is marked down.
+func WithProbeThreshold(n int) ClusterOption {
+	return func(o *clusterOptions) { o.threshold = n }
+}
+
+// WithProbeTimeout overrides the per-probe deadline.
+func WithProbeTimeout(d time.Duration) ClusterOption {
+	return func(o *clusterOptions) { o.timeout = d }
+}
+
+// WithClientOptions applies per-replica Client options (WithRetry,
+// WithHTTPClient, ...) to every member client.
+func WithClientOptions(opts ...Option) ClusterOption {
+	return func(o *clusterOptions) { o.clientOpts = append(o.clientOpts, opts...) }
+}
+
+// NewCluster builds a routing client over the replica base URLs in
+// members. It probes every member once, synchronously, before
+// returning - so a cluster whose replicas are up is routable
+// immediately - then keeps probing in the background until Close.
+func NewCluster(members []string, opts ...ClusterOption) *Cluster {
+	var o clusterOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ring := cluster.NewRing(members, o.vnodes)
+	clients := make(map[string]*Client, len(ring.Members()))
+	for _, m := range ring.Members() {
+		clients[m] = New(m, o.clientOpts...)
+	}
+	prober := cluster.NewProber(ring.Members(), cluster.Config{
+		Interval:  o.interval,
+		Threshold: o.threshold,
+		Timeout:   o.timeout,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{ring: ring, prober: prober, clients: clients, cancel: cancel}
+	c.prober.Sweep(ctx)
+	go c.prober.Run(ctx)
+	return c
+}
+
+// Close stops the background prober. In-flight queries finish.
+func (c *Cluster) Close() { c.cancel() }
+
+// Refresh runs one synchronous probe sweep, updating the liveness view
+// immediately instead of waiting for the next background tick.
+func (c *Cluster) Refresh(ctx context.Context) { c.prober.Sweep(ctx) }
+
+// Live returns the replicas currently considered live, sorted.
+func (c *Cluster) Live() []string { return c.prober.Live() }
+
+// Members returns the full replica set, sorted.
+func (c *Cluster) Members() []string { return c.ring.Members() }
+
+// Owner returns the replica the ring assigns graph to, ignoring
+// liveness (placement, not routing).
+func (c *Cluster) Owner(graph string) (string, bool) { return c.ring.Owner(graph) }
+
+// errNoReplica is the typed "nobody can serve this graph" outcome.
+func errNoReplica(graph string) error {
+	if graph == "" {
+		return fmt.Errorf("client: %w: no live replica serves the default graph", ccsp.ErrUnavailable)
+	}
+	return fmt.Errorf("client: %w: no live replica serves graph %q", ccsp.ErrUnavailable, graph)
+}
+
+// unavailableResponse is errNoReplica in batch-position form.
+func unavailableResponse(req api.Request) api.Response {
+	msg := "no live replica serves the default graph"
+	if req.Graph != "" {
+		msg = fmt.Sprintf("no live replica serves graph %q", req.Graph)
+	}
+	return api.Response{Kind: req.Kind, Graph: req.Graph,
+		Error: &api.Error{Code: api.CodeUnavailable, Message: msg}}
+}
+
+// Query answers one typed request on the replica owning req.Graph,
+// failing over along the ring on transport failure (the failed replica
+// is marked down so subsequent queries skip it). A replica's typed
+// answer - including typed failures - returns without failover: it is
+// the authoritative answer for that graph.
+func (c *Cluster) Query(ctx context.Context, req api.Request) (*api.Response, error) {
+	candidates := cluster.Route(c.ring, c.prober, req.Graph)
+	if len(candidates) == 0 {
+		return nil, errNoReplica(req.Graph)
+	}
+	var lastErr error
+	for _, m := range candidates {
+		resp, err := c.clients[m].Query(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, ErrTransport) {
+			return nil, err
+		}
+		c.prober.MarkDown(m)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("client: %w: every replica for graph %q failed: %w", ccsp.ErrUnavailable, req.Graph, lastErr)
+}
+
+// maxBatchRounds bounds Batch's failover loop: each round can only
+// lose replicas (a retried position only re-routes after its replica
+// was marked down), so the member count bounds useful rounds.
+func (c *Cluster) maxBatchRounds() int { return len(c.clients) + 1 }
+
+// Batch answers many requests, fanning the batch out as one sub-batch
+// per owning replica, run concurrently, and merging the per-position
+// responses back in request order. Per-position failures - typed query
+// errors from a replica, and "no live replica holds this graph" 503s -
+// answer in place with typed api.Errors; a dead replica never fails
+// the whole batch. Positions orphaned by a replica dying mid-batch are
+// re-routed to ring successors and, when none holds the graph, answer
+// CodeUnavailable (convert with SentinelError for errors.Is dispatch).
+func (c *Cluster) Batch(ctx context.Context, reqs []api.Request) ([]api.Response, error) {
+	resps := make([]api.Response, len(reqs))
+	pending := make([]int, len(reqs))
+	for i := range reqs {
+		pending[i] = i
+	}
+	for round := 0; round < c.maxBatchRounds() && len(pending) > 0; round++ {
+		// Route every pending position to the first live holder of its
+		// graph; positions with no live holder answer unavailable now.
+		groups := make(map[string][]int)
+		var order []string
+		for _, i := range pending {
+			candidates := cluster.Route(c.ring, c.prober, reqs[i].Graph)
+			if len(candidates) == 0 {
+				resps[i] = unavailableResponse(reqs[i])
+				continue
+			}
+			m := candidates[0]
+			if _, seen := groups[m]; !seen {
+				order = append(order, m)
+			}
+			groups[m] = append(groups[m], i)
+		}
+
+		// One concurrent sub-batch per replica.
+		var (
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			retry []int
+		)
+		for _, m := range order {
+			idxs := groups[m]
+			wg.Add(1)
+			go func(m string, idxs []int) {
+				defer wg.Done()
+				sub := make([]api.Request, len(idxs))
+				for j, i := range idxs {
+					sub[j] = reqs[i]
+				}
+				out, err := c.clients[m].Batch(ctx, sub)
+				switch {
+				case err == nil:
+					for j, i := range idxs {
+						resps[i] = out[j]
+					}
+				case errors.Is(err, ErrTransport) && ctx.Err() == nil:
+					// The replica died mid-batch: down it and re-route its
+					// positions next round.
+					c.prober.MarkDown(m)
+					mu.Lock()
+					retry = append(retry, idxs...)
+					mu.Unlock()
+				default:
+					// A typed whole-sub-batch failure (caller's context died,
+					// oversized sub-batch, ...) answers its positions in place.
+					apiErr := ccsp.APIError(err)
+					for _, i := range idxs {
+						resps[i] = api.Response{Kind: reqs[i].Kind, Graph: reqs[i].Graph, Error: apiErr}
+					}
+				}
+			}(m, idxs)
+		}
+		wg.Wait()
+		pending = retry
+	}
+	// Only reachable if replicas kept dying every round; the ring is out
+	// of successors to try.
+	for _, i := range pending {
+		resps[i] = unavailableResponse(reqs[i])
+	}
+	return resps, nil
+}
+
+// Graph returns a view of the cluster scoped to one graph ID. Its
+// method set mirrors *Client (and therefore *ccsp.Engine): each call
+// builds the same typed request with Graph set and routes it through
+// Cluster.Query, so code written against one daemon ports to a sharded
+// cluster by swapping the receiver.
+func (c *Cluster) Graph(id string) *GraphView { return &GraphView{c: c, graph: id} }
+
+// GraphView is a single-graph facade over a Cluster; see Cluster.Graph.
+type GraphView struct {
+	c     *Cluster
+	graph string
+}
+
+// Query answers one typed request against the view's graph. A request
+// naming a different graph is rejected rather than silently rewritten.
+func (g *GraphView) Query(ctx context.Context, req api.Request) (*api.Response, error) {
+	if req.Graph != "" && req.Graph != g.graph {
+		return nil, fmt.Errorf("client: %w: request names graph %q on a view of %q",
+			ccsp.ErrInvalidOption, req.Graph, g.graph)
+	}
+	req.Graph = g.graph
+	return g.c.Query(ctx, req)
+}
+
+// Batch answers many requests against the view's graph; see
+// Cluster.Batch for the fan-out and error contract.
+func (g *GraphView) Batch(ctx context.Context, reqs []api.Request) ([]api.Response, error) {
+	scoped := make([]api.Request, len(reqs))
+	for i, req := range reqs {
+		if req.Graph != "" && req.Graph != g.graph {
+			return nil, fmt.Errorf("client: %w: batch position %d names graph %q on a view of %q",
+				ccsp.ErrInvalidOption, i, req.Graph, g.graph)
+		}
+		req.Graph = g.graph
+		scoped[i] = req
+	}
+	return g.c.Batch(ctx, scoped)
+}
+
+// SSSP mirrors Client.SSSP.
+func (g *GraphView) SSSP(ctx context.Context, source int) (*api.Response, error) {
+	return g.Query(ctx, api.Request{Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: source}})
+}
+
+// MSSP mirrors Client.MSSP.
+func (g *GraphView) MSSP(ctx context.Context, sources []int) (*api.Response, error) {
+	return g.Query(ctx, api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: sources}})
+}
+
+// APSP mirrors Client.APSP.
+func (g *GraphView) APSP(ctx context.Context) (*api.Response, error) {
+	return g.Query(ctx, api.Request{Kind: api.KindAPSP})
+}
+
+// APSPWeighted mirrors Client.APSPWeighted.
+func (g *GraphView) APSPWeighted(ctx context.Context) (*api.Response, error) {
+	return g.apspVariant(ctx, api.APSPWeighted)
+}
+
+// APSPWeighted3 mirrors Client.APSPWeighted3.
+func (g *GraphView) APSPWeighted3(ctx context.Context) (*api.Response, error) {
+	return g.apspVariant(ctx, api.APSPWeighted3)
+}
+
+// APSPUnweighted mirrors Client.APSPUnweighted.
+func (g *GraphView) APSPUnweighted(ctx context.Context) (*api.Response, error) {
+	return g.apspVariant(ctx, api.APSPUnweighted)
+}
+
+func (g *GraphView) apspVariant(ctx context.Context, v api.APSPVariant) (*api.Response, error) {
+	return g.Query(ctx, api.Request{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: v}})
+}
+
+// Distance mirrors Client.Distance.
+func (g *GraphView) Distance(ctx context.Context, from, to int) (*api.Response, error) {
+	return g.Query(ctx, api.Request{Kind: api.KindDistance, Distance: &api.DistanceParams{From: from, To: to}})
+}
+
+// Diameter mirrors Client.Diameter.
+func (g *GraphView) Diameter(ctx context.Context) (*api.Response, error) {
+	return g.Query(ctx, api.Request{Kind: api.KindDiameter})
+}
+
+// KNearest mirrors Client.KNearest.
+func (g *GraphView) KNearest(ctx context.Context, k int) (*api.Response, error) {
+	return g.Query(ctx, api.Request{Kind: api.KindKNearest, KNearest: &api.KNearestParams{K: k}})
+}
+
+// SourceDetection mirrors Client.SourceDetection.
+func (g *GraphView) SourceDetection(ctx context.Context, sources []int, d, k int) (*api.Response, error) {
+	return g.Query(ctx, api.Request{Kind: api.KindSourceDetection,
+		SourceDetection: &api.SourceDetectionParams{Sources: sources, D: d, K: k}})
+}
+
+// Health probes the replica owning the view's graph, failing over like
+// Query. It reports the serving replica's health, which in a cluster
+// describes that replica's default graph shape - use it for liveness,
+// not graph metadata.
+func (g *GraphView) Health(ctx context.Context) (*api.Health, error) {
+	candidates := cluster.Route(g.c.ring, g.c.prober, g.graph)
+	if len(candidates) == 0 {
+		return nil, errNoReplica(g.graph)
+	}
+	var lastErr error
+	for _, m := range candidates {
+		h, err := g.c.clients[m].Health(ctx)
+		if err == nil {
+			return h, nil
+		}
+		if !errors.Is(err, ErrTransport) {
+			return nil, err
+		}
+		g.c.prober.MarkDown(m)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("client: %w: every replica for graph %q failed: %w", ccsp.ErrUnavailable, g.graph, lastErr)
+}

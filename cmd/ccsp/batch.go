@@ -14,7 +14,6 @@ import (
 
 	"github.com/congestedclique/ccsp"
 	"github.com/congestedclique/ccsp/api"
-	"github.com/congestedclique/ccsp/client"
 )
 
 // batchQuery is one parsed line of a batch file.
@@ -141,14 +140,30 @@ func parseQueryLine(fields []string) (api.Request, error) {
 // summed query rounds. The first failed response aborts with its source
 // line, after every answer before it has printed.
 func printBatchResponses(path string, queries []batchQuery, resps []api.Response, n int, quiet bool) (int, error) {
+	// Graph-scoped answers may come from a graph of a different size
+	// than the daemon's default (whose shape is all /healthz reports),
+	// so prefer a node count derived from the batch's own per-node
+	// vectors; n stays the last-resort fallback for batches made up
+	// entirely of kinds that carry none (distance, diameter).
+	batchN := n
+	for i := range resps {
+		if rn := responseNodes(&resps[i]); rn != 0 {
+			batchN = rn
+			break
+		}
+	}
 	queryRounds := 0
 	for i, q := range queries {
 		resp := resps[i]
 		if resp.Error != nil {
 			return 0, fmt.Errorf("%s:%d: %s", path, q.line, resp.Error)
 		}
-		printResponse(&resp, n, quiet)
-		fmt.Printf("query %q: %s\n", q.text, statsLine(resp.Stats, n))
+		rn := responseNodes(&resp)
+		if rn == 0 {
+			rn = batchN
+		}
+		printResponse(&resp, rn, quiet)
+		fmt.Printf("query %q: %s\n", q.text, statsLine(resp.Stats, rn))
 		if resp.Stats != nil {
 			queryRounds += resp.Stats.TotalRounds
 		}
@@ -194,8 +209,9 @@ func runBatchLocal(ctx context.Context, g *ccsp.Graph, eng *ccsp.Engine, opts cc
 	return saveEngine(eng, savePath, false)
 }
 
-// runBatchRemote ships the whole batch to a daemon in one POST /v1/batch.
-func runBatchRemote(ctx context.Context, c *client.Client, n int, path string, quiet bool) error {
+// runBatchRemote ships the whole batch to a daemon (one POST /v1/batch)
+// or a cluster (one sub-batch per owning shard, merged in order).
+func runBatchRemote(ctx context.Context, rc remote, graphID string, n int, path string, quiet bool) error {
 	queries, err := parseBatchFile(path)
 	if err != nil {
 		return err
@@ -203,8 +219,9 @@ func runBatchRemote(ctx context.Context, c *client.Client, n int, path string, q
 	reqs := make([]api.Request, len(queries))
 	for i, q := range queries {
 		reqs[i] = q.req
+		reqs[i].Graph = graphID
 	}
-	resps, err := c.Batch(ctx, reqs)
+	resps, err := rc.Batch(ctx, reqs)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,8 @@
 //	ccsp -load warm.snap -algo diameter     # reuse it: zero preprocessing rounds
 //	ccsp -server http://localhost:8080 -algo mssp -sources 0    # query a running ccspd
 //	ccsp -server http://localhost:8080 -batch queries.txt       # one POST /v1/batch
+//	ccsp -server http://localhost:8080 -graphid roads -algo diameter  # a named graph on a multi-graph daemon
+//	ccsp -cluster http://a:8080,http://b:8080 -graphid roads -algo sssp -src 0  # route through a sharded cluster
 //
 // With -save or -load, queries run through a persistent ccsp.Engine
 // snapshot (the format cmd/ccspd serves from): -save builds the engine
@@ -32,7 +34,11 @@
 // With -server, queries are sent to a running ccspd daemon over the
 // typed query plane (POST /v1/query; -batch becomes one POST /v1/batch)
 // through the client package - no local graph, no local simulation, and
-// the same typed errors as local runs.
+// the same typed errors as local runs. -graphid targets a named graph
+// on a multi-graph daemon. With -cluster (comma-separated replica base
+// URLs), queries route through the consistent-hash ring to the replica
+// owning -graphid, failing over to live ring successors when the owner
+// is down - the same placement cmd/ccring prints.
 //
 // Batch mode loads the graph once, preprocesses it into a reusable
 // hopset artifact (ccsp.Engine), and answers one query per line of the
@@ -85,20 +91,22 @@ func main() {
 
 func run() error {
 	var (
-		algo      = flag.String("algo", "apsp", "apsp | apsp3 | sssp | mssp | diameter | knearest | sourcedetect")
-		eps       = flag.Float64("eps", 0.5, "approximation parameter ε")
-		src       = flag.Int("src", 0, "source for sssp")
-		sources   = flag.String("sources", "0", "comma-separated sources for mssp/sourcedetect")
-		k         = flag.Int("k", 4, "k for knearest/sourcedetect")
-		d         = flag.Int("d", 4, "hop bound d for sourcedetect")
-		batch     = flag.String("batch", "", "batch query file ('-' for stdin): preprocess once, answer every line")
-		quiet     = flag.Bool("quiet", false, "print only the stats line")
-		graphPath = flag.String("graph", "", "graph file (edge list or DIMACS .gr); alternative to the positional argument")
-		savePath  = flag.String("save", "", "write the preprocessed engine snapshot here after answering")
-		loadPath  = flag.String("load", "", "restore a preprocessed engine snapshot instead of building one")
-		serverURL = flag.String("server", "", "base URL of a running ccspd daemon: query it instead of simulating locally")
-		timeout   = flag.Duration("timeout", 0, "abort preprocessing+queries after this long (0 = no limit)")
-		execMode  = flag.String("exec", "simulated", "execution mode: simulated (round accounting) | direct (kernel, identical answers, no rounds)")
+		algo       = flag.String("algo", "apsp", "apsp | apsp3 | sssp | mssp | diameter | knearest | sourcedetect")
+		eps        = flag.Float64("eps", 0.5, "approximation parameter ε")
+		src        = flag.Int("src", 0, "source for sssp")
+		sources    = flag.String("sources", "0", "comma-separated sources for mssp/sourcedetect")
+		k          = flag.Int("k", 4, "k for knearest/sourcedetect")
+		d          = flag.Int("d", 4, "hop bound d for sourcedetect")
+		batch      = flag.String("batch", "", "batch query file ('-' for stdin): preprocess once, answer every line")
+		quiet      = flag.Bool("quiet", false, "print only the stats line")
+		graphPath  = flag.String("graph", "", "graph file (edge list or DIMACS .gr); alternative to the positional argument")
+		savePath   = flag.String("save", "", "write the preprocessed engine snapshot here after answering")
+		loadPath   = flag.String("load", "", "restore a preprocessed engine snapshot instead of building one")
+		serverURL  = flag.String("server", "", "base URL of a running ccspd daemon: query it instead of simulating locally")
+		clusterCSV = flag.String("cluster", "", "comma-separated ccspd replica base URLs: route queries through the consistent-hash ring")
+		graphID    = flag.String("graphid", "", "graph ID to query on a multi-graph daemon or cluster (empty = the default graph)")
+		timeout    = flag.Duration("timeout", 0, "abort preprocessing+queries after this long (0 = no limit)")
+		execMode   = flag.String("exec", "simulated", "execution mode: simulated (round accounting) | direct (kernel, identical answers, no rounds)")
 	)
 	flag.Parse()
 	exec, err := ccsp.ParseExecution(*execMode)
@@ -117,11 +125,34 @@ func run() error {
 		defer cancel()
 	}
 
-	if *serverURL != "" {
+	if *serverURL != "" || *clusterCSV != "" {
 		if *graphPath != "" || *loadPath != "" || *savePath != "" || flag.NArg() != 0 {
-			return fmt.Errorf("-server queries a remote daemon; drop -graph/-load/-save and the graph argument")
+			return fmt.Errorf("-server/-cluster query remote daemons; drop -graph/-load/-save and the graph argument")
 		}
-		return runRemote(ctx, client.New(*serverURL), *algo, *src, *sources, *k, *d, *batch, *quiet)
+		if *serverURL != "" && *clusterCSV != "" {
+			return fmt.Errorf("use -server (one daemon) or -cluster (a replica set), not both")
+		}
+		var rc remote
+		if *clusterCSV != "" {
+			var members []string
+			for _, m := range strings.Split(*clusterCSV, ",") {
+				if m = strings.TrimSpace(m); m != "" {
+					members = append(members, m)
+				}
+			}
+			if len(members) == 0 {
+				return fmt.Errorf("-cluster is empty")
+			}
+			cl := client.NewCluster(members)
+			defer cl.Close()
+			rc = cl.Graph(*graphID)
+		} else {
+			rc = client.New(*serverURL)
+		}
+		return runRemote(ctx, rc, *graphID, *algo, *src, *sources, *k, *d, *batch, *quiet)
+	}
+	if *graphID != "" {
+		return fmt.Errorf("-graphid needs -server or -cluster (local graphs are unnamed)")
 	}
 
 	g, eng, err := loadInput(ctx, *graphPath, *loadPath)
@@ -278,25 +309,42 @@ func runOneShot(ctx context.Context, g *ccsp.Graph, opts ccsp.Options, algo stri
 	return nil
 }
 
-// runRemote answers through a ccspd daemon: -batch becomes one POST
-// /v1/batch, single queries one POST /v1/query.
-func runRemote(ctx context.Context, c *client.Client, algo string, src int, sources string, k, d int, batch string, quiet bool) error {
-	h, err := c.Health(ctx)
+// remote is what runRemote needs from a remote query plane; both
+// *client.Client (one daemon) and *client.GraphView (a cluster scoped
+// to one graph) satisfy it.
+type remote interface {
+	Query(ctx context.Context, req api.Request) (*api.Response, error)
+	Batch(ctx context.Context, reqs []api.Request) ([]api.Response, error)
+	Health(ctx context.Context) (*api.Health, error)
+}
+
+// runRemote answers through a ccspd daemon or cluster: -batch becomes
+// one POST /v1/batch (fanned out per shard under -cluster), single
+// queries one POST /v1/query.
+func runRemote(ctx context.Context, rc remote, graphID, algo string, src int, sources string, k, d int, batch string, quiet bool) error {
+	h, err := rc.Health(ctx)
 	if err != nil {
 		return err
 	}
 	if batch != "" {
-		return runBatchRemote(ctx, c, h.Nodes, batch, quiet)
+		return runBatchRemote(ctx, rc, graphID, h.Nodes, batch, quiet)
 	}
 	req, err := requestForAlgo(algo, src, sources, k, d)
 	if err != nil {
 		return err
 	}
-	resp, err := c.Query(ctx, req)
+	req.Graph = graphID
+	resp, err := rc.Query(ctx, req)
 	if err != nil {
 		return err
 	}
-	printResponse(resp, h.Nodes, quiet)
+	// Health reports the answering replica's default graph; for named
+	// graphs the response's own vector lengths are the honest n.
+	n := responseNodes(resp)
+	if n == 0 {
+		n = h.Nodes
+	}
+	printResponse(resp, n, quiet)
 	return nil
 }
 

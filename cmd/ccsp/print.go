@@ -94,6 +94,35 @@ func statsLine(s *api.Stats, n int) string {
 		Messages: s.Messages, Words: s.Words}.String()
 }
 
+// responseNodes derives the answering graph's node count from a
+// response's own per-node vectors; 0 when the kind carries none
+// (distance, diameter) and the caller must fall back to /healthz.
+func responseNodes(resp *api.Response) int {
+	switch resp.Kind {
+	case api.KindSSSP:
+		if resp.SSSP != nil {
+			return len(resp.SSSP.Dist)
+		}
+	case api.KindMSSP:
+		if resp.MSSP != nil {
+			return len(resp.MSSP.Dist)
+		}
+	case api.KindAPSP:
+		if resp.APSP != nil {
+			return len(resp.APSP.Dist)
+		}
+	case api.KindKNearest:
+		if resp.KNearest != nil {
+			return len(resp.KNearest.Neighbors)
+		}
+	case api.KindSourceDetection:
+		if resp.SourceDetection != nil {
+			return len(resp.SourceDetection.Detected)
+		}
+	}
+	return 0
+}
+
 // printResponse renders one api.Response in the historical per-algorithm
 // format: result rows (suppressed by -quiet, except the one-line
 // diameter/distance answers), then the stats line.

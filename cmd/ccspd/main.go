@@ -1,22 +1,38 @@
 // Command ccspd is the distance-serving daemon: it loads (or builds,
-// then saves) a preprocessed snapshot of a graph and serves approximate
-// shortest-path queries over HTTP/JSON from one shared query engine.
+// then saves) preprocessed snapshots of one or more graphs and serves
+// approximate shortest-path queries over HTTP/JSON from shared query
+// engines.
 //
-// Startup sources (exactly one required):
+// Startup sources (at least one required):
 //
 //	ccspd -load warm.snap                       # restore a saved engine: no preprocessing
 //	ccspd -graph g.txt                          # build from an edge-list or DIMACS .gr file
 //	ccspd -graph g.gr -save warm.snap           # build once, persist for the next restart
 //	ccspd -graph g.gr -exec direct              # direct-kernel build: identical answers, seconds not minutes
+//	ccspd -load roads=roads.snap -load web=web.snap   # serve named graphs (api.Request.Graph routes)
+//	ccspd -graphs snapdir/                      # serve every NAME.snap in a directory as graph NAME
+//
+// A bare -load PATH or -graph serves the default (unnamed) graph -
+// requests without a "graph" field - and is byte-identical to the
+// single-graph daemon of earlier releases. NAME=PATH loads and -graphs
+// entries serve named graphs addressed by api.Request.Graph; both
+// forms combine freely as long as names are unique.
 //
 // Serving:
 //
 //	ccspd -graph g.txt -addr :8080 -timeout 30s -cache 128 -workers 0
 //
+// The daemon listens immediately and loads snapshots behind the
+// listener: GET /healthz answers 503 {"status":"starting"} and GET
+// /readyz answers 503 {"ready":false} until every snapshot is loaded
+// and preprocessed, then both flip (readyz lists the served graph
+// IDs). Cluster probers key on /readyz; load balancers on /healthz.
+//
 // Endpoints: the typed query plane POST /v1/query (one api.Request:
 // sssp, mssp, apsp, distance, diameter, knearest, source_detection) and
 // POST /v1/batch (many requests, one deduped engine batch with
-// per-request errors), plus GET /healthz and /v1/stats; the pre-plane
+// per-request errors), plus GET /healthz, /readyz, /v1/stats and
+// /debug/vars (expvar; serving counters under "ccspd"); the pre-plane
 // GET endpoints (/v1/sssp, /v1/mssp, /v1/distance, /v1/diameter) remain
 // as deprecated byte-identical shims. Distances are -1 for unreachable
 // pairs. The client package (and cmd/ccsp -server) speaks the POST
@@ -37,6 +53,7 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -45,10 +62,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/api"
 	"github.com/congestedclique/ccsp/internal/server"
 )
 
@@ -59,47 +79,69 @@ func main() {
 	}
 }
 
+// loadList collects repeated -load flags.
+type loadList []string
+
+func (l *loadList) String() string { return strings.Join(*l, ",") }
+
+func (l *loadList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+// source is one graph to serve: a snapshot to restore, or (for the
+// default graph only) a graph file to preprocess.
+type source struct {
+	name     string // "" = default graph
+	path     string
+	build    bool   // preprocess path as a graph file instead of restoring
+	savePath string // non-empty: persist the built engine
+}
+
 func run() error {
+	var loads loadList
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		graphPath = flag.String("graph", "", "graph file (edge list or DIMACS .gr) to build an engine from")
-		loadPath  = flag.String("load", "", "snapshot file to restore a preprocessed engine from")
-		savePath  = flag.String("save", "", "write the preprocessed engine to this snapshot file after building")
+		graphPath = flag.String("graph", "", "graph file (edge list or DIMACS .gr) to build the default engine from")
+		savePath  = flag.String("save", "", "write the preprocessed engine to this snapshot file after building (with -graph)")
+		graphsDir = flag.String("graphs", "", "directory of NAME.snap snapshots to serve as named graphs")
 		eps       = flag.Float64("eps", 0.5, "approximation parameter ε (ignored with -load: the snapshot pins it)")
 		workers   = flag.Int("workers", 0, "simulator worker-pool size (0 = GOMAXPROCS; ignored with -load)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request query timeout (0 = none)")
 		cacheSize = flag.Int("cache", 128, "response cache capacity in entries (negative = disabled)")
 		execMode  = flag.String("exec", "simulated", "execution mode: simulated (round accounting) | direct (kernel, identical answers, fast startup; ignored with -load)")
 	)
+	flag.Var(&loads, "load", "snapshot to restore: PATH for the default graph, or NAME=PATH for a named graph (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		return fmt.Errorf("unexpected arguments %v (use -graph/-load)", flag.Args())
+		return fmt.Errorf("unexpected arguments %v (use -graph/-load/-graphs)", flag.Args())
 	}
 	exec, err := ccsp.ParseExecution(*execMode)
 	if err != nil {
 		return err
 	}
 
+	sources, err := gatherSources(*graphPath, *savePath, loads, *graphsDir)
+	if err != nil {
+		return err
+	}
+
 	// One signal context governs the whole lifecycle: SIGINT/SIGTERM
-	// during the (potentially minutes-long) preprocessing build aborts it
-	// at the next simulator barrier; during serving it triggers the
+	// during the (potentially minutes-long) preprocessing builds aborts
+	// them at the next simulator barrier; during serving it triggers the
 	// graceful drain below.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng, err := buildEngine(ctx, *graphPath, *loadPath, *savePath,
-		ccsp.Options{Epsilon: *eps, Workers: *workers, Execution: exec})
-	if err != nil {
-		if errors.Is(err, ccsp.ErrCanceled) {
-			log.Printf("ccspd: interrupted during startup, exiting (no snapshot written)")
-			return nil
-		}
-		return err
-	}
-	srv, err := server.New(server.Config{Engine: eng, Timeout: *timeout, CacheSize: *cacheSize})
+	// Listen before loading: the daemon is immediately probeable
+	// (healthz/readyz answer 503 "starting") while snapshots restore and
+	// builds run, so cluster membership sees alive-but-loading instead
+	// of connection-refused.
+	srv, err := server.New(server.Config{Deferred: true, Timeout: *timeout, CacheSize: *cacheSize})
 	if err != nil {
 		return err
 	}
+	expvar.Publish("ccspd", expvar.Func(srv.Vars))
 
 	// Request contexts derive from serveCtx: if the drain window below
 	// expires with queries still running, canceling it stops them at
@@ -107,21 +149,47 @@ func run() error {
 	serveCtx, cancelServe := context.WithCancel(context.Background())
 	defer cancelServe()
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return serveCtx },
 	}
-
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("ccspd: serving on %s (n=%d, m=%d)", *addr, eng.Graph().N(), eng.Graph().M())
-		errc <- httpSrv.ListenAndServe()
-	}()
-	select {
-	case err := <-errc:
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		return err
-	case <-ctx.Done():
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("ccspd: listening on %s (loading %d graph(s); poll /readyz for readiness)", ln.Addr(), len(sources))
+
+	opts := ccsp.Options{Epsilon: *eps, Workers: *workers, Execution: exec}
+	interrupted := false
+	for _, src := range sources {
+		eng, err := loadSource(ctx, src, opts)
+		if err != nil {
+			if errors.Is(err, ccsp.ErrCanceled) {
+				log.Printf("ccspd: interrupted during startup, exiting (no snapshot written)")
+				interrupted = true
+				break
+			}
+			httpSrv.Close() //nolint:errcheck
+			return err
+		}
+		if err := srv.AddGraph(src.name, eng); err != nil {
+			httpSrv.Close() //nolint:errcheck
+			return err
+		}
+	}
+	if !interrupted {
+		srv.SetReady()
+		log.Printf("ccspd: ready, serving %s", describeGraphs(sources))
+	}
+
+	if !interrupted {
+		select {
+		case err := <-errc:
+			return err
+		case <-ctx.Done():
+		}
 	}
 	log.Printf("ccspd: shutting down (draining in-flight queries)")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -142,34 +210,94 @@ func run() error {
 	return nil
 }
 
-// buildEngine realizes the startup contract: restore from a snapshot, or
-// build from a graph file (optionally persisting the warm engine).
-// Canceling ctx aborts a build in flight; the -save snapshot is only
-// written after a completed build, atomically.
-func buildEngine(ctx context.Context, graphPath, loadPath, savePath string, opts ccsp.Options) (*ccsp.Engine, error) {
-	switch {
-	case loadPath != "" && graphPath != "":
-		return nil, fmt.Errorf("use -graph or -load, not both")
-	case loadPath != "":
-		if savePath != "" {
-			return nil, fmt.Errorf("-save with -load would rewrite an identical snapshot; drop one")
+// gatherSources validates the flag combinations and produces the load
+// plan: at most one default-graph source (-graph, or a bare -load
+// PATH), any number of uniquely named snapshots (NAME=PATH loads and
+// -graphs directory entries), at least one source overall.
+func gatherSources(graphPath, savePath string, loads loadList, graphsDir string) ([]source, error) {
+	var sources []source
+	seen := make(map[string]string) // name -> origin, for duplicate diagnostics
+	add := func(s source, origin string) error {
+		if prev, dup := seen[s.name]; dup {
+			if s.name == "" {
+				return fmt.Errorf("two default-graph sources (%s and %s); name one with NAME=PATH", prev, origin)
+			}
+			return fmt.Errorf("graph %q defined twice (%s and %s)", s.name, prev, origin)
 		}
-		f, err := os.Open(loadPath)
+		if err := api.ValidateGraphID(s.name); err != nil {
+			return fmt.Errorf("%s: %w", origin, err)
+		}
+		seen[s.name] = origin
+		sources = append(sources, s)
+		return nil
+	}
+
+	if savePath != "" && graphPath == "" {
+		return nil, fmt.Errorf("-save requires -graph (snapshots restored with -load are already saved)")
+	}
+	if graphPath != "" {
+		if err := add(source{path: graphPath, build: true, savePath: savePath}, "-graph "+graphPath); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range loads {
+		s := source{path: l}
+		if eq := strings.IndexByte(l, '='); eq >= 0 {
+			s.name, s.path = l[:eq], l[eq+1:]
+			if s.path == "" {
+				return nil, fmt.Errorf("-load %s: empty path", l)
+			}
+		}
+		if err := add(s, "-load "+l); err != nil {
+			return nil, err
+		}
+	}
+	if graphsDir != "" {
+		snaps, err := filepath.Glob(filepath.Join(graphsDir, "*.snap"))
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		start := time.Now()
-		eng, err := ccsp.LoadEngine(ctx, f)
-		if err != nil {
-			return nil, fmt.Errorf("load %s: %w", loadPath, err)
+		if len(snaps) == 0 {
+			return nil, fmt.Errorf("-graphs %s: no *.snap files", graphsDir)
 		}
-		log.Printf("ccspd: restored snapshot %s in %v (%d artifacts, %d preprocessing rounds skipped)",
-			loadPath, time.Since(start).Round(time.Millisecond),
-			len(eng.PreprocessStats().Builds), eng.PreprocessStats().Total.TotalRounds)
-		return eng, nil
-	case graphPath != "":
-		g, err := ccsp.ReadGraphFile(graphPath)
+		sort.Strings(snaps) // deterministic load order and duplicate reporting
+		for _, p := range snaps {
+			name := strings.TrimSuffix(filepath.Base(p), ".snap")
+			if err := add(source{name: name, path: p}, "-graphs entry "+p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("at least one of -graph, -load or -graphs is required")
+	}
+	return sources, nil
+}
+
+// describeGraphs renders the serving set for the ready log line.
+func describeGraphs(sources []source) string {
+	var names []string
+	for _, s := range sources {
+		if s.name == "" {
+			names = append(names, "the default graph")
+		} else {
+			names = append(names, fmt.Sprintf("%q", s.name))
+		}
+	}
+	return fmt.Sprintf("%d graph(s): %s", len(sources), strings.Join(names, ", "))
+}
+
+// loadSource realizes one source: restore its snapshot, or build from a
+// graph file (optionally persisting the warm engine). Canceling ctx
+// aborts a build in flight; a -save snapshot is only written after a
+// completed build, atomically.
+func loadSource(ctx context.Context, src source, opts ccsp.Options) (*ccsp.Engine, error) {
+	label := src.name
+	if label == "" {
+		label = "default"
+	}
+	if src.build {
+		g, err := ccsp.ReadGraphFile(src.path)
 		if err != nil {
 			return nil, err
 		}
@@ -178,18 +306,30 @@ func buildEngine(ctx context.Context, graphPath, loadPath, savePath string, opts
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("ccspd: preprocessed %s in %v (%d rounds)",
-			graphPath, time.Since(start).Round(time.Millisecond), eng.PreprocessStats().Total.TotalRounds)
-		if savePath != "" {
-			if err := saveSnapshot(eng, savePath); err != nil {
+		log.Printf("ccspd: [%s] preprocessed %s in %v (%d rounds)",
+			label, src.path, time.Since(start).Round(time.Millisecond), eng.PreprocessStats().Total.TotalRounds)
+		if src.savePath != "" {
+			if err := saveSnapshot(eng, src.savePath); err != nil {
 				return nil, err
 			}
-			log.Printf("ccspd: saved snapshot to %s", savePath)
+			log.Printf("ccspd: [%s] saved snapshot to %s", label, src.savePath)
 		}
 		return eng, nil
-	default:
-		return nil, fmt.Errorf("one of -graph or -load is required")
 	}
+	f, err := os.Open(src.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	start := time.Now()
+	eng, err := ccsp.LoadEngine(ctx, f)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", src.path, err)
+	}
+	log.Printf("ccspd: [%s] restored snapshot %s in %v (%d artifacts, %d preprocessing rounds skipped)",
+		label, src.path, time.Since(start).Round(time.Millisecond),
+		len(eng.PreprocessStats().Builds), eng.PreprocessStats().Total.TotalRounds)
+	return eng, nil
 }
 
 // saveSnapshot writes atomically: temp file + rename, so a crash mid-save

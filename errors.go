@@ -38,6 +38,16 @@ var (
 	// ErrInvalidOption is wrapped when Options fail validation or a query
 	// parameter (k, d) is out of its domain.
 	ErrInvalidOption = errors.New("ccsp: invalid option")
+	// ErrUnknownGraph is wrapped when a request names a graph the serving
+	// daemon does not hold (the cluster tier routes by graph ID; a replica
+	// receiving a query for a graph outside its shard answers with this).
+	// Maps to HTTP 404 / api.CodeUnknownGraph.
+	ErrUnknownGraph = errors.New("ccsp: unknown graph")
+	// ErrUnavailable is wrapped when a query cannot be served right now
+	// but might be later or elsewhere: the daemon's snapshots are still
+	// loading, or - cluster-side - every replica that could own the graph
+	// is down. Maps to HTTP 503 / api.CodeUnavailable.
+	ErrUnavailable = errors.New("ccsp: unavailable")
 )
 
 // wrapRun translates a simulator-run error into the public error taxonomy,

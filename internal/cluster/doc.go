@@ -1,0 +1,31 @@
+// Package cluster is the placement and membership layer of the sharded
+// serving tier (ROADMAP item 3, DESIGN.md §14): N ccspd replicas each
+// hold preprocessed snapshots for a subset of graphs, and queries route
+// to the replica that owns the target graph instead of rebuilding
+// hopsets anywhere - preprocessing is the expensive step (seconds to
+// minutes per graph), so a graph's artifacts must stay resident where
+// they were built.
+//
+// Three pieces compose:
+//
+//   - Ring: a consistent-hash ring with virtual nodes. Placement of
+//     graph IDs onto replica addresses is deterministic (same member
+//     set ⇒ same placement, across processes and runs) and
+//     bounded-disruption (removing a member only remaps the graphs that
+//     member owned).
+//   - Prober: health-checked membership. Each member's /readyz is
+//     probed on an interval; a replica is marked down after a
+//     configurable number of consecutive failures and revives on the
+//     first success. A successful probe also records which graphs the
+//     replica actually serves, so routing never sends a query to a
+//     replica that would answer 404.
+//   - Route: the failover rule. Candidates for a graph are the ring
+//     successors starting at the owner, filtered to live members that
+//     hold the graph; a dead owner fails over to the next live holder,
+//     and an empty candidate list is the typed "no replica" outcome the
+//     client maps to a 503.
+//
+// The package is transport-free (the default probe speaks HTTP, but the
+// probe function is injectable), so the ring and failover state machine
+// are unit-testable without processes.
+package cluster

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/congestedclique/ccsp/api"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultProbeInterval = 2 * time.Second
+	DefaultProbeTimeout  = 1 * time.Second
+	DefaultThreshold     = 3
+)
+
+// Status is the result of one successful probe exchange: whether the
+// replica reports itself ready, and which graphs it serves. The empty
+// string names a replica's default (unnamed) graph.
+type Status struct {
+	Ready  bool
+	Graphs []string
+}
+
+// ProbeFunc performs one health exchange with member (a base URL). It
+// returns an error only when the exchange itself failed (connection
+// refused, timeout, non-JSON body); a well-formed "not ready yet"
+// answer is Status{Ready: false} with a nil error.
+type ProbeFunc func(ctx context.Context, member string) (Status, error)
+
+// Config tunes a Prober. The zero value is usable: defaults fill in and
+// the probe speaks HTTP to each member's /readyz endpoint.
+type Config struct {
+	// Interval between probe sweeps (default DefaultProbeInterval).
+	Interval time.Duration
+	// Threshold is the number of consecutive failed probes after which a
+	// member is marked down (default DefaultThreshold). Recovery is
+	// immediate: one success revives the member.
+	Threshold int
+	// Timeout bounds each individual probe (default DefaultProbeTimeout).
+	Timeout time.Duration
+	// Probe overrides the health exchange; nil uses HTTPProbe with a
+	// probe-dedicated client.
+	Probe ProbeFunc
+}
+
+// Prober tracks liveness and graph placement for a fixed member set.
+// Members start down (nothing routes to a replica never seen healthy)
+// and transition up on the first successful ready probe. Failures -
+// probe errors and explicit MarkDown calls from the data path - count
+// toward Threshold; crossing it marks the member down until the next
+// success.
+type Prober struct {
+	cfg     Config
+	mu      sync.Mutex
+	members map[string]*memberState
+}
+
+type memberState struct {
+	alive   bool
+	fails   int
+	graphs  map[string]bool
+	lastErr error
+}
+
+// HTTPProbe returns the default ProbeFunc: GET <member>/readyz with
+// client, decoding an api.Ready body. Both 200 (ready) and 503
+// (starting) are valid exchanges; other statuses are probe errors.
+func HTTPProbe(client *http.Client) ProbeFunc {
+	return func(ctx context.Context, member string) (Status, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+"/readyz", nil)
+		if err != nil {
+			return Status{}, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return Status{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+			return Status{}, fmt.Errorf("cluster: %s/readyz: unexpected status %s", member, resp.Status)
+		}
+		var ready api.Ready
+		if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+			return Status{}, fmt.Errorf("cluster: %s/readyz: %w", member, err)
+		}
+		return Status{Ready: ready.Ready, Graphs: ready.Graphs}, nil
+	}
+}
+
+// NewProber builds a Prober over members. No probe runs until Sweep or
+// Run is called, so every member starts down.
+func NewProber(members []string, cfg Config) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultProbeInterval
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultProbeTimeout
+	}
+	if cfg.Probe == nil {
+		cfg.Probe = HTTPProbe(&http.Client{Timeout: cfg.Timeout})
+	}
+	p := &Prober{cfg: cfg, members: make(map[string]*memberState, len(members))}
+	for _, m := range members {
+		p.members[m] = &memberState{}
+	}
+	return p
+}
+
+// Sweep probes every member once, concurrently, and applies the results
+// to the liveness state. It blocks until the slowest probe returns or
+// times out.
+func (p *Prober) Sweep(ctx context.Context) {
+	var wg sync.WaitGroup
+	p.mu.Lock()
+	names := make([]string, 0, len(p.members))
+	for m := range p.members {
+		names = append(names, m)
+	}
+	p.mu.Unlock()
+	for _, m := range names {
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
+			defer cancel()
+			st, err := p.cfg.Probe(pctx, m)
+			p.apply(m, st, err)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// Run sweeps immediately, then on every Interval tick until ctx is
+// done. It is the long-lived goroutine body of a routing client.
+func (p *Prober) Run(ctx context.Context) {
+	p.Sweep(ctx)
+	ticker := time.NewTicker(p.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			p.Sweep(ctx)
+		}
+	}
+}
+
+// apply folds one probe outcome into a member's state machine.
+func (p *Prober) apply(member string, st Status, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms, ok := p.members[member]
+	if !ok {
+		return
+	}
+	if err != nil || !st.Ready {
+		ms.fails++
+		ms.lastErr = err
+		if ms.fails >= p.cfg.Threshold {
+			ms.alive = false
+		}
+		return
+	}
+	ms.alive = true
+	ms.fails = 0
+	ms.lastErr = nil
+	ms.graphs = make(map[string]bool, len(st.Graphs))
+	for _, g := range st.Graphs {
+		ms.graphs[g] = true
+	}
+}
+
+// MarkDown immediately marks member down, bypassing the threshold. The
+// data path calls this on a transport failure (connection refused,
+// reset): the evidence is as strong as Threshold failed probes, and
+// waiting for the prober to catch up would route more queries into the
+// same dead socket.
+func (p *Prober) MarkDown(member string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ms, ok := p.members[member]; ok {
+		ms.alive = false
+		ms.fails = p.cfg.Threshold
+	}
+}
+
+// Alive reports whether member is currently considered live.
+func (p *Prober) Alive(member string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms, ok := p.members[member]
+	return ok && ms.alive
+}
+
+// Holds reports whether member's last successful probe advertised
+// graph. A member that has never probed healthy holds nothing.
+func (p *Prober) Holds(member, graph string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms, ok := p.members[member]
+	return ok && ms.graphs[graph]
+}
+
+// Live returns the currently live members, sorted.
+func (p *Prober) Live() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for m, ms := range p.members {
+		if ms.alive {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Route returns the members that can serve graph, in failover
+// preference order: the ring successors of the graph, filtered to
+// members that are live and advertise the graph. Empty means no live
+// replica holds the graph - the caller's typed-unavailable case.
+func Route(r *Ring, p *Prober, graph string) []string {
+	var out []string
+	for _, m := range r.Successors(graph) {
+		if p.Alive(m) && p.Holds(m, graph) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -99,19 +99,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.batches.Add(1)
+	s.batchReqs.Add(int64(len(br.Requests)))
+
 	resps := make([]api.Response, len(br.Requests))
 	// Plan every position; answer cache hits and malformed requests in
 	// place, group the rest by canonical key for one engine run each.
 	// Positions sharing a key share the run but keep their own plans:
 	// two distance requests from one source (or a distance and a plain
 	// single-source MSSP) coalesce onto one engine run yet project
-	// different responses out of it.
+	// different responses out of it. Keys are graph-qualified, so a
+	// mixed-graph batch groups into one sub-batch per engine.
 	type member struct {
 		idx int
 		p   plan
 	}
 	type missGroup struct {
 		run     api.Request
+		eng     *ccsp.Engine
 		members []member
 	}
 	var order []string
@@ -119,16 +124,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, req := range br.Requests {
 		p, err := s.plan(req)
 		if err != nil {
-			resps[i] = api.Response{Kind: req.Kind, Error: ccsp.APIError(err)}
+			resps[i] = api.Response{Kind: req.Kind, Graph: req.Graph, Error: ccsp.APIError(err)}
 			continue
 		}
 		if v, ok := s.cache.Get(p.key); ok {
+			s.queries.Add(1)
 			resps[i] = p.finish(v.(api.Response), true)
 			continue
 		}
 		g, ok := misses[p.key]
 		if !ok {
-			g = &missGroup{run: p.run}
+			g = &missGroup{run: p.run, eng: p.eng}
 			misses[p.key] = g
 			order = append(order, p.key)
 		}
@@ -136,9 +142,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if len(order) > 0 {
-		runs := make([]api.Request, len(order))
-		for j, key := range order {
-			runs[j] = misses[key].run
+		// One Engine.Batch per distinct engine, preserving first-seen key
+		// order within each; engines run one after another under the one
+		// shared batch timeout (each engine's batch still fans out over
+		// its own bounded worker group).
+		var engines []*ccsp.Engine
+		keysByEngine := make(map[*ccsp.Engine][]string)
+		for _, key := range order {
+			eng := misses[key].eng
+			if _, seen := keysByEngine[eng]; !seen {
+				engines = append(engines, eng)
+			}
+			keysByEngine[eng] = append(keysByEngine[eng], key)
 		}
 		ctx := r.Context()
 		if s.timeout > 0 {
@@ -146,20 +161,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, s.timeout)
 			defer cancel()
 		}
-		out, err := s.eng.Batch(ctx, runs)
-		if err != nil {
-			// Only "the batch never ran" (context dead on entry) lands here.
-			writeAPIError(w, s.countError(err), "", ccsp.APIError(err))
-			return
-		}
-		for j, key := range order {
-			if out[j].Error == nil {
-				s.cache.Put(key, out[j])
+		s.inflight.Add(1)
+		for _, eng := range engines {
+			keys := keysByEngine[eng]
+			runs := make([]api.Request, len(keys))
+			for j, key := range keys {
+				runs[j] = misses[key].run
 			}
-			for _, m := range misses[key].members {
-				resps[m.idx] = m.p.finish(out[j], false)
+			out, err := eng.Batch(ctx, runs)
+			if err != nil {
+				// Only "the batch never ran" (context dead on entry) lands here.
+				s.inflight.Add(-1)
+				writeAPIError(w, s.countError(err), "", ccsp.APIError(err))
+				return
+			}
+			for j, key := range keys {
+				if out[j].Error == nil {
+					s.cache.Put(key, out[j])
+					s.queries.Add(1)
+				}
+				for _, m := range misses[key].members {
+					resps[m.idx] = m.p.finish(out[j], false)
+				}
 			}
 		}
+		s.inflight.Add(-1)
 	}
 	// Per-position failures return inside a 200, but they still feed the
 	// serving stats: a batch workload going bad must show up in

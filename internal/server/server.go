@@ -1,20 +1,34 @@
 // Package server implements the HTTP/JSON serving layer of cmd/ccspd: a
-// set of handlers over one shared, concurrency-safe ccsp.Engine. This is
-// the process boundary the ROADMAP's serving goal needs - the engine
-// preprocesses (or loads a snapshot) once, then every HTTP request is a
-// cheap query-only run, optionally short-circuited by a small LRU cache
-// of repeated queries.
+// set of handlers over one or more shared, concurrency-safe
+// ccsp.Engines. This is the process boundary the ROADMAP's serving goal
+// needs - each engine preprocesses (or loads a snapshot) once, then
+// every HTTP request is a cheap query-only run, optionally
+// short-circuited by a small LRU cache of repeated queries.
+//
+// A server holds a registry of engines keyed by graph ID: the default
+// graph (the empty ID, the only one a pre-cluster daemon had) plus any
+// number of named graphs. Requests select a graph with the api.Request
+// Graph field; requests without one hit the default engine, byte-for-
+// byte compatible with the single-graph wire protocol. A request naming
+// a graph the registry does not hold gets a typed 404
+// (api.CodeUnknownGraph) - in a cluster, that means the ring routed it
+// to the wrong replica.
 //
 // The serving surface is the typed query plane of the api package
-// (DESIGN.md §11). Primary endpoints (JSON bodies; distances use -1 for
-// unreachable pairs):
+// (DESIGN.md §11, §14). Primary endpoints (JSON bodies; distances use
+// -1 for unreachable pairs):
 //
 //	POST /v1/query    one api.Request (tagged union over all 7 query
 //	                  algorithms), answered with an api.Response
 //	POST /v1/batch    api.BatchRequest: many requests, one engine batch
-//	                  with per-request errors and shared deduped runs
-//	GET  /healthz     liveness + graph shape
+//	                  per target graph with per-request errors and
+//	                  shared deduped runs
+//	GET  /healthz     liveness + default graph shape (503 until ready)
+//	GET  /readyz      readiness: 200 + the served graph list only once
+//	                  every snapshot is loaded/preprocessed (the cluster
+//	                  prober consumes this)
 //	GET  /v1/stats    server, cache, graph and preprocessing stats
+//	GET  /debug/vars  expvar counters (queries, batches, cache, in-flight)
 //
 // Deprecated query-string shims, kept byte-identical for old clients
 // (each is a thin projection of the same plan/execute path the POST
@@ -34,6 +48,8 @@
 //	context.DeadlineExceeded   504 Gateway Timeout
 //	context.Canceled           499 (client closed request)
 //	ccsp.ErrRoundLimit         503 Service Unavailable
+//	ccsp.ErrUnavailable        503 Service Unavailable (still loading)
+//	ccsp.ErrUnknownGraph       404 Not Found
 //	ccsp.ErrInvalidSource      422 Unprocessable Entity
 //	ccsp.ErrInvalidOption      422 Unprocessable Entity
 //	api.ErrMalformed           400 Bad Request
@@ -44,8 +60,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,8 +74,19 @@ import (
 
 // Config configures a Server.
 type Config struct {
-	// Engine serves every query. Required.
+	// Engine serves requests without a graph ID (the default graph).
+	// Required unless Engines or Deferred is set.
 	Engine *ccsp.Engine
+	// Engines maps graph IDs to their engines (multi-graph serving). IDs
+	// must satisfy api.ValidateGraphID and be non-empty (the default
+	// graph goes in Engine).
+	Engines map[string]*ccsp.Engine
+	// Deferred starts the server with no engines and not ready: the
+	// daemon binds its listener first, registers engines with AddGraph as
+	// snapshots load, then flips SetReady. Until then /readyz (and every
+	// query) answers 503, which is how a cluster prober distinguishes
+	// "replica restarting" from "replica gone".
+	Deferred bool
 	// Timeout bounds each request's query (a /v1/batch body counts as one
 	// request: the timeout covers the whole batch); 0 means no timeout.
 	Timeout time.Duration
@@ -65,25 +95,35 @@ type Config struct {
 	CacheSize int
 }
 
-// Server holds the shared engine and per-process serving state.
-type Server struct {
+// engineEntry is one registered graph: its engine plus the per-graph
+// facts planning needs without re-deriving them per request.
+type engineEntry struct {
 	eng        *ccsp.Engine
-	timeout    time.Duration
-	cache      *lru
-	cacheCap   int
-	start      time.Time
 	unweighted bool
-
-	requests atomic.Int64
-	errors   atomic.Int64
-	timeouts atomic.Int64
 }
 
-// New returns a Server over cfg.Engine.
+// Server holds the engine registry and per-process serving state.
+type Server struct {
+	mu      sync.RWMutex
+	engines map[string]*engineEntry // key "" = default graph
+
+	ready    atomic.Bool
+	timeout  time.Duration
+	cache    *lru
+	cacheCap int
+	start    time.Time
+
+	requests  atomic.Int64 // every HTTP request hitting a handler
+	errors    atomic.Int64 // failed queries (non-timeout)
+	timeouts  atomic.Int64 // queries killed by the server timeout
+	queries   atomic.Int64 // successfully answered query positions
+	batches   atomic.Int64 // /v1/batch bodies served
+	batchReqs atomic.Int64 // total positions across those bodies
+	inflight  atomic.Int64 // queries/batches currently executing
+}
+
+// New returns a Server over the configured engines.
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("server: nil engine")
-	}
 	size := cfg.CacheSize
 	if size == 0 {
 		size = 128
@@ -91,23 +131,121 @@ func New(cfg Config) (*Server, error) {
 	if size < 0 {
 		size = 0
 	}
-	return &Server{
-		eng:        cfg.Engine,
-		timeout:    cfg.Timeout,
-		cache:      newLRU(size),
-		cacheCap:   size,
-		start:      time.Now(),
-		unweighted: cfg.Engine.Graph().Unweighted(),
-	}, nil
+	s := &Server{
+		engines:  make(map[string]*engineEntry),
+		timeout:  cfg.Timeout,
+		cache:    newLRU(size),
+		cacheCap: size,
+		start:    time.Now(),
+	}
+	if cfg.Engine != nil {
+		s.addEntry("", cfg.Engine)
+	}
+	for name, eng := range cfg.Engines {
+		if err := s.AddGraph(name, eng); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.engines) == 0 {
+		if !cfg.Deferred {
+			return nil, fmt.Errorf("server: no engine (set Engine, Engines, or Deferred)")
+		}
+		return s, nil // not ready until SetReady
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// AddGraph registers eng under the graph ID name ("" = default graph).
+// Safe to call while serving (a Deferred daemon registers snapshots as
+// they load); duplicate and malformed IDs are rejected.
+func (s *Server) AddGraph(name string, eng *ccsp.Engine) error {
+	if eng == nil {
+		return fmt.Errorf("server: nil engine for graph %q", name)
+	}
+	if err := api.ValidateGraphID(name); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.engines[name]; dup {
+		return fmt.Errorf("server: graph %q registered twice", name)
+	}
+	s.engines[name] = &engineEntry{eng: eng, unweighted: eng.Graph().Unweighted()}
+	return nil
+}
+
+// addEntry is AddGraph without validation, for the constructor's default
+// engine (registered before any concurrent access exists).
+func (s *Server) addEntry(name string, eng *ccsp.Engine) {
+	s.engines[name] = &engineEntry{eng: eng, unweighted: eng.Graph().Unweighted()}
+}
+
+// SetReady marks the server ready: every snapshot is loaded and queries
+// may flow. Before this, /readyz and all query endpoints answer 503
+// (ccsp.ErrUnavailable).
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// Ready reports whether the server has been marked ready.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// engineFor resolves a request's graph ID against the registry.
+func (s *Server) engineFor(graph string) (*engineEntry, error) {
+	if !s.ready.Load() {
+		return nil, fmt.Errorf("%w: snapshots still loading", ccsp.ErrUnavailable)
+	}
+	s.mu.RLock()
+	e, ok := s.engines[graph]
+	s.mu.RUnlock()
+	if !ok {
+		if graph == "" {
+			return nil, fmt.Errorf("%w: this daemon serves no default graph (name one of its graphs)", ccsp.ErrUnknownGraph)
+		}
+		return nil, fmt.Errorf("%w: %q", ccsp.ErrUnknownGraph, graph)
+	}
+	return e, nil
+}
+
+// graphIDs returns the registered graph IDs, sorted, including "" for
+// the default graph when present.
+func (s *Server) graphIDs() []string {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.engines))
+	for name := range s.engines {
+		ids = append(ids, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// namedGraphIDs is graphIDs without the default graph's empty ID.
+func (s *Server) namedGraphIDs() []string {
+	ids := s.graphIDs()
+	if len(ids) > 0 && ids[0] == "" {
+		ids = ids[1:]
+	}
+	return ids
+}
+
+// defaultEntry returns the default graph's entry, or nil.
+func (s *Server) defaultEntry() *engineEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engines[""]
 }
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	// expvar counters (see Vars); the handler serves the process-global
+	// registry, cmd/ccspd publishes this server's snapshot into it.
+	mux.Handle("/debug/vars", expvar.Handler())
 	// Deprecated query-string shims (see legacy.go).
 	mux.HandleFunc("/v1/sssp", s.handleSSSP)
 	mux.HandleFunc("/v1/mssp", s.handleMSSP)
@@ -116,16 +254,20 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// plan is the executable form of one request: the canonical cache key,
-// the request actually handed to the engine, and an optional projection
-// from the executed response to the outward one. Two rewrites happen at
-// planning time so that equivalent requests share cache entries and
-// engine runs: a distance request becomes a single-source MSSP plus a
-// pair projection (so hot-source distance lookups and explicit MSSP
-// queries hit the same entry), and an auto APSP variant resolves to the
-// concrete algorithm the graph selects.
+// plan is the executable form of one request: the owning engine, the
+// canonical cache key, the request actually handed to the engine, and an
+// optional projection from the executed response to the outward one. Two
+// rewrites happen at planning time so that equivalent requests share
+// cache entries and engine runs: a distance request becomes a
+// single-source MSSP plus a pair projection (so hot-source distance
+// lookups and explicit MSSP queries hit the same entry), and an auto
+// APSP variant resolves to the concrete algorithm the graph selects.
+// Cache keys are graph-qualified (api.Request.CacheKey), so one shared
+// LRU serves every graph without cross-graph aliasing.
 type plan struct {
 	kind    api.Kind // outward kind, echoed on projected/error responses
+	graph   string   // outward graph ID, echoed likewise
+	eng     *ccsp.Engine
 	key     string
 	run     api.Request
 	project func(api.Response) api.Response
@@ -136,7 +278,7 @@ type plan struct {
 // kind.
 func (p plan) finish(resp api.Response, cached bool) api.Response {
 	if resp.Error != nil {
-		return api.Response{Kind: p.kind, Error: resp.Error}
+		return api.Response{Kind: p.kind, Graph: p.graph, Error: resp.Error}
 	}
 	resp.Cached = cached
 	if p.project != nil {
@@ -147,28 +289,37 @@ func (p plan) finish(resp api.Response, cached bool) api.Response {
 
 // plan validates and rewrites one request. Errors keep the typed
 // taxonomy (api.ErrMalformed for structural problems,
+// ccsp.ErrUnknownGraph for an unregistered graph ID,
 // ccsp.ErrInvalidSource for the distance target check the engine would
 // otherwise only make after the MSSP run).
 func (s *Server) plan(req api.Request) (plan, error) {
 	if err := req.Validate(); err != nil {
 		return plan{}, err
 	}
+	entry, err := s.engineFor(req.Graph)
+	if err != nil {
+		return plan{}, err
+	}
+	eng := entry.eng
 	switch req.Kind {
 	case api.KindDistance:
-		n := s.eng.Graph().N()
+		n := eng.Graph().N()
 		from, to := req.Distance.From, req.Distance.To
 		if to < 0 || to >= n {
 			return plan{}, fmt.Errorf("%w: node %d out of range [0,%d)", ccsp.ErrInvalidSource, to, n)
 		}
-		inner := api.Request{Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{from}}}
+		inner := api.Request{Kind: api.KindMSSP, Graph: req.Graph, MSSP: &api.MSSPParams{Sources: []int{from}}}
 		return plan{
-			kind: api.KindDistance,
-			key:  inner.CacheKey(),
-			run:  inner,
+			kind:  api.KindDistance,
+			graph: req.Graph,
+			eng:   eng,
+			key:   inner.CacheKey(),
+			run:   inner,
 			project: func(in api.Response) api.Response {
 				d := in.MSSP.Dist[to][0]
 				return api.Response{
 					Kind:     api.KindDistance,
+					Graph:    in.Graph,
 					Distance: &api.DistanceResult{From: from, To: to, Distance: d, Reachable: d != api.Unreachable},
 					Stats:    in.Stats,
 					Cached:   in.Cached,
@@ -176,10 +327,11 @@ func (s *Server) plan(req api.Request) (plan, error) {
 			},
 		}, nil
 	case api.KindAPSP:
-		resolved := api.Request{Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: s.eng.ResolveAPSPVariant(req.Variant())}}
-		return plan{kind: api.KindAPSP, key: resolved.CacheKey(), run: resolved}, nil
+		resolved := api.Request{Kind: api.KindAPSP, Graph: req.Graph,
+			APSP: &api.APSPParams{Variant: eng.ResolveAPSPVariant(req.Variant())}}
+		return plan{kind: api.KindAPSP, graph: req.Graph, eng: eng, key: resolved.CacheKey(), run: resolved}, nil
 	default:
-		return plan{kind: req.Kind, key: req.CacheKey(), run: req}, nil
+		return plan{kind: req.Kind, graph: req.Graph, eng: eng, key: req.CacheKey(), run: req}, nil
 	}
 }
 
@@ -193,13 +345,17 @@ func (s *Server) execute(ctx context.Context, req api.Request) (api.Response, er
 		return api.Response{}, err
 	}
 	if v, ok := s.cache.Get(p.key); ok {
+		s.queries.Add(1)
 		return p.finish(v.(api.Response), true), nil
 	}
-	resp, err := s.runQuery(ctx, p.run)
+	s.inflight.Add(1)
+	resp, err := s.runQuery(ctx, p.eng, p.run)
+	s.inflight.Add(-1)
 	if err != nil {
 		return api.Response{}, err
 	}
 	s.cache.Put(p.key, resp)
+	s.queries.Add(1)
 	return p.finish(resp, false), nil
 }
 
@@ -207,13 +363,13 @@ func (s *Server) execute(ctx context.Context, req api.Request) (api.Response, er
 // server timeout, synchronously on the request goroutine: when the
 // context fires, the simulator unwinds at its next barrier and the query
 // returns - no goroutine keeps burning CPU behind an abandoned request.
-func (s *Server) runQuery(ctx context.Context, req api.Request) (api.Response, error) {
+func (s *Server) runQuery(ctx context.Context, eng *ccsp.Engine, req api.Request) (api.Response, error) {
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
 		defer cancel()
 	}
-	resp, err := s.eng.Query(ctx, req)
+	resp, err := eng.Query(ctx, req)
 	if err != nil {
 		return api.Response{}, err
 	}
@@ -234,8 +390,10 @@ func statusForError(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
-	case errors.Is(err, ccsp.ErrRoundLimit):
+	case errors.Is(err, ccsp.ErrRoundLimit), errors.Is(err, ccsp.ErrUnavailable):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ccsp.ErrUnknownGraph):
+		return http.StatusNotFound
 	case errors.Is(err, ccsp.ErrInvalidSource), errors.Is(err, ccsp.ErrInvalidOption):
 		return http.StatusUnprocessableEntity
 	default:
@@ -258,17 +416,84 @@ func (s *Server) countError(err error) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	writeJSON(w, http.StatusOK, api.Health{
-		Status: "ok",
-		Nodes:  s.eng.Graph().N(),
-		Edges:  s.eng.Graph().M(),
-	})
+	if !s.ready.Load() {
+		// The process is alive but its snapshots are not all in yet;
+		// non-200 keeps naive pollers (and the smoke scripts) waiting on
+		// readiness, while /readyz carries the structured signal.
+		writeJSON(w, http.StatusServiceUnavailable, api.Health{Status: "starting"})
+		return
+	}
+	h := api.Health{Status: "ok", Graphs: s.namedGraphIDs()}
+	if def := s.defaultEntry(); def != nil {
+		h.Nodes = def.eng.Graph().N()
+		h.Edges = def.eng.Graph().M()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleReadyz serves the readiness probe: 200 only once every snapshot
+// is loaded/preprocessed, with the graph IDs this replica holds
+// (including "" for the default graph). The cluster prober routes on
+// exactly this advertisement.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, api.Ready{Ready: false, Graphs: []string{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.Ready{Ready: true, Graphs: s.graphIDs()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	entries, hits, misses := s.cache.Stats()
-	pre := s.eng.PreprocessStats()
+	body := map[string]interface{}{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"ready":          s.ready.Load(),
+		"api": map[string]interface{}{
+			"version":   api.Version,
+			"max_batch": maxBatchRequests,
+		},
+		"requests": map[string]int64{
+			"total":          s.requests.Load(),
+			"errors":         s.errors.Load(),
+			"timeouts":       s.timeouts.Load(),
+			"queries":        s.queries.Load(),
+			"batches":        s.batches.Load(),
+			"batch_requests": s.batchReqs.Load(),
+			"inflight":       s.inflight.Load(),
+		},
+		"cache": map[string]interface{}{
+			"capacity": s.cacheCap,
+			"entries":  entries,
+			"hits":     hits,
+			"misses":   misses,
+		},
+	}
+	// The default graph keeps its historical top-level keys; named graphs
+	// nest under "graphs".
+	if def := s.defaultEntry(); def != nil {
+		g, o, p := engineStats(def)
+		body["graph"], body["options"], body["preprocess"] = g, o, p
+	}
+	if named := s.namedGraphIDs(); len(named) > 0 {
+		graphs := make(map[string]interface{}, len(named))
+		for _, name := range named {
+			entry, err := s.engineFor(name)
+			if err != nil {
+				continue // racing an unregister; nothing does that today
+			}
+			g, o, p := engineStats(entry)
+			graphs[name] = map[string]interface{}{"graph": g, "options": o, "preprocess": p}
+		}
+		body["graphs"] = graphs
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// engineStats renders one engine's graph/options/preprocess stat blocks.
+func engineStats(entry *engineEntry) (graph, options, preprocess map[string]interface{}) {
+	pre := entry.eng.PreprocessStats()
 	builds := make([]map[string]interface{}, 0, len(pre.Builds))
 	for _, b := range pre.Builds {
 		builds = append(builds, map[string]interface{}{
@@ -279,39 +504,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"rounds": b.Stats.TotalRounds,
 		})
 	}
-	gr := s.eng.Graph()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"api": map[string]interface{}{
-			"version":   api.Version,
-			"max_batch": maxBatchRequests,
-		},
-		"requests": map[string]int64{
-			"total":    s.requests.Load(),
-			"errors":   s.errors.Load(),
-			"timeouts": s.timeouts.Load(),
-		},
-		"cache": map[string]interface{}{
-			"capacity": s.cacheCap,
-			"entries":  entries,
-			"hits":     hits,
-			"misses":   misses,
-		},
-		"graph": map[string]interface{}{
-			"nodes":      gr.N(),
-			"edges":      gr.M(),
-			"max_weight": gr.MaxWeight(),
-			"unweighted": s.unweighted,
-		},
-		"options": map[string]interface{}{
-			"epsilon": s.eng.Options().Epsilon,
-			"workers": s.eng.Options().Workers,
-		},
-		"preprocess": map[string]interface{}{
-			"builds":       builds,
-			"total_rounds": pre.Total.TotalRounds,
-		},
-	})
+	gr := entry.eng.Graph()
+	graph = map[string]interface{}{
+		"nodes":      gr.N(),
+		"edges":      gr.M(),
+		"max_weight": gr.MaxWeight(),
+		"unweighted": entry.unweighted,
+	}
+	options = map[string]interface{}{
+		"epsilon": entry.eng.Options().Epsilon,
+		"workers": entry.eng.Options().Workers,
+	}
+	preprocess = map[string]interface{}{
+		"builds":       builds,
+		"total_rounds": pre.Total.TotalRounds,
+	}
+	return graph, options, preprocess
+}
+
+// Vars returns a point-in-time snapshot of the serving counters in
+// expvar's shape; cmd/ccspd publishes it as the "ccspd" expvar so
+// /debug/vars exposes queries served, batch sizes, cache hit rates and
+// in-flight load without a scrape dependency.
+func (s *Server) Vars() interface{} {
+	entries, hits, misses := s.cache.Stats()
+	return map[string]interface{}{
+		"ready":          s.ready.Load(),
+		"graphs":         len(s.graphIDs()),
+		"requests":       s.requests.Load(),
+		"errors":         s.errors.Load(),
+		"timeouts":       s.timeouts.Load(),
+		"queries":        s.queries.Load(),
+		"batches":        s.batches.Load(),
+		"batch_requests": s.batchReqs.Load(),
+		"inflight":       s.inflight.Load(),
+		"cache_entries":  entries,
+		"cache_hits":     hits,
+		"cache_misses":   misses,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

@@ -27,7 +27,10 @@ func (e *Engine) Query(ctx context.Context, req api.Request) (*api.Response, err
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	resp := &api.Response{Kind: req.Kind}
+	// The engine serves exactly one graph; the Graph field is a serving-
+	// layer routing concern, echoed back so merged fan-out responses stay
+	// attributable.
+	resp := &api.Response{Kind: req.Kind, Graph: req.Graph}
 	var stats Stats
 	switch req.Kind {
 	case api.KindSSSP:
@@ -143,6 +146,10 @@ func APIError(err error) *api.Error {
 		code = api.CodeInvalidSource
 	case errors.Is(err, ErrInvalidOption):
 		code = api.CodeInvalidOption
+	case errors.Is(err, ErrUnknownGraph):
+		code = api.CodeUnknownGraph
+	case errors.Is(err, ErrUnavailable):
+		code = api.CodeUnavailable
 	case errors.Is(err, api.ErrMalformed):
 		code = api.CodeMalformed
 	}
