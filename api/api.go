@@ -381,6 +381,10 @@ const (
 	// still loading, or the owning replica is down (HTTP 503). Transient:
 	// retrying later, or against another replica, may succeed.
 	CodeUnavailable ErrorCode = "unavailable"
+	// CodeOverloaded: the daemon shed this request under admission
+	// control - its bounded in-flight limit and wait queue were full
+	// (HTTP 503 with a Retry-After hint). Transient: back off and retry.
+	CodeOverloaded ErrorCode = "overloaded"
 	// CodeInternal: anything the taxonomy does not classify.
 	CodeInternal ErrorCode = "internal"
 )

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,10 +58,11 @@ func WithHTTPClient(hc *http.Client) Option {
 // 502/503 statuses, which a restarting or not-yet-ready daemon emits.
 // A failed attempt retries up to n more times, sleeping base, 2·base,
 // 4·base, ... between attempts (capped at maxBackoff) with up to 50%
-// random jitter added so competing clients decorrelate. Typed query
-// failures (invalid source, round limit, unknown graph, ...) never
-// retry: they are deterministic answers, not transients. Off by
-// default.
+// random jitter added so competing clients decorrelate. A 503 carrying
+// a Retry-After hint (an overloaded daemon shedding load) raises the
+// sleep to at least the hinted duration. Typed query failures (invalid
+// source, round limit, unknown graph, ...) never retry: they are
+// deterministic answers, not transients. Off by default.
 func WithRetry(n int, base time.Duration) Option {
 	return func(c *Client) {
 		if n > 0 {
@@ -234,14 +236,14 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 		return fmt.Errorf("client: encode %s: %w", path, err)
 	}
 	for attempt := 0; ; attempt++ {
-		retryable, err := c.postOnce(ctx, path, payload, out)
+		retryable, retryAfter, err := c.postOnce(ctx, path, payload, out)
 		if err == nil {
 			return nil
 		}
 		if !retryable || attempt >= c.retries || ctx.Err() != nil {
 			return err
 		}
-		if serr := sleepBackoff(ctx, c.retryBase, attempt); serr != nil {
+		if serr := sleepBackoff(ctx, c.retryBase, attempt, retryAfter); serr != nil {
 			return err
 		}
 	}
@@ -249,42 +251,60 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 
 // postOnce runs one round trip. The bool classifies a failure as
 // transient - a transport error, or a 502/503 status (a daemon still
-// loading snapshots, or a proxy whose upstream died) - and therefore
-// eligible for retry; typed query failures are final.
-func (c *Client) postOnce(ctx context.Context, path string, payload []byte, out interface{}) (bool, error) {
+// loading snapshots, shedding under admission control, or a proxy whose
+// upstream died) - and therefore eligible for retry; typed query
+// failures are final. On a retryable status the returned duration
+// carries the server's Retry-After hint (0 when absent).
+func (c *Client) postOnce(ctx context.Context, path string, payload []byte, out interface{}) (bool, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
 	if err != nil {
-		return false, fmt.Errorf("client: %w", err)
+		return false, 0, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		terr := transportError(ctx, err)
-		return errors.Is(terr, ErrTransport), terr
+		return errors.Is(terr, ErrTransport), 0, terr
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
 		terr := transportError(ctx, err)
-		return errors.Is(terr, ErrTransport), terr
+		return errors.Is(terr, ErrTransport), 0, terr
 	}
 	if resp.StatusCode != http.StatusOK {
 		retryable := resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable
-		return retryable, statusError(path, resp.StatusCode, body)
+		return retryable, parseRetryAfter(resp.Header.Get("Retry-After")), statusError(path, resp.StatusCode, body)
 	}
 	if err := json.Unmarshal(body, out); err != nil {
-		return false, fmt.Errorf("client: %s: bad JSON response: %w", path, err)
+		return false, 0, fmt.Errorf("client: %s: bad JSON response: %w", path, err)
 	}
-	return false, nil
+	return false, 0, nil
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After hint (the only
+// form ccspd emits; HTTP-date forms are ignored), capped at maxBackoff.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
 }
 
 // maxBackoff caps one backoff sleep, so a long retry budget degrades
 // into steady polling instead of ever-longer silences.
 const maxBackoff = 5 * time.Second
 
-// sleepBackoff sleeps base·2^attempt plus up to 50% jitter, returning
-// early (with the context's error) if ctx dies first.
-func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
+// backoffDelay computes the pre-jitter sleep before the retry after
+// `attempt`: exponential base·2^attempt capped at maxBackoff, raised to
+// the server's Retry-After floor when one arrived - an overloaded
+// daemon knows its own drain time better than our exponential guess.
+func backoffDelay(base time.Duration, attempt int, floor time.Duration) time.Duration {
 	if base <= 0 {
 		base = defaultRetryBase
 	}
@@ -292,6 +312,20 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) error {
 	if d <= 0 || d > maxBackoff { // <= 0 catches shift overflow
 		d = maxBackoff
 	}
+	if floor > d {
+		d = floor
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
+}
+
+// sleepBackoff sleeps backoffDelay plus up to 50% jitter (so competing
+// clients decorrelate), returning early (with the context's error) if
+// ctx dies first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, floor time.Duration) error {
+	d := backoffDelay(base, attempt, floor)
 	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -350,6 +384,8 @@ func statusError(path string, status int, body []byte) error {
 //	malformed          api.ErrMalformed
 //	unknown_graph      ErrUnknownGraph
 //	unavailable        ErrUnavailable
+//	overloaded         ErrOverloaded (the daemon shed the request under
+//	                   admission control; WithRetry backs off and retries)
 //
 // Unrecognized codes pass through as the *api.Error itself.
 func SentinelError(e *api.Error) error {
@@ -370,6 +406,8 @@ func SentinelError(e *api.Error) error {
 		return fmt.Errorf("%w: %s", ccsp.ErrUnknownGraph, e.Message)
 	case api.CodeUnavailable:
 		return fmt.Errorf("%w: %s", ccsp.ErrUnavailable, e.Message)
+	case api.CodeOverloaded:
+		return fmt.Errorf("%w: %s", ccsp.ErrOverloaded, e.Message)
 	default:
 		return e
 	}

@@ -152,7 +152,7 @@ func (c *Cluster) Query(ctx context.Context, req api.Request) (*api.Response, er
 		if !errors.Is(err, ErrTransport) {
 			return nil, err
 		}
-		c.prober.MarkDown(m)
+		c.failover(m)
 		lastErr = err
 		if ctx.Err() != nil {
 			break
@@ -222,7 +222,7 @@ func (c *Cluster) Batch(ctx context.Context, reqs []api.Request) ([]api.Response
 				case errors.Is(err, ErrTransport) && ctx.Err() == nil:
 					// The replica died mid-batch: down it and re-route its
 					// positions next round.
-					c.prober.MarkDown(m)
+					c.failover(m)
 					mu.Lock()
 					retry = append(retry, idxs...)
 					mu.Unlock()
@@ -359,7 +359,7 @@ func (g *GraphView) Health(ctx context.Context) (*api.Health, error) {
 		if !errors.Is(err, ErrTransport) {
 			return nil, err
 		}
-		g.c.prober.MarkDown(m)
+		g.c.failover(m)
 		lastErr = err
 	}
 	return nil, fmt.Errorf("client: %w: every replica for graph %q failed: %w", ccsp.ErrUnavailable, g.graph, lastErr)

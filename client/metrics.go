@@ -1,0 +1,17 @@
+package client
+
+import "github.com/congestedclique/ccsp/internal/telemetry"
+
+// Cluster routing telemetry, recorded into the process-global registry
+// (a ccspd daemon does not serve these - they live in whatever process
+// hosts the routing client, e.g. ccload or an application embedding
+// Cluster; expose them with telemetry.Handler(telemetry.Default)).
+var metFailovers = telemetry.Default.Counter("ccsp_cluster_failovers_total",
+	"Data-path failovers: a replica's transport failure re-routed work to the next ring candidate.")
+
+// failover records one data-path failover: the caller marked a replica
+// down after a transport failure and is moving on along the ring.
+func (c *Cluster) failover(member string) {
+	c.prober.MarkDown(member)
+	metFailovers.Inc()
+}

@@ -109,6 +109,104 @@ func TestRetryTransportFailure(t *testing.T) {
 	}
 }
 
+// TestBackoffDelay pins the sleep-selection table: exponential growth,
+// the maxBackoff cap, and the Retry-After floor an overloaded daemon
+// imposes on it.
+func TestBackoffDelay(t *testing.T) {
+	for name, tc := range map[string]struct {
+		base    time.Duration
+		attempt int
+		floor   time.Duration
+		want    time.Duration
+	}{
+		"exponential":        {100 * time.Millisecond, 2, 0, 400 * time.Millisecond},
+		"capped":             {time.Second, 10, 0, maxBackoff},
+		"overflow":           {time.Second, 62, 0, maxBackoff},
+		"floor-raises":       {time.Millisecond, 0, time.Second, time.Second},
+		"floor-ignored":      {4 * time.Second, 1, time.Second, maxBackoff},
+		"floor-capped":       {time.Millisecond, 0, time.Minute, maxBackoff},
+		"zero-base-defaults": {0, 0, 0, defaultRetryBase},
+	} {
+		if got := backoffDelay(tc.base, tc.attempt, tc.floor); got != tc.want {
+			t.Errorf("%s: backoffDelay(%v, %d, %v) = %v, want %v",
+				name, tc.base, tc.attempt, tc.floor, got, tc.want)
+		}
+	}
+}
+
+// TestParseRetryAfter: integer seconds parse (capped), everything else
+// degrades to "no hint".
+func TestParseRetryAfter(t *testing.T) {
+	for h, want := range map[string]time.Duration{
+		"1":                             time.Second,
+		" 2 ":                           2 * time.Second,
+		"9999":                          maxBackoff,
+		"0":                             0,
+		"-3":                            0,
+		"":                              0,
+		"bogus":                         0,
+		"1.5":                           0,
+		"Thu, 01 Jan 2026 00:00:00 GMT": 0,
+	} {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+// TestRetryHonorsRetryAfter is the end-to-end timing half: a 503 with
+// Retry-After: 1 must hold the retry back for at least a second even
+// though the configured base is a millisecond.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"shed"}}`)) //nolint:errcheck
+			return
+		}
+		okDiameter().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, WithRetry(1, time.Millisecond))
+	start := time.Now()
+	if _, err := c.Diameter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, want >= the 1s Retry-After hint", elapsed)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("sent %d requests, want 2", got)
+	}
+}
+
+// TestRetryOverloadedExhaustion: a daemon that sheds every attempt
+// surfaces ErrOverloaded (typed, dispatchable) once the budget runs out
+// - and the shed 503 counts as retryable in the first place.
+func TestRetryOverloadedExhaustion(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"overloaded","message":"shed"}}`)) //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, WithRetry(2, time.Millisecond))
+	_, err := c.Diameter(context.Background())
+	if !errors.Is(err, ccsp.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("sent %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
 // TestRetryHonorsContext: a dead context stops the backoff loop
 // promptly instead of sleeping through the remaining budget (50
 // retries x 50ms would be seconds).

@@ -36,7 +36,18 @@
 // GET endpoints (/v1/sssp, /v1/mssp, /v1/distance, /v1/diameter) remain
 // as deprecated byte-identical shims. Distances are -1 for unreachable
 // pairs. The client package (and cmd/ccsp -server) speaks the POST
-// plane. SIGINT/SIGTERM during startup aborts a build in
+// plane. GET /metrics exposes every serving and engine counter in
+// Prometheus text format.
+//
+// Admission control bounds concurrent query execution: -max-inflight
+// slots (default 4×GOMAXPROCS) plus a short -max-queue wait line.
+// Requests beyond both shed immediately with a typed 503 "overloaded"
+// error and a Retry-After hint; cache hits and health probes bypass
+// admission entirely, so /healthz stays green under overload.
+//
+// -debug-addr starts a second listener (keep it loopback-only) with
+// pprof profiles, expvar, and the same /metrics page - profiling stays
+// off the public port. SIGINT/SIGTERM during startup aborts a build in
 // flight at its next simulator barrier (a partial -save snapshot is never
 // left behind: the write is temp-file + rename, and an interrupted build
 // never reaches it); during serving it drains in-flight requests, then
@@ -110,6 +121,9 @@ func run() error {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request query timeout (0 = none)")
 		cacheSize = flag.Int("cache", 128, "response cache capacity in entries (negative = disabled)")
 		execMode  = flag.String("exec", "simulated", "execution mode: simulated (round accounting) | direct (kernel, identical answers, fast startup; ignored with -load)")
+		maxInFl   = flag.Int("max-inflight", 0, "admission control: max queries executing concurrently (0 = 4×GOMAXPROCS, negative = unlimited)")
+		maxQueue  = flag.Int("max-queue", 0, "admission control: max queries waiting for an execution slot (0 = same as -max-inflight, negative = no queue)")
+		debugAddr = flag.String("debug-addr", "", "optional separate listener for pprof + expvar + /metrics (e.g. 127.0.0.1:6060); off when empty")
 	)
 	flag.Var(&loads, "load", "snapshot to restore: PATH for the default graph, or NAME=PATH for a named graph (repeatable)")
 	flag.Parse()
@@ -137,11 +151,35 @@ func run() error {
 	// (healthz/readyz answer 503 "starting") while snapshots restore and
 	// builds run, so cluster membership sees alive-but-loading instead
 	// of connection-refused.
-	srv, err := server.New(server.Config{Deferred: true, Timeout: *timeout, CacheSize: *cacheSize})
+	srv, err := server.New(server.Config{
+		Deferred:    true,
+		Timeout:     *timeout,
+		CacheSize:   *cacheSize,
+		MaxInFlight: *maxInFl,
+		MaxQueue:    *maxQueue,
+	})
 	if err != nil {
 		return err
 	}
 	expvar.Publish("ccspd", expvar.Func(srv.Vars))
+
+	// Opt-in debug listener: pprof profiles, expvar, and the same
+	// /metrics page as the serving port. A separate listener (typically
+	// loopback-only) keeps profiling endpoints off the public port.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbgSrv := &http.Server{Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbgSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("ccspd: debug listener: %v", err)
+			}
+		}()
+		defer dbgSrv.Close() //nolint:errcheck
+		log.Printf("ccspd: debug endpoints (pprof, expvar, metrics) on %s", dln.Addr())
+	}
 
 	// Request contexts derive from serveCtx: if the drain window below
 	// expires with queries still running, canceling it stops them at

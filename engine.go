@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/congestedclique/ccsp/internal/apsp"
 	"github.com/congestedclique/ccsp/internal/cc"
@@ -193,6 +194,7 @@ func (e *Engine) artifact(ctx context.Context, key artifactKey) (*artifactEntry,
 		e.pre.mu.Lock()
 		if ent, ok := e.pre.arts[key]; ok {
 			e.pre.mu.Unlock()
+			metArtifactHits.Inc()
 			return ent, nil
 		}
 		call, inflight := e.pre.inflight[key]
@@ -226,12 +228,14 @@ func (e *Engine) build(ctx context.Context, key artifactKey, call *buildCall) {
 	// build hands waiters a retryable failure, and the panic itself still
 	// propagates on the builder's goroutine.
 	call.err = fmt.Errorf("ccsp: preprocess (%s): build aborted by panic", key.variant)
+	start := time.Now()
 	defer func() {
 		e.pre.mu.Lock()
 		delete(e.pre.inflight, key)
 		if call.err == nil {
 			e.pre.arts[key] = call.ent
 			e.pre.order = append(e.pre.order, key)
+			e.observeBuild(start)
 		}
 		e.pre.mu.Unlock()
 		close(call.done)

@@ -48,6 +48,13 @@ var (
 	// loading, or - cluster-side - every replica that could own the graph
 	// is down. Maps to HTTP 503 / api.CodeUnavailable.
 	ErrUnavailable = errors.New("ccsp: unavailable")
+	// ErrOverloaded is wrapped when the serving daemon sheds a query
+	// under admission control: its bounded in-flight limit and wait
+	// queue are both full, so the request was rejected instead of piling
+	// onto an already-saturated engine. Transient by definition - the
+	// HTTP layer answers 503 with a Retry-After hint, and the client's
+	// WithRetry honors it. Maps to api.CodeOverloaded.
+	ErrOverloaded = errors.New("ccsp: overloaded")
 )
 
 // wrapRun translates a simulator-run error into the public error taxonomy,

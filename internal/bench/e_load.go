@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"github.com/congestedclique/ccsp"
+	"github.com/congestedclique/ccsp/api"
+	"github.com/congestedclique/ccsp/client"
+	"github.com/congestedclique/ccsp/internal/graphgen"
+	"github.com/congestedclique/ccsp/internal/loadgen"
+	"github.com/congestedclique/ccsp/internal/server"
+)
+
+func init() {
+	register(Experiment{ID: "E19", Title: "Serving under load: throughput, tail latency and admission-control shedding", Run: e19})
+}
+
+// e19 measures the serving tier from the outside with the loadgen
+// harness, in-process against httptest daemons.
+//
+// Rows:
+//
+//  1. "direct closed": a warm direct-mode daemon driven closed-loop -
+//     the headline throughput of the fast query path.
+//  2. "sim closed (saturation)": the same graph behind a simulated-mode
+//     engine, closed-loop at the admission limit - each query costs
+//     real engine work for tens of milliseconds, so this row IS the
+//     daemon's capacity, robust to how many cores the harness shares.
+//  3. "sim overload 2x": that daemon rebuilt with MaxInFlight equal to
+//     row 2's concurrency and no wait queue, offered ~2x row 2's
+//     measured throughput open-loop. The claim under test is the PR's:
+//     admitted requests ("ok") hold a tail comparable to row 2 and the
+//     excess sheds as fast typed 503s ("shed") instead of queueing
+//     into latency collapse.
+//  4. "cluster closed": three replicas behind consistent-hash routing
+//     over three named graphs - the PR 8 serving tier under the same
+//     workload shape.
+func e19(c Config) (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "Serving under load - loadgen throughput, tails and shedding",
+		Columns: loadgen.BenchColumns(),
+	}
+	n := sizes(c.Scale, []int{64}, []int{128})[0]
+	dur := 800 * time.Millisecond
+	if c.Scale == Full {
+		dur = 5 * time.Second
+	}
+	// The saturation/overload pair runs the simulated engine, whose
+	// queries cost tens of milliseconds - slow enough that capacity is
+	// set by the admission limit rather than by how many cores this
+	// harness shares with its own daemons. Smaller graph and a longer
+	// window keep the op counts statistically useful.
+	nsim := sizes(c.Scale, []int{32}, []int{64})[0]
+	simDur := 2 * time.Second
+	if c.Scale == Full {
+		simDur = 8 * time.Second
+	}
+	ctx := context.Background()
+
+	g := graphgen.Connected(n, 3*n, graphgen.Weights{Max: 10}, int64(n)+23)
+	gr, err := toPublic(g)
+	if err != nil {
+		return nil, err
+	}
+	direct, err := ccsp.NewEngine(ctx, gr,
+		ccsp.Options{Epsilon: 0.5, Workers: c.Workers, Execution: ccsp.ExecDirect})
+	if err != nil {
+		return nil, err
+	}
+	gs := graphgen.Connected(nsim, nsim, graphgen.Weights{Max: 10}, int64(nsim)+23)
+	grs, err := toPublic(gs)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := ccsp.NewEngine(ctx, grs,
+		ccsp.Options{Epsilon: 0.5, Workers: c.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	// Uncacheable kind-diverse traffic, MSSP-heavy so every request
+	// does real engine work (caches disabled: the rows measure the
+	// query path, not the LRU).
+	mix := map[api.Kind]int{api.KindMSSP: 6, api.KindDistance: 3, api.KindSSSP: 1}
+	load := func(target loadgen.Target, graphs []string, qps float64, conc, nodes int, d time.Duration) (*loadgen.Report, error) {
+		return loadgen.Run(ctx, target, loadgen.Config{
+			Mix: mix, Graphs: graphs, Nodes: nodes, Duration: d,
+			Concurrency: conc, QPS: qps, Seed: 19,
+		})
+	}
+	// one daemon per row: build, drive, tear down.
+	daemon := func(cfg server.Config, qps float64, conc, nodes int, d time.Duration) (*loadgen.Report, error) {
+		cfg.CacheSize = -1
+		srv, err := server.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		return load(client.New(ts.URL), nil, qps, conc, nodes, d)
+	}
+
+	const lim = 4
+
+	headline, err := daemon(server.Config{Engine: direct, MaxInFlight: -1}, 0, lim, n, dur)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, headline.BenchRow(fmt.Sprintf("direct closed c=%d", lim)))
+
+	saturation, err := daemon(server.Config{Engine: sim, MaxInFlight: -1}, 0, lim, nsim, simDur)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, saturation.BenchRow(fmt.Sprintf("sim closed c=%d (saturation)", lim)))
+
+	overload, err := daemon(server.Config{Engine: sim, MaxInFlight: lim, MaxQueue: -1},
+		2*saturation.QPS, 4*lim, nsim, simDur)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, overload.BenchRow("sim overload 2x sat"))
+
+	// Cluster row: three replicas, three named graphs, ring routing.
+	members := make([]string, 3)
+	servers := make([]*httptest.Server, 3)
+	graphIDs := []string{"g0", "g1", "g2"}
+	for i := range members {
+		rs, err := server.New(server.Config{Deferred: true, CacheSize: -1})
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range graphIDs {
+			if err := rs.AddGraph(id, direct); err != nil {
+				return nil, err
+			}
+		}
+		rs.SetReady()
+		servers[i] = httptest.NewServer(rs.Handler())
+		members[i] = servers[i].URL
+	}
+	cl := client.NewCluster(members)
+	cl.Refresh(ctx)
+	cluster, err := load(cl, graphIDs, 0, lim, n, dur)
+	cl.Close()
+	for _, s := range servers {
+		s.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, cluster.BenchRow("cluster 3 replicas closed"))
+
+	t.Note("Direct rows n=%d, simulated rows n=%d; caches disabled, mix mssp=6,distance=3,sssp=1 uniform, in-process httptest daemons. The overload row rebuilds the simulated-mode daemon with MaxInFlight=%d and no wait queue, then offers ~2x the saturation row's measured throughput open-loop: \"ok\" counts admitted requests (whose p99 is the tail-holding claim, compare against the saturation row) and \"shed\" counts typed overloaded 503s returned without executing.", n, nsim, lim)
+	shed := overload.ErrorsByCode[string(api.CodeOverloaded)]
+	t.Note("Overload row offered %.0f QPS against measured capacity ~%.0f: %d admitted, %d shed typed, %d other errors.",
+		2*saturation.QPS, saturation.QPS, overload.OK, shed, overload.Errors()-shed)
+	return t, nil
+}

@@ -166,10 +166,14 @@ func (p *Prober) apply(member string, st Status, err error) {
 	if err != nil || !st.Ready {
 		ms.fails++
 		ms.lastErr = err
-		if ms.fails >= p.cfg.Threshold {
+		if ms.fails >= p.cfg.Threshold && ms.alive {
 			ms.alive = false
+			markTransition(member, false)
 		}
 		return
+	}
+	if !ms.alive {
+		markTransition(member, true)
 	}
 	ms.alive = true
 	ms.fails = 0
@@ -189,6 +193,9 @@ func (p *Prober) MarkDown(member string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if ms, ok := p.members[member]; ok {
+		if ms.alive {
+			markTransition(member, false)
+		}
 		ms.alive = false
 		ms.fails = p.cfg.Threshold
 	}

@@ -1,0 +1,18 @@
+package cluster
+
+import "github.com/congestedclique/ccsp/internal/telemetry"
+
+// markTransition records one liveness flip in the process-global
+// registry, labeled by member and direction ("up"/"down"). Flips are
+// rare (a healthy cluster's counter stands still), so the registry's
+// get-or-create lookup on this cold path is fine; the member label set
+// is bounded by the fixed replica set.
+func markTransition(member string, alive bool) {
+	direction := "down"
+	if alive {
+		direction = "up"
+	}
+	telemetry.Default.Counter("ccsp_cluster_member_transitions_total",
+		"Replica liveness transitions observed by the health prober, by member and direction.",
+		telemetry.L("member", member), telemetry.L("direction", direction)).Inc()
+}

@@ -112,20 +112,20 @@ func (s *Server) handleDiameter(w http.ResponseWriter, r *http.Request) {
 // get the operator-friendly rewrites, everything else passes through.
 func (s *Server) serveLegacy(w http.ResponseWriter, r *http.Request,
 	prepare func() (api.Request, error), convert func(api.Response) interface{}) {
-	s.requests.Add(1)
 	if r.Method != http.MethodGet {
-		s.errors.Add(1)
+		s.errors.Inc()
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	req, err := prepare()
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 		writeError(w, statusForError(err), err)
 		return
 	}
 	resp, err := s.execute(r.Context(), req)
 	if err != nil {
+		setRetryAfter(w, err)
 		code := s.countError(err)
 		switch code {
 		case http.StatusGatewayTimeout:

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint exercises the serving surface and asserts the
+// Prometheus page reflects it: request counters by endpoint and class,
+// latency histograms, cache and admission families, all under the
+// exposition content type.
+func TestMetricsEndpoint(t *testing.T) {
+	_, eng := testEngine(t, 12)
+	s, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// One success, one repeat (cache hit), one typed failure.
+	for i := 0; i < 2; i++ {
+		r := postQuery(t, ts.URL, 3)
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, r.StatusCode)
+		}
+	}
+	bad := postQuery(t, ts.URL, 999)
+	io.Copy(io.Discard, bad.Body) //nolint:errcheck
+	bad.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q, want the 0.0.4 exposition type", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	for _, want := range []string{
+		"# TYPE ccspd_requests_total counter",
+		"# TYPE ccspd_http_requests_total counter",
+		`ccspd_http_requests_total{endpoint="query",class="2xx"} 2`,
+		`ccspd_http_requests_total{endpoint="query",class="4xx"} 1`,
+		"# TYPE ccspd_http_request_seconds histogram",
+		`ccspd_http_request_seconds_count{endpoint="query"} 3`,
+		"ccspd_cache_hits_total 1",
+		"ccspd_cache_misses_total 2",
+		"ccspd_ready 1",
+		"ccspd_graphs 1",
+		"# TYPE ccspd_inflight gauge",
+		"ccspd_shed_total 0",
+		"# TYPE ccspd_admission_limit gauge",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+}
+
+// TestVarsKeysStable pins the expvar snapshot's historical keys: the
+// PR 8 surface must survive the move onto the telemetry registry
+// (additions are fine, removals and renames are not).
+func TestVarsKeysStable(t *testing.T) {
+	_, eng := testEngine(t, 10)
+	s, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, ok := s.Vars().(map[string]interface{})
+	if !ok {
+		t.Fatalf("Vars() is %T, want a map", s.Vars())
+	}
+	for _, key := range []string{
+		"ready", "graphs", "requests", "errors", "timeouts", "queries",
+		"batches", "batch_requests", "inflight",
+		"cache_entries", "cache_hits", "cache_misses",
+	} {
+		if _, present := vars[key]; !present {
+			t.Errorf("Vars() lost historical key %q", key)
+		}
+	}
+}
+
+// TestDebugHandler: the opt-in debug mux serves pprof, expvar and the
+// metrics page; none of these ride on the public Handler's pprof paths.
+func TestDebugHandler(t *testing.T) {
+	_, eng := testEngine(t, 10)
+	s, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.DebugHandler())
+	t.Cleanup(ts.Close)
+
+	for path, wantInBody := range map[string]string{
+		"/debug/pprof/":        "profiles",
+		"/debug/pprof/cmdline": "",
+		"/debug/vars":          "cmdline",
+		"/metrics":             "ccspd_requests_total",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+			continue
+		}
+		if wantInBody != "" && !strings.Contains(string(body), wantInBody) {
+			t.Errorf("GET %s: body missing %q", path, wantInBody)
+		}
+	}
+
+	// The public handler must NOT serve pprof profiles.
+	pub := httptest.NewServer(s.Handler())
+	t.Cleanup(pub.Close)
+	resp, err := http.Get(pub.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("public handler serves /debug/pprof/; profiling must stay on the debug listener")
+	}
+}

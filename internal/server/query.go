@@ -39,21 +39,21 @@ func writeAPIError(w http.ResponseWriter, code int, kind api.Kind, apiErr *api.E
 // (a distance request shares the single-source MSSP cache entry, an auto
 // APSP variant resolves before keying).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodPost {
-		s.errors.Add(1)
+		s.errors.Inc()
 		writeAPIError(w, http.StatusMethodNotAllowed, "",
 			&api.Error{Code: api.CodeMalformed, Message: "use POST"})
 		return
 	}
 	req, err := api.DecodeRequest(http.MaxBytesReader(w, r.Body, maxQueryBytes))
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 		writeAPIError(w, statusForError(err), req.Kind, ccsp.APIError(err))
 		return
 	}
 	resp, err := s.execute(r.Context(), req)
 	if err != nil {
+		setRetryAfter(w, err)
 		writeAPIError(w, s.countError(err), req.Kind, ccsp.APIError(err))
 		return
 	}
@@ -72,34 +72,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // engine run each, and completed runs refill the cache for the next
 // request - so a hot batch converges to zero simulator runs.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if r.Method != http.MethodPost {
-		s.errors.Add(1)
+		s.errors.Inc()
 		writeAPIError(w, http.StatusMethodNotAllowed, "",
 			&api.Error{Code: api.CodeMalformed, Message: "use POST"})
 		return
 	}
 	br, err := api.DecodeBatchRequest(http.MaxBytesReader(w, r.Body, maxBatchBytes))
 	if err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 		writeAPIError(w, statusForError(err), "", ccsp.APIError(err))
 		return
 	}
 	if len(br.Requests) == 0 {
-		s.errors.Add(1)
+		s.errors.Inc()
 		writeAPIError(w, http.StatusBadRequest, "",
 			&api.Error{Code: api.CodeMalformed, Message: "empty batch"})
 		return
 	}
 	if len(br.Requests) > maxBatchRequests {
-		s.errors.Add(1)
+		s.errors.Inc()
 		writeAPIError(w, http.StatusBadRequest, "",
 			&api.Error{Code: api.CodeMalformed,
 				Message: fmt.Sprintf("batch of %d requests exceeds the %d-request limit", len(br.Requests), maxBatchRequests)})
 		return
 	}
 
-	s.batches.Add(1)
+	s.batches.Inc()
 	s.batchReqs.Add(int64(len(br.Requests)))
 
 	resps := make([]api.Response, len(br.Requests))
@@ -128,7 +127,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if v, ok := s.cache.Get(p.key); ok {
-			s.queries.Add(1)
+			s.queries.Inc()
 			resps[i] = p.finish(v.(api.Response), true)
 			continue
 		}
@@ -161,7 +160,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, s.timeout)
 			defer cancel()
 		}
-		s.inflight.Add(1)
+		// The whole batch takes one admission slot: its engine runs
+		// execute sequentially, so it occupies one engine's worth of CPU
+		// regardless of how many positions it carries.
+		release, err := s.admit(ctx)
+		if err != nil {
+			setRetryAfter(w, err)
+			writeAPIError(w, s.countError(err), "", ccsp.APIError(err))
+			return
+		}
+		s.batchRuns.Add(int64(len(order)))
 		for _, eng := range engines {
 			keys := keysByEngine[eng]
 			runs := make([]api.Request, len(keys))
@@ -171,21 +179,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out, err := eng.Batch(ctx, runs)
 			if err != nil {
 				// Only "the batch never ran" (context dead on entry) lands here.
-				s.inflight.Add(-1)
+				release()
 				writeAPIError(w, s.countError(err), "", ccsp.APIError(err))
 				return
 			}
 			for j, key := range keys {
 				if out[j].Error == nil {
 					s.cache.Put(key, out[j])
-					s.queries.Add(1)
+					s.queries.Inc()
 				}
 				for _, m := range misses[key].members {
 					resps[m.idx] = m.p.finish(out[j], false)
 				}
 			}
 		}
-		s.inflight.Add(-1)
+		release()
 	}
 	// Per-position failures return inside a 200, but they still feed the
 	// serving stats: a batch workload going bad must show up in
@@ -195,9 +203,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if resp.Error.Code == api.CodeDeadline {
-			s.timeouts.Add(1)
+			s.timeouts.Inc()
 		} else {
-			s.errors.Add(1)
+			s.errors.Inc()
 		}
 	}
 	writeJSON(w, http.StatusOK, api.BatchResponse{Responses: resps})

@@ -28,6 +28,7 @@
 //	                  every snapshot is loaded/preprocessed (the cluster
 //	                  prober consumes this)
 //	GET  /v1/stats    server, cache, graph and preprocessing stats
+//	GET  /metrics     Prometheus text exposition (internal/telemetry)
 //	GET  /debug/vars  expvar counters (queries, batches, cache, in-flight)
 //
 // Deprecated query-string shims, kept byte-identical for old clients
@@ -42,13 +43,18 @@
 // Every query runs under the request context (plus the per-request
 // Config.Timeout): a fired deadline or a dropped client connection stops
 // the underlying simulation at its next barrier - the CPU-bound run
-// actually halts, it is not abandoned to burn in the background. Errors
-// map to statuses through the ccsp typed-error taxonomy:
+// actually halts, it is not abandoned to burn in the background.
+// Engine-bound work additionally passes admission control (a bounded
+// in-flight limit plus a short wait queue, see admission.go): a
+// saturated daemon sheds the excess with fast typed 503s instead of
+// letting every request's latency collapse together. Errors map to
+// statuses through the ccsp typed-error taxonomy:
 //
 //	context.DeadlineExceeded   504 Gateway Timeout
 //	context.Canceled           499 (client closed request)
 //	ccsp.ErrRoundLimit         503 Service Unavailable
 //	ccsp.ErrUnavailable        503 Service Unavailable (still loading)
+//	ccsp.ErrOverloaded         503 Service Unavailable + Retry-After (shed)
 //	ccsp.ErrUnknownGraph       404 Not Found
 //	ccsp.ErrInvalidSource      422 Unprocessable Entity
 //	ccsp.ErrInvalidOption      422 Unprocessable Entity
@@ -70,6 +76,7 @@ import (
 
 	"github.com/congestedclique/ccsp"
 	"github.com/congestedclique/ccsp/api"
+	"github.com/congestedclique/ccsp/internal/telemetry"
 )
 
 // Config configures a Server.
@@ -93,6 +100,21 @@ type Config struct {
 	// CacheSize is the LRU capacity in responses; 0 picks the default
 	// (128), negative disables caching.
 	CacheSize int
+	// MaxInFlight bounds queries executing on the engines concurrently
+	// (admission control); 0 picks the default (4 × GOMAXPROCS),
+	// negative disables admission control entirely. Cache hits are
+	// always admitted: the bound protects simulator and kernel work,
+	// not the LRU.
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot beyond
+	// MaxInFlight; a query arriving with the queue full is shed
+	// immediately with a typed 503 (api.CodeOverloaded + Retry-After).
+	// 0 picks the default (= the resolved MaxInFlight); negative
+	// disables queueing, so full slots shed instantly.
+	MaxQueue int
+	// QueueWait bounds how long a queued query waits for an execution
+	// slot before being shed; 0 picks the default (1s).
+	QueueWait time.Duration
 }
 
 // engineEntry is one registered graph: its engine plus the per-graph
@@ -112,14 +134,21 @@ type Server struct {
 	cache    *lru
 	cacheCap int
 	start    time.Time
+	adm      *admission // nil = admission control disabled
 
-	requests  atomic.Int64 // every HTTP request hitting a handler
-	errors    atomic.Int64 // failed queries (non-timeout)
-	timeouts  atomic.Int64 // queries killed by the server timeout
-	queries   atomic.Int64 // successfully answered query positions
-	batches   atomic.Int64 // /v1/batch bodies served
-	batchReqs atomic.Int64 // total positions across those bodies
-	inflight  atomic.Int64 // queries/batches currently executing
+	// Serving metrics, owned by the per-server telemetry registry (see
+	// metrics.go); Vars and /v1/stats read through the same values, so
+	// the expvar and Prometheus views can never drift.
+	reg       *telemetry.Registry
+	requests  *telemetry.Counter // every HTTP request hitting a handler
+	errors    *telemetry.Counter // failed queries (non-timeout)
+	timeouts  *telemetry.Counter // queries killed by the server timeout
+	queries   *telemetry.Counter // successfully answered query positions
+	batches   *telemetry.Counter // /v1/batch bodies served
+	batchReqs *telemetry.Counter // total positions across those bodies
+	batchRuns *telemetry.Counter // deduped engine runs those positions cost
+	shed      *telemetry.Counter // queries rejected by admission control
+	inflight  *telemetry.Gauge   // queries/batches currently executing
 }
 
 // New returns a Server over the configured engines.
@@ -137,7 +166,9 @@ func New(cfg Config) (*Server, error) {
 		cache:    newLRU(size),
 		cacheCap: size,
 		start:    time.Now(),
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 	}
+	s.initMetrics()
 	if cfg.Engine != nil {
 		s.addEntry("", cfg.Engine)
 	}
@@ -235,22 +266,29 @@ func (s *Server) defaultEntry() *engineEntry {
 	return s.engines[""]
 }
 
-// Handler returns the HTTP handler serving all endpoints.
+// Handler returns the HTTP handler serving all endpoints. Serving
+// endpoints run under the instrumentation middleware (per-endpoint
+// status-class counters and latency histograms, see metrics.go); the
+// metrics and expvar pages themselves are served bare so scrapes never
+// pollute the request metrics they read.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/v1/query", s.handleQuery)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
+	mux.Handle("/v1/query", s.instrument("query", s.handleQuery))
+	mux.Handle("/v1/batch", s.instrument("batch", s.handleBatch))
+	mux.Handle("/v1/stats", s.instrument("stats", s.handleStats))
+	// Prometheus text exposition: this server's registry plus the
+	// process-global one (engine and cluster metrics).
+	mux.Handle("/metrics", s.metricsHandler())
 	// expvar counters (see Vars); the handler serves the process-global
 	// registry, cmd/ccspd publishes this server's snapshot into it.
 	mux.Handle("/debug/vars", expvar.Handler())
 	// Deprecated query-string shims (see legacy.go).
-	mux.HandleFunc("/v1/sssp", s.handleSSSP)
-	mux.HandleFunc("/v1/mssp", s.handleMSSP)
-	mux.HandleFunc("/v1/distance", s.handleDistance)
-	mux.HandleFunc("/v1/diameter", s.handleDiameter)
+	mux.Handle("/v1/sssp", s.instrument("sssp", s.handleSSSP))
+	mux.Handle("/v1/mssp", s.instrument("mssp", s.handleMSSP))
+	mux.Handle("/v1/distance", s.instrument("distance", s.handleDistance))
+	mux.Handle("/v1/diameter", s.instrument("diameter", s.handleDiameter))
 	return mux
 }
 
@@ -345,17 +383,22 @@ func (s *Server) execute(ctx context.Context, req api.Request) (api.Response, er
 		return api.Response{}, err
 	}
 	if v, ok := s.cache.Get(p.key); ok {
-		s.queries.Add(1)
+		s.queries.Inc()
 		return p.finish(v.(api.Response), true), nil
 	}
-	s.inflight.Add(1)
+	// Engine-bound work passes admission control: a saturated daemon
+	// sheds here with a fast typed 503 instead of queueing unboundedly.
+	release, err := s.admit(ctx)
+	if err != nil {
+		return api.Response{}, err
+	}
 	resp, err := s.runQuery(ctx, p.eng, p.run)
-	s.inflight.Add(-1)
+	release()
 	if err != nil {
 		return api.Response{}, err
 	}
 	s.cache.Put(p.key, resp)
-	s.queries.Add(1)
+	s.queries.Inc()
 	return p.finish(resp, false), nil
 }
 
@@ -390,7 +433,8 @@ func statusForError(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
-	case errors.Is(err, ccsp.ErrRoundLimit), errors.Is(err, ccsp.ErrUnavailable):
+	case errors.Is(err, ccsp.ErrRoundLimit), errors.Is(err, ccsp.ErrUnavailable),
+		errors.Is(err, ccsp.ErrOverloaded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ccsp.ErrUnknownGraph):
 		return http.StatusNotFound
@@ -407,15 +451,23 @@ func statusForError(err error) int {
 func (s *Server) countError(err error) int {
 	code := statusForError(err)
 	if code == http.StatusGatewayTimeout {
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 	} else {
-		s.errors.Add(1)
+		s.errors.Inc()
 	}
 	return code
 }
 
+// setRetryAfter attaches the Retry-After hint to a response about to
+// report an admission-control shed; callers must invoke it before the
+// status line is written.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	if errors.Is(err, ccsp.ErrOverloaded) {
+		w.Header().Set("Retry-After", retryAfterHint)
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if !s.ready.Load() {
 		// The process is alive but its snapshots are not all in yet;
 		// non-200 keeps naive pollers (and the smoke scripts) waiting on
@@ -436,7 +488,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // (including "" for the default graph). The cluster prober routes on
 // exactly this advertisement.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, api.Ready{Ready: false, Graphs: []string{}})
 		return
@@ -445,7 +496,6 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
 	entries, hits, misses := s.cache.Stats()
 	body := map[string]interface{}{
 		"uptime_seconds": time.Since(s.start).Seconds(),
@@ -455,13 +505,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"max_batch": maxBatchRequests,
 		},
 		"requests": map[string]int64{
-			"total":          s.requests.Load(),
-			"errors":         s.errors.Load(),
-			"timeouts":       s.timeouts.Load(),
-			"queries":        s.queries.Load(),
-			"batches":        s.batches.Load(),
-			"batch_requests": s.batchReqs.Load(),
-			"inflight":       s.inflight.Load(),
+			"total":             s.requests.Value(),
+			"errors":            s.errors.Value(),
+			"timeouts":          s.timeouts.Value(),
+			"queries":           s.queries.Value(),
+			"batches":           s.batches.Value(),
+			"batch_requests":    s.batchReqs.Value(),
+			"batch_engine_runs": s.batchRuns.Value(),
+			"shed":              s.shed.Value(),
+			"inflight":          s.inflight.Value(),
 		},
 		"cache": map[string]interface{}{
 			"capacity": s.cacheCap,
@@ -469,6 +521,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"hits":     hits,
 			"misses":   misses,
 		},
+	}
+	if s.adm != nil {
+		body["admission"] = map[string]interface{}{
+			"max_inflight":       cap(s.adm.slots),
+			"max_queue":          cap(s.adm.queued),
+			"queue_wait_seconds": s.adm.wait.Seconds(),
+			"peak_inflight":      s.adm.peak.Load(),
+			"shed":               s.shed.Value(),
+		}
 	}
 	// The default graph keeps its historical top-level keys; named graphs
 	// nest under "graphs".
@@ -525,19 +586,23 @@ func engineStats(entry *engineEntry) (graph, options, preprocess map[string]inte
 // Vars returns a point-in-time snapshot of the serving counters in
 // expvar's shape; cmd/ccspd publishes it as the "ccspd" expvar so
 // /debug/vars exposes queries served, batch sizes, cache hit rates and
-// in-flight load without a scrape dependency.
+// in-flight load without a scrape dependency. It reads through the
+// same telemetry metrics /metrics renders - one source of truth, two
+// views - and its historical keys are a compatibility surface: they
+// only ever gain siblings, never change.
 func (s *Server) Vars() interface{} {
 	entries, hits, misses := s.cache.Stats()
 	return map[string]interface{}{
 		"ready":          s.ready.Load(),
 		"graphs":         len(s.graphIDs()),
-		"requests":       s.requests.Load(),
-		"errors":         s.errors.Load(),
-		"timeouts":       s.timeouts.Load(),
-		"queries":        s.queries.Load(),
-		"batches":        s.batches.Load(),
-		"batch_requests": s.batchReqs.Load(),
-		"inflight":       s.inflight.Load(),
+		"requests":       s.requests.Value(),
+		"errors":         s.errors.Value(),
+		"timeouts":       s.timeouts.Value(),
+		"queries":        s.queries.Value(),
+		"batches":        s.batches.Value(),
+		"batch_requests": s.batchReqs.Value(),
+		"shed":           s.shed.Value(),
+		"inflight":       s.inflight.Value(),
 		"cache_entries":  entries,
 		"cache_hits":     hits,
 		"cache_misses":   misses,

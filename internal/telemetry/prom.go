@@ -1,0 +1,129 @@
+// Prometheus text exposition rendering (version 0.0.4 of the format:
+// the plain-text lines every Prometheus-compatible scraper ingests).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value; integral floats render without a
+// fraction, like the reference client.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders {a="x",b="y"}, with extra appended last (the
+// histogram "le" label); empty input renders nothing.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf(`%s="%s"`, l.Name, escapeLabelValue(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders every family in registration order: one
+// # HELP and # TYPE header per family, then its children in
+// registration order. Histograms render cumulative _bucket series plus
+// _sum and _count, per the format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	// Snapshot the family/child structure under the lock, then render
+	// (and evaluate read-through funcs) outside it: a fn that itself
+	// grabs an unrelated lock must not do so under the registry mutex.
+	type snap struct {
+		fam      *family
+		children []*child
+	}
+	r.mu.Lock()
+	snaps := make([]snap, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		s := snap{fam: f, children: make([]*child, 0, len(f.order))}
+		for _, key := range f.order {
+			s.children = append(s.children, f.children[key])
+		}
+		snaps = append(snaps, s)
+	}
+	r.mu.Unlock()
+
+	for _, s := range snaps {
+		f := s.fam
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range s.children {
+			switch {
+			case c.fn != nil:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(c.labels), formatValue(c.fn()))
+			case c.ctr != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(c.labels), c.ctr.Value())
+			case c.gauge != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(c.labels), c.gauge.Value())
+			case c.hist != nil:
+				h := c.hist
+				var cum uint64
+				for i, b := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						renderLabels(c.labels, L("le", formatValue(b))), cum)
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(c.labels, L("le", "+Inf")), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(c.labels), formatValue(h.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(c.labels), h.count.Load())
+			}
+		}
+	}
+}
+
+// Handler serves the registries' metrics as one exposition page, in
+// argument order (a daemon passes its server registry plus Default so
+// engine- and cluster-level metrics ride along). Families must not
+// collide across registries; per-package name prefixes (ccspd_,
+// ccsp_engine_, ccsp_cluster_) keep that true by construction.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			r.WritePrometheus(w)
+		}
+	})
+}

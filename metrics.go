@@ -1,0 +1,62 @@
+package ccsp
+
+import (
+	"time"
+
+	"github.com/congestedclique/ccsp/internal/telemetry"
+)
+
+// Engine-level telemetry, recorded into the process-global
+// telemetry.Default registry (ccspd's /metrics page serves it alongside
+// the server's own registry): artifact-cache effectiveness and the
+// wall-clock cost of preprocessing and queries, split by execution mode
+// so the simulated-vs-direct speedup the direct kernel claims is
+// readable off a live daemon. Hot-path cost is one atomic increment or
+// one histogram observation; the registry mutex is only taken here, at
+// package init.
+var (
+	metArtifactHits = telemetry.Default.Counter("ccsp_engine_artifact_cache_hits_total",
+		"Artifact requests answered from the preprocessing cache.")
+	metArtifactBuilds = execCounters("ccsp_engine_artifact_builds_total",
+		"Preprocessing artifact builds completed, by execution mode.")
+	metPreprocessSeconds = execHistograms("ccsp_engine_preprocess_seconds",
+		"Wall-clock duration of completed artifact builds, by execution mode.")
+	metQueries = execCounters("ccsp_engine_queries_total",
+		"Engine.Query calls (batch positions included), by execution mode.")
+	metQuerySeconds = execHistograms("ccsp_engine_query_seconds",
+		"Wall-clock duration of Engine.Query calls, by execution mode.")
+)
+
+// execCounters pre-creates one counter child per execution mode,
+// indexable by the Execution constant itself.
+func execCounters(name, help string) [2]*telemetry.Counter {
+	var out [2]*telemetry.Counter
+	for _, x := range []Execution{ExecSimulated, ExecDirect} {
+		out[x] = telemetry.Default.Counter(name, help, telemetry.L("exec", x.String()))
+	}
+	return out
+}
+
+// execHistograms is execCounters for latency histograms.
+func execHistograms(name, help string) [2]*telemetry.Histogram {
+	var out [2]*telemetry.Histogram
+	for _, x := range []Execution{ExecSimulated, ExecDirect} {
+		out[x] = telemetry.Default.Histogram(name, help, nil, telemetry.L("exec", x.String()))
+	}
+	return out
+}
+
+// observeQuery records one Engine.Query call (errors included: a failed
+// query burned its wall-clock too).
+func (e *Engine) observeQuery(start time.Time) {
+	x := e.opts.Execution
+	metQueries[x].Inc()
+	metQuerySeconds[x].ObserveDuration(time.Since(start))
+}
+
+// observeBuild records one completed (successful) artifact build.
+func (e *Engine) observeBuild(start time.Time) {
+	x := e.opts.Execution
+	metArtifactBuilds[x].Inc()
+	metPreprocessSeconds[x].ObserveDuration(time.Since(start))
+}

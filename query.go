@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/congestedclique/ccsp/api"
 )
@@ -27,6 +28,7 @@ func (e *Engine) Query(ctx context.Context, req api.Request) (*api.Response, err
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	defer e.observeQuery(time.Now())
 	// The engine serves exactly one graph; the Graph field is a serving-
 	// layer routing concern, echoed back so merged fan-out responses stay
 	// attributable.
@@ -148,6 +150,8 @@ func APIError(err error) *api.Error {
 		code = api.CodeInvalidOption
 	case errors.Is(err, ErrUnknownGraph):
 		code = api.CodeUnknownGraph
+	case errors.Is(err, ErrOverloaded):
+		code = api.CodeOverloaded
 	case errors.Is(err, ErrUnavailable):
 		code = api.CodeUnavailable
 	case errors.Is(err, api.ErrMalformed):

@@ -196,6 +196,8 @@ func TestAPIErrorCodes(t *testing.T) {
 		"source":      {ctxErrForTest(ErrInvalidSource), api.CodeInvalidSource},
 		"option":      {ctxErrForTest(ErrInvalidOption), api.CodeInvalidOption},
 		"malformed":   {ctxErrForTest(api.ErrMalformed), api.CodeMalformed},
+		"unavailable": {ctxErrForTest(ErrUnavailable), api.CodeUnavailable},
+		"overloaded":  {ctxErrForTest(ErrOverloaded), api.CodeOverloaded},
 		"plain":       {errors.New("boom"), api.CodeInternal},
 	} {
 		if got := APIError(tc.err); got.Code != tc.want {

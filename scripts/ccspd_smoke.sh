@@ -144,6 +144,61 @@ wait "$pid"
 pid=""
 echo "graceful shutdown ok"
 
+echo "== overload: concurrency >> admission limit sheds typed 503s, health stays green"
+# One execution slot, no wait queue, cache off: a 40-way parallel burst
+# must shed most requests as typed 503s carrying Retry-After, while
+# /healthz (which bypasses admission) answers 200 throughout.
+addr3=127.0.0.1:8950
+"$tmp/ccspd" -load "$tmp/warm.snap" -addr "$addr3" -max-inflight 1 -max-queue=-1 -cache=-1 &
+pid2=$!
+for _ in $(seq 50); do
+  curl -fs "http://$addr3/readyz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs "http://$addr3/readyz" | grep -q '"ready": true'
+
+burst() {
+  # shellcheck disable=SC2046
+  # -o consumes one URL each, so every URL brings its own /dev/null sink.
+  curl -s --no-progress-meter --parallel --parallel-max 40 \
+    -d '{"kind":"mssp","mssp":{"sources":[0,1,2,3]}}' \
+    -w '%{http_code} %header{retry-after}\n' \
+    $(for _ in $(seq 40); do printf -- '-o /dev/null http://%s/v1/query ' "$addr3"; done)
+}
+got503=0
+for attempt in $(seq 5); do
+  ( for _ in $(seq 10); do
+      curl -s -o /dev/null -w '%{http_code}\n' "http://$addr3/healthz"
+    done ) > "$tmp/health_during.txt" &
+  health_pid=$!
+  burst > "$tmp/burst.txt"
+  wait "$health_pid"
+  if grep -q '^503' "$tmp/burst.txt"; then
+    got503=1
+    break
+  fi
+  echo "burst $attempt: no shed yet, retrying"
+done
+[ "$got503" = 1 ] || { echo "no 503 in $attempt overload bursts"; exit 1; }
+# Nothing but admitted 200s and typed 503s; every 503 carries the hint.
+if grep -vq '^200 \|^503 1$' "$tmp/burst.txt"; then
+  echo "unexpected status or missing Retry-After in overload burst:"
+  grep -v '^200 \|^503 1$' "$tmp/burst.txt"
+  exit 1
+fi
+if grep -vq '^200$' "$tmp/health_during.txt"; then
+  echo "/healthz flapped during overload:"
+  cat "$tmp/health_during.txt"
+  exit 1
+fi
+# The shed path is typed end to end: body code + counter both say so.
+curl -s "http://$addr3/v1/stats" | grep -q '"shed": [1-9]'
+echo "overload ok ($(grep -c '^503' "$tmp/burst.txt") shed of 40, healthz stayed 200)"
+
+kill -TERM "$pid2"
+wait "$pid2"
+pid2=""
+
 echo "== SIGINT mid-preprocess must not leave a (partial) snapshot"
 # A clique large enough that the hopset build takes many seconds (n=256
 # takes ~57s, E15); the INT lands while the build is in flight and the

@@ -68,6 +68,15 @@ for port in 9161 9162 9163; do
 done
 echo "all replicas ready"
 
+echo "== /metrics exposition parses on every replica"
+for port in 9161 9162 9163; do
+  curl -fs "http://127.0.0.1:$port/metrics" > "$tmp/metrics.$port.txt"
+  ./scripts/promlint.sh "$tmp/metrics.$port.txt"
+  grep -q '^ccspd_ready 1$' "$tmp/metrics.$port.txt"
+  grep -q '^ccspd_requests_total ' "$tmp/metrics.$port.txt"
+done
+echo "replica metrics ok (3 replicas linted)"
+
 # Every request kind, answered three ways per graph: the warm local
 # engine (ccsp -load -batch → Engine.Batch), the owner daemon directly
 # (-server -graphid), and the routed cluster (-cluster -graphid). All

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Lint a Prometheus text-exposition (format 0.0.4) payload: every line
+# must be a well-formed # HELP / # TYPE comment or a sample, every
+# sample's family must carry a # TYPE declaration (histogram series
+# resolve through their _bucket/_sum/_count suffixes), and the payload
+# must contain at least one sample. Exits non-zero listing every
+# offending line.
+#
+# Usage: promlint.sh <file>     (or pipe the payload on stdin)
+set -euo pipefail
+
+awk '
+  function fail(msg) { printf "promlint: line %d: %s: %s\n", NR, msg, $0; bad = 1 }
+  /^$/ { next }
+  /^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* / { next }
+  /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$/ {
+    typed[$3] = 1; next
+  }
+  /^#/ { fail("malformed comment (only # HELP and # TYPE are allowed)"); next }
+  {
+    if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?([0-9]*\.)?[0-9]+([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$/) {
+      fail("malformed sample"); next
+    }
+    samples++
+    name = $1; sub(/\{.*/, "", name)
+    base = name; sub(/_(bucket|sum|count)$/, "", base)
+    if (!(name in typed) && !(base in typed)) fail("sample without a # TYPE for its family")
+  }
+  END {
+    if (!samples) { print "promlint: no samples found"; bad = 1 }
+    exit bad
+  }
+' "${1:--}"
