@@ -262,13 +262,29 @@ func ValidateGraphID(id string) error {
 // Note that APSPAuto encodes as "auto": it resolves against a concrete
 // graph, so serving layers that want auto and explicit requests to share
 // cache entries resolve the variant before keying.
-func (r Request) CacheKey() string {
+//
+// CacheKey is CacheKeyAt(0): correct only for graphs that never mutate.
+// Serving layers that accept updates key by CacheKeyAt(eng.Epoch()).
+func (r Request) CacheKey() string { return r.CacheKeyAt(0) }
+
+// CacheKeyAt is CacheKey scoped to a graph epoch: the serving layer
+// passes the epoch of the engine that will answer (ccsp.Engine.Epoch),
+// so a cached answer can never outlive the graph version it was
+// computed on - bumping the epoch changes every key, orphaning (rather
+// than aliasing) stale entries. Epoch 0 - a never-mutated graph -
+// encodes no segment at all, keeping the historical key bytes; a
+// positive epoch inserts "e=<epoch>:" after the version and graph
+// prefix.
+func (r Request) CacheKeyAt(epoch uint64) string {
 	var b strings.Builder
+	fmt.Fprintf(&b, "v%d:", Version)
 	if r.Graph != "" {
-		fmt.Fprintf(&b, "v%d:g=%s:%s", Version, r.Graph, r.Kind)
-	} else {
-		fmt.Fprintf(&b, "v%d:%s", Version, r.Kind)
+		fmt.Fprintf(&b, "g=%s:", r.Graph)
 	}
+	if epoch != 0 {
+		fmt.Fprintf(&b, "e=%d:", epoch)
+	}
+	b.WriteString(string(r.Kind))
 	switch r.Kind {
 	case KindSSSP:
 		if r.SSSP != nil {
@@ -340,6 +356,88 @@ func DecodeBatchRequest(r io.Reader) (BatchRequest, error) {
 		return BatchRequest{}, err
 	}
 	return br, nil
+}
+
+// KindUpdate names the mutation operation of the update plane
+// (POST /v1/update). It is deliberately not a query kind - Kinds()
+// excludes it and it never appears inside a Request - but workload
+// mixes (loadgen, ccload) use it to name write traffic next to the
+// query kinds.
+const KindUpdate Kind = "update"
+
+// EdgeUpdate is one edge mutation. W >= 0 sets the weight of the
+// undirected edge {U, V} (inserting it if absent, collapsing parallel
+// edges); W < 0 deletes the edge (a no-op if absent).
+type EdgeUpdate struct {
+	U int   `json:"u"`
+	V int   `json:"v"`
+	W int64 `json:"w"`
+}
+
+// UpdateRequest is the body of POST /v1/update: a batch of edge
+// mutations applied atomically as one generation - queries observe
+// either none or all of them, at the epoch the response reports.
+type UpdateRequest struct {
+	// Graph targets one of the daemon's graphs; empty is the default.
+	Graph string `json:"graph,omitempty"`
+	// Updates is applied in order within the batch.
+	Updates []EdgeUpdate `json:"updates"`
+	// Async makes the daemon answer as soon as the updates are staged,
+	// with the epoch they will become visible at, instead of blocking
+	// until the background rebuild publishes it.
+	Async bool `json:"async,omitempty"`
+}
+
+// Validate checks the structural invariants of an UpdateRequest.
+// Per-update semantics (node ranges, self-loops) are the engine's job
+// and surface as typed 422s.
+func (r UpdateRequest) Validate() error {
+	if err := ValidateGraphID(r.Graph); err != nil {
+		return err
+	}
+	if len(r.Updates) == 0 {
+		return fmt.Errorf("%w: update request with no updates", ErrMalformed)
+	}
+	return nil
+}
+
+// DecodeUpdateRequest reads one JSON-encoded UpdateRequest from r and
+// validates it. Callers cap the reader first.
+func DecodeUpdateRequest(r io.Reader) (UpdateRequest, error) {
+	var ur UpdateRequest
+	if err := decodeStrict(r, &ur); err != nil {
+		return UpdateRequest{}, err
+	}
+	if err := ur.Validate(); err != nil {
+		return UpdateRequest{}, err
+	}
+	return ur, nil
+}
+
+// UpdateResponse is the body of a successful /v1/update answer.
+type UpdateResponse struct {
+	// Graph echoes the request's graph ID.
+	Graph string `json:"graph,omitempty"`
+	// Epoch is the graph version carrying the batch: already serving
+	// unless Pending.
+	Epoch uint64 `json:"epoch"`
+	// Applied is the number of updates in the batch.
+	Applied int `json:"applied"`
+	// Pending marks an Async answer: the rebuild was still in flight
+	// when the response was written, and queries reflect the batch only
+	// once GET /v1/epoch reaches Epoch.
+	Pending bool `json:"pending,omitempty"`
+}
+
+// EpochResponse is the body of GET /v1/epoch: the serving epoch of one
+// graph, for polling async updates and for asserting freshness.
+type EpochResponse struct {
+	// Graph echoes the ?graph= parameter.
+	Graph string `json:"graph,omitempty"`
+	// Epoch is the graph version queries are answered at right now.
+	Epoch uint64 `json:"epoch"`
+	// Pending counts staged updates not yet visible at Epoch.
+	Pending int `json:"pending,omitempty"`
 }
 
 // decodeStrict decodes exactly one JSON value (trailing garbage is an

@@ -196,6 +196,62 @@ func (c *Client) SourceDetection(ctx context.Context, sources []int, d, k int) (
 		SourceDetection: &api.SourceDetectionParams{Sources: sources, D: d, K: k}})
 }
 
+// Update applies a batch of edge mutations to a dynamic graph via
+// POST /v1/update, blocking until the background rebuild publishes the
+// carrying epoch: on return, queries already reflect the batch.
+// graph "" targets the daemon's default graph. Retries (WithRetry) are
+// safe: updates are absolute (set-weight / delete), so replaying a
+// batch is idempotent.
+func (c *Client) Update(ctx context.Context, graph string, ups []api.EdgeUpdate) (*api.UpdateResponse, error) {
+	return c.update(ctx, api.UpdateRequest{Graph: graph, Updates: ups})
+}
+
+// UpdateAsync stages the batch and returns as soon as the daemon
+// assigned it an epoch, without waiting for the rebuild; poll Epoch
+// until it reaches the returned value to observe the batch.
+func (c *Client) UpdateAsync(ctx context.Context, graph string, ups []api.EdgeUpdate) (*api.UpdateResponse, error) {
+	return c.update(ctx, api.UpdateRequest{Graph: graph, Updates: ups, Async: true})
+}
+
+func (c *Client) update(ctx context.Context, req api.UpdateRequest) (*api.UpdateResponse, error) {
+	var resp api.UpdateResponse
+	if err := c.post(ctx, "/v1/update", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Epoch calls GET /v1/epoch: the serving epoch of one graph ("" = the
+// default graph), with the daemon's count of staged-but-unpublished
+// updates.
+func (c *Client) Epoch(ctx context.Context, graph string) (*api.EpochResponse, error) {
+	url := c.base + "/v1/epoch"
+	if graph != "" {
+		url += "?graph=" + graph // the graph ID charset needs no escaping
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, transportError(ctx, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, transportError(ctx, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError("/v1/epoch", resp.StatusCode, body)
+	}
+	var er api.EpochResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		return nil, fmt.Errorf("client: /v1/epoch: bad JSON: %w", err)
+	}
+	return &er, nil
+}
+
 // Health calls GET /healthz: daemon liveness plus the served graph's
 // shape.
 func (c *Client) Health(ctx context.Context) (*api.Health, error) {

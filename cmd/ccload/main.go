@@ -11,6 +11,7 @@
 //	ccload -targets http://localhost:8080 -qps 500 -duration 30s # open loop at fixed arrival rate
 //	ccload -targets http://a:8080,http://b:8080 -graphs g1,g2    # drive a sharded cluster
 //	ccload -targets ... -mix distance=70,sssp=20,mssp=10 -dist zipf -batch 16
+//	ccload -targets ... -mix distance=90,update=10 -update-maxw 9   # mixed read/write traffic
 //	ccload -targets ... -format bench -label "overload 2x"       # BENCH-compatible JSON row
 //
 // The node-ID space is discovered from the first target's /healthz
@@ -46,13 +47,14 @@ func run() error {
 	var (
 		targets     = flag.String("targets", "", "comma-separated daemon base URLs; one = direct client, several = cluster routing (required)")
 		graphs      = flag.String("graphs", "", "comma-separated graph IDs to spread requests over (empty = default graph)")
-		mixFlag     = flag.String("mix", "", "kind mix as kind=weight, e.g. distance=70,sssp=20,mssp=10 (default mostly-distance)")
+		mixFlag     = flag.String("mix", "", "kind mix as kind=weight, e.g. distance=70,sssp=20,update=5 (default mostly-distance)")
 		dist        = flag.String("dist", "uniform", "source-ID distribution: uniform | zipf")
 		duration    = flag.Duration("duration", 5*time.Second, "run length")
 		concurrency = flag.Int("concurrency", 8, "workers (closed-loop in-flight bound / open-loop pool)")
 		qps         = flag.Float64("qps", 0, "open-loop aggregate arrival rate (0 = closed loop)")
 		batch       = flag.Int("batch", 0, "group requests into /v1/batch operations of this size (0/1 = single queries)")
 		nodes       = flag.Int("n", 0, "node-ID space (0 = discover via the first target's /healthz)")
+		updateMaxW  = flag.Int64("update-maxw", 16, "max weight for generated edge updates (with update=N in -mix)")
 		seed        = flag.Int64("seed", 1, "request-stream seed")
 		retries     = flag.Int("retries", 0, "client retries per request (0 = none: shed load is counted, not hidden)")
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "retry backoff base (with -retries)")
@@ -111,6 +113,7 @@ func run() error {
 		Concurrency: *concurrency,
 		QPS:         *qps,
 		BatchSize:   *batch,
+		UpdateMaxW:  *updateMaxW,
 		Seed:        *seed,
 	})
 	if err != nil {

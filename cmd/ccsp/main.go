@@ -23,6 +23,8 @@
 //	ccsp -server http://localhost:8080 -algo mssp -sources 0    # query a running ccspd
 //	ccsp -server http://localhost:8080 -batch queries.txt       # one POST /v1/batch
 //	ccsp -server http://localhost:8080 -graphid roads -algo diameter  # a named graph on a multi-graph daemon
+//	ccsp -update 1,5,100 -algo sssp -src 0 graph.txt            # mutate first (w=-1 deletes), then answer
+//	ccsp -server http://localhost:8080 -update 1,5,100 -algo sssp -src 0  # POST /v1/update, then query
 //	ccsp -cluster http://a:8080,http://b:8080 -graphid roads -algo sssp -src 0  # route through a sharded cluster
 //
 // With -save or -load, queries run through a persistent ccsp.Engine
@@ -108,6 +110,8 @@ func run() error {
 		timeout    = flag.Duration("timeout", 0, "abort preprocessing+queries after this long (0 = no limit)")
 		execMode   = flag.String("exec", "simulated", "execution mode: simulated (round accounting) | direct (kernel, identical answers, no rounds)")
 	)
+	var updates updateFlags
+	flag.Var(&updates, "update", `edge update "u,v,w" applied before answering; w=-1 deletes {u,v} (repeatable)`)
 	flag.Parse()
 	exec, err := ccsp.ParseExecution(*execMode)
 	if err != nil {
@@ -146,8 +150,25 @@ func run() error {
 			cl := client.NewCluster(members)
 			defer cl.Close()
 			rc = cl.Graph(*graphID)
+			if len(updates) > 0 {
+				return fmt.Errorf("-update needs -server (send updates to the replica owning the graph directly)")
+			}
 		} else {
-			rc = client.New(*serverURL)
+			c := client.New(*serverURL)
+			rc = c
+			if len(updates) > 0 {
+				ups := make([]api.EdgeUpdate, len(updates))
+				for i, e := range updates {
+					ups[i] = api.EdgeUpdate{U: e.U, V: e.V, W: e.W}
+				}
+				ur, err := c.Update(ctx, *graphID, ups)
+				if err != nil {
+					return err
+				}
+				if !*quiet {
+					fmt.Printf("applied %d update(s); graph epoch %d\n", ur.Applied, ur.Epoch)
+				}
+			}
 		}
 		return runRemote(ctx, rc, *graphID, *algo, *src, *sources, *k, *d, *batch, *quiet)
 	}
@@ -158,6 +179,29 @@ func run() error {
 	g, eng, err := loadInput(ctx, *graphPath, *loadPath)
 	if err != nil {
 		return err
+	}
+
+	// -update mutates the graph before any answering: build (or reuse)
+	// the engine, run the updates through a DynamicEngine - the same
+	// validate/apply/rebuild path the daemon uses - and continue with
+	// the published generation. -save then persists the new epoch.
+	if len(updates) > 0 {
+		if eng == nil {
+			if eng, err = ccsp.NewEngine(ctx, g, opts); err != nil {
+				return err
+			}
+		}
+		dyn := ccsp.NewDynamicEngine(eng)
+		epoch, err := dyn.Update(ctx, updates)
+		dyn.Close()
+		if err != nil {
+			return err
+		}
+		eng = dyn.Engine()
+		g = eng.Graph()
+		if !*quiet {
+			fmt.Printf("applied %d update(s); graph epoch %d\n", len(updates), epoch)
+		}
 	}
 
 	if *batch != "" {
@@ -404,6 +448,33 @@ func saveEngine(eng *ccsp.Engine, path string, quiet bool) error {
 	if !quiet {
 		fmt.Printf("saved engine snapshot to %s\n", path)
 	}
+	return nil
+}
+
+// updateFlags collects repeated -update "u,v,w" flags (w = -1 deletes
+// the edge {u, v}).
+type updateFlags []ccsp.EdgeUpdate
+
+func (u *updateFlags) String() string {
+	parts := make([]string, len(*u))
+	for i, e := range *u {
+		parts[i] = fmt.Sprintf("%d,%d,%d", e.U, e.V, e.W)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (u *updateFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf(`bad update %q (want "u,v,w"; w=-1 deletes)`, v)
+	}
+	a, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	b, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	w, err3 := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf(`bad update %q (want "u,v,w"; w=-1 deletes)`, v)
+	}
+	*u = append(*u, ccsp.EdgeUpdate{U: a, V: b, W: w})
 	return nil
 }
 

@@ -39,6 +39,14 @@
 // plane. GET /metrics exposes every serving and engine counter in
 // Prometheus text format.
 //
+// Every graph is served mutable: POST /v1/update applies a batch of
+// edge insertions, reweights, and deletions as one atomic graph
+// generation - a background rebuild preprocesses the mutated graph and
+// hot-swaps it in while queries keep answering at the previous epoch -
+// and GET /v1/epoch reports the serving graph version (which also keys
+// the response cache, so stale answers can never be served across an
+// update). A snapshot restored with -load resumes its persisted epoch.
+//
 // Admission control bounds concurrent query execution: -max-inflight
 // slots (default 4×GOMAXPROCS) plus a short -max-queue wait line.
 // Requests beyond both shed immediately with a typed 503 "overloaded"
@@ -212,7 +220,12 @@ func run() error {
 			httpSrv.Close() //nolint:errcheck
 			return err
 		}
-		if err := srv.AddGraph(src.name, eng); err != nil {
+		// Every graph serves mutable: POST /v1/update stages edge
+		// mutations, a background rebuild publishes them, and the epoch
+		// (resumed from the snapshot, if any) keys the response cache.
+		dyn := ccsp.NewDynamicEngine(eng)
+		defer dyn.Close()
+		if err := srv.AddDynamicGraph(src.name, dyn); err != nil {
 			httpSrv.Close() //nolint:errcheck
 			return err
 		}

@@ -1,0 +1,276 @@
+package ccsp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/congestedclique/ccsp/api"
+)
+
+// allKindRequests is one request per api kind (plus the apsp3 variant),
+// the coverage set for differential checks.
+func allKindRequests() map[string]api.Request {
+	return map[string]api.Request{
+		"sssp":             {Kind: api.KindSSSP, SSSP: &api.SSSPParams{Source: 3}},
+		"mssp":             {Kind: api.KindMSSP, MSSP: &api.MSSPParams{Sources: []int{2, 5, 2}}},
+		"apsp-auto":        {Kind: api.KindAPSP},
+		"apsp-weighted3":   {Kind: api.KindAPSP, APSP: &api.APSPParams{Variant: api.APSPWeighted3}},
+		"distance":         {Kind: api.KindDistance, Distance: &api.DistanceParams{From: 2, To: 9}},
+		"diameter":         {Kind: api.KindDiameter},
+		"knearest":         {Kind: api.KindKNearest, KNearest: &api.KNearestParams{K: 3}},
+		"source-detection": {Kind: api.KindSourceDetection, SourceDetection: &api.SourceDetectionParams{Sources: []int{0, 5}, D: 3, K: 2}},
+	}
+}
+
+// edgeSet flattens a graph into its canonical pair->weight map.
+func edgeSet(gr *Graph) map[[2]int]int64 {
+	edges := make(map[[2]int]int64)
+	for u := 0; u < gr.N(); u++ {
+		u := u
+		gr.Neighbors(u, func(v int, w int64) {
+			if u < v {
+				edges[[2]int{u, v}] = w
+			}
+		})
+	}
+	return edges
+}
+
+// TestDynamicDifferentialAllKinds pins the central guarantee of the
+// mutation subsystem: after a batch of inserts, reweights and deletes,
+// a DynamicEngine answers every query kind identically - results AND
+// stats - to a cold engine built from scratch on the final graph. Both
+// execution modes.
+func TestDynamicDifferentialAllKinds(t *testing.T) {
+	ups := []EdgeUpdate{
+		{U: 0, V: 1, W: 3},   // reweight (the spanning edge {1,0} always exists)
+		{U: 2, V: 9, W: 7},   // insert-or-reweight
+		{U: 4, V: 11, W: -1}, // delete (maybe a no-op)
+	}
+	for _, exec := range []Execution{ExecSimulated, ExecDirect} {
+		t.Run(fmt.Sprint(exec), func(t *testing.T) {
+			ctx := context.Background()
+			gr := testGraph(16, 16, 9, 3)
+			opts := Options{Epsilon: 0.5, Execution: exec}
+			eng, err := NewEngine(ctx, gr, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dyn := NewDynamicEngine(eng)
+			defer dyn.Close()
+			epoch, err := dyn.Update(ctx, ups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if epoch != 1 || dyn.Epoch() != 1 {
+				t.Fatalf("epoch = %d (Epoch() %d), want 1", epoch, dyn.Epoch())
+			}
+
+			// Expected final graph: the update semantics replayed by hand
+			// on the original edge set.
+			edges := edgeSet(gr)
+			for _, u := range ups {
+				key := [2]int{u.U, u.V}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				if u.W < 0 {
+					delete(edges, key)
+				} else {
+					edges[key] = u.W
+				}
+			}
+			final := NewGraph(16)
+			for key, w := range edges {
+				final.MustAddEdge(key[0], key[1], w)
+			}
+			cold, err := NewEngine(ctx, final, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			reqs := allKindRequests()
+			if len(reqs) < len(api.Kinds()) {
+				t.Fatalf("differential covers %d kinds, schema has %d", len(reqs), len(api.Kinds()))
+			}
+			for name, req := range reqs {
+				want, err := cold.Query(ctx, req)
+				if err != nil {
+					t.Fatalf("%s: cold: %v", name, err)
+				}
+				got, err := dyn.Engine().Query(ctx, req)
+				if err != nil {
+					t.Fatalf("%s: dynamic: %v", name, err)
+				}
+				got.Cached, want.Cached = false, false
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: rebuilt engine differs from cold engine on the final graph\n got %+v\nwant %+v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDynamicEngineConcurrentSwaps is the torture test behind the
+// "readers never block, never mix epochs" claim, run under -race: while
+// a writer publishes generations back-to-back, readers snapshot the
+// engine, query it, and check (a) the per-reader epoch sequence is
+// monotone, and (b) every answer equals the canonical answer of the
+// epoch it was served at - an answer straddling a swap would disagree
+// with both neighbors.
+func TestDynamicEngineConcurrentSwaps(t *testing.T) {
+	ctx := context.Background()
+	gr := testGraph(12, 10, 9, 7)
+	eng, err := NewEngine(ctx, gr, Options{Epsilon: 0.5, Execution: ExecDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := NewDynamicEngine(eng)
+	defer dyn.Close()
+
+	const generations = 8
+	req := api.Request{Kind: api.KindDistance, Distance: &api.DistanceParams{From: 0, To: 11}}
+	var byEpoch sync.Map // epoch -> *api.Response, first answer wins
+	canonical := func(e *Engine) *api.Response {
+		resp, err := e.Query(ctx, req)
+		if err != nil {
+			t.Errorf("query at epoch %d: %v", e.Epoch(), err)
+			return nil
+		}
+		resp.Cached = false
+		return resp
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				e := dyn.Engine() // one atomic load: a single-epoch view
+				epoch := e.Epoch()
+				if epoch < last {
+					t.Errorf("reader saw epoch go backwards: %d after %d", epoch, last)
+					return
+				}
+				last = epoch
+				got := canonical(e)
+				if got == nil {
+					return
+				}
+				want, _ := byEpoch.LoadOrStore(epoch, got)
+				if !reflect.DeepEqual(got, want.(*api.Response)) {
+					t.Errorf("epoch %d answered inconsistently:\n got %+v\nwant %+v", epoch, got, want)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < generations; i++ {
+		// Reweight one spanning edge per generation so every swap changes
+		// real distances.
+		epoch, err := dyn.Update(ctx, []EdgeUpdate{{U: i + 1, V: 0, W: int64(10 + i)}})
+		if err != nil {
+			t.Fatalf("generation %d: %v", i, err)
+		}
+		if epoch != uint64(i+1) {
+			t.Fatalf("generation %d published at epoch %d", i, epoch)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if got := dyn.Epoch(); got != generations {
+		t.Fatalf("final epoch = %d, want %d", got, generations)
+	}
+}
+
+// TestGraphMutationAfterNewEngineInvisible is the regression test for
+// the silent-mutation hazard: AddEdge on the input graph after the
+// engine is built must not leak into served answers (the engine owns a
+// deep copy; DynamicEngine is the supported mutation path).
+func TestGraphMutationAfterNewEngineInvisible(t *testing.T) {
+	ctx := context.Background()
+	gr := NewGraph(4)
+	gr.MustAddEdge(0, 1, 1)
+	gr.MustAddEdge(1, 2, 1)
+	gr.MustAddEdge(2, 3, 1)
+	eng, err := NewEngine(ctx, gr, Options{Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := eng.SSSP(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the caller's graph under the engine: a shortcut that would
+	// change dist(0,3) from 3 to 1 if the engine shared storage.
+	gr.MustAddEdge(0, 3, 1)
+
+	if got := eng.Graph().M(); got != 3 {
+		t.Fatalf("engine graph has %d edges after caller mutation, want 3", got)
+	}
+	after, err := eng.SSSP(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before.Dist, after.Dist) {
+		t.Fatalf("caller AddEdge leaked into the engine: %v -> %v", before.Dist, after.Dist)
+	}
+	if after.Dist[3] != 3 {
+		t.Fatalf("dist(0,3) = %d, want 3 (engine must not see the shortcut)", after.Dist[3])
+	}
+}
+
+// TestSnapshotEpochRoundTrip: Save persists the engine's epoch, Load
+// restores it, and a DynamicEngine wrapped around the loaded engine
+// resumes the generation sequence instead of reusing burned numbers.
+func TestSnapshotEpochRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	gr := testGraph(10, 8, 9, 5)
+	eng, err := NewEngine(ctx, gr, Options{Epsilon: 0.5, Execution: ExecDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := NewDynamicEngine(eng)
+	for i := 0; i < 3; i++ {
+		if _, err := dyn.Update(ctx, []EdgeUpdate{{U: 0, V: 9, W: int64(i + 2)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dyn.Close()
+
+	var buf bytes.Buffer
+	if err := dyn.Engine().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(ctx, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Epoch(); got != 3 {
+		t.Fatalf("loaded epoch = %d, want 3", got)
+	}
+
+	dyn2 := NewDynamicEngine(loaded)
+	defer dyn2.Close()
+	epoch, err := dyn2.Update(ctx, []EdgeUpdate{{U: 1, V: 2, W: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 4 {
+		t.Fatalf("resumed sequence published at %d, want 4", epoch)
+	}
+}

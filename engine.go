@@ -38,8 +38,11 @@ import (
 //
 // Concurrency: the cached artifacts are read-only and each query runs in
 // its own simulator instance, so an Engine is safe for concurrent
-// queries from multiple goroutines. The graph must not be mutated after
-// NewEngine.
+// queries from multiple goroutines. The engine deep-copies the input
+// graph, so mutating the caller's *Graph after NewEngine (via AddEdge)
+// cannot corrupt cached artifacts; such mutations are simply invisible
+// to the engine. To serve a mutating graph, wrap the engine in a
+// DynamicEngine.
 //
 // Cancellation: every method takes a leading context.Context and unwinds
 // at the next simulator barrier when it fires, returning an error that
@@ -56,6 +59,11 @@ type Engine struct {
 	gr   *Graph
 	opts Options
 	pre  *Preprocessed
+	// epoch is the graph version this engine was built at: 0 for a fresh
+	// NewEngine, assigned by DynamicEngine rebuilds, persisted by
+	// snapshots. Written only before the engine is shared (immutable
+	// afterwards, like everything else here).
+	epoch uint64
 	// direct caches the host-side weight matrix for ExecDirect runs
 	// (direct.go); unused in simulated mode.
 	direct directState
@@ -152,6 +160,11 @@ func newEngine(gr *Graph, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Defensive copy: artifacts are memoized against the graph as it was
+	// at construction, so a caller appending edges to its *Graph later
+	// must not be able to change what cached artifacts (or lazy direct
+	// matrices) are derived from.
+	gr = &Graph{g: gr.g.Clone()}
 	return &Engine{
 		gr:   gr,
 		opts: opts,
@@ -330,8 +343,16 @@ func (e *Engine) PreprocessStats() PreprocessStats {
 	return ps
 }
 
-// Graph returns the engine's (immutable) input graph.
+// Graph returns the engine's (immutable) input graph. It is the
+// engine's private deep copy: mutating it corrupts this engine's
+// cached artifacts, so treat it as read-only.
 func (e *Engine) Graph() *Graph { return e.gr }
+
+// Epoch returns the graph version this engine was built at: 0 for an
+// engine built directly with NewEngine, the generation number assigned
+// by the owning DynamicEngine after a rebuild, or the persisted epoch
+// for an engine restored with LoadEngine.
+func (e *Engine) Epoch() uint64 { return e.epoch }
 
 // Options returns the normalized options the engine runs with.
 func (e *Engine) Options() Options { return e.opts }

@@ -55,6 +55,20 @@ func (g *Graph) MustAddEdge(u, v int, w int64) {
 	}
 }
 
+// Clone returns a deep copy: mutating the copy's adjacency lists (or the
+// original's) never affects the other. Used by the engine to decouple its
+// cached artifacts from later mutation of the caller's graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{N: g.N, Adj: make([][]Edge, g.N)}
+	for v, adj := range g.Adj {
+		if len(adj) == 0 {
+			continue
+		}
+		c.Adj[v] = append(make([]Edge, 0, len(adj)), adj...)
+	}
+	return c
+}
+
 // M returns the number of stored half-edges divided by two.
 func (g *Graph) M() int {
 	total := 0

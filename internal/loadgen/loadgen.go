@@ -41,6 +41,14 @@ type Target interface {
 	Batch(ctx context.Context, reqs []api.Request) ([]api.Response, error)
 }
 
+// UpdateTarget is the optional mutation surface: a Target that also
+// implements it can serve mixes containing the "update" kind
+// (*client.Client does). Run type-asserts at startup and rejects an
+// update-carrying mix against a read-only target.
+type UpdateTarget interface {
+	Update(ctx context.Context, graph string, ups []api.EdgeUpdate) (*api.UpdateResponse, error)
+}
+
 // Distribution selects how source node IDs are drawn.
 type Distribution string
 
@@ -75,15 +83,22 @@ func DefaultMix() map[api.Kind]int {
 	}
 }
 
+// mixKinds is the fixed kind order loadgen iterates mixes in: the
+// query kinds plus the write kind (api.KindUpdate is deliberately not
+// a query kind, but workload mixes name write traffic with it).
+func mixKinds() []api.Kind {
+	return append(api.Kinds(), api.KindUpdate)
+}
+
 // ParseMix parses a "kind=weight,kind=weight" flag string (e.g.
-// "distance=70,sssp=20,mssp=10"). Weights must be positive integers
-// and kinds must be valid api kinds.
+// "distance=70,sssp=20,update=5"). Weights must be positive integers
+// and kinds must be valid api kinds (or "update" for write traffic).
 func ParseMix(s string) (map[api.Kind]int, error) {
 	if strings.TrimSpace(s) == "" {
 		return DefaultMix(), nil
 	}
 	known := make(map[api.Kind]bool)
-	for _, k := range api.Kinds() {
+	for _, k := range mixKinds() {
 		known[k] = true
 	}
 	mix := make(map[api.Kind]int)
@@ -127,8 +142,15 @@ type Config struct {
 	// 0 runs closed-loop.
 	QPS float64
 	// BatchSize > 1 groups requests into POST /v1/batch operations of
-	// this size; 0 or 1 issues single queries.
+	// this size; 0 or 1 issues single queries. Update positions are
+	// always issued as individual POST /v1/update operations - the
+	// update plane has no batch-of-batches endpoint.
 	BatchSize int
+	// UpdateMaxW bounds the weight of generated edge updates: each
+	// update reweights one random edge {u, v} to a weight drawn
+	// uniformly from [1, UpdateMaxW] (default 16). Only meaningful when
+	// the mix contains the "update" kind.
+	UpdateMaxW int64
 	// Seed makes the generated request sequence deterministic (0 = 1).
 	Seed int64
 }
@@ -154,6 +176,12 @@ func (c *Config) defaults() error {
 	}
 	if c.QPS < 0 {
 		return fmt.Errorf("loadgen: negative QPS %.1f", c.QPS)
+	}
+	if c.UpdateMaxW < 0 {
+		return fmt.Errorf("loadgen: negative UpdateMaxW %d", c.UpdateMaxW)
+	}
+	if c.UpdateMaxW == 0 {
+		c.UpdateMaxW = 16
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -264,18 +292,19 @@ type gen struct {
 	kinds  []api.Kind // weight-expanded lookup table
 	graphs []string
 	nodes  int
+	maxW   int64
 }
 
 func newGen(cfg *Config, worker int) *gen {
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
-	g := &gen{rng: rng, graphs: cfg.Graphs, nodes: cfg.Nodes}
+	g := &gen{rng: rng, graphs: cfg.Graphs, nodes: cfg.Nodes, maxW: cfg.UpdateMaxW}
 	if cfg.Source == Zipf && cfg.Nodes > 1 {
 		g.zipf = rand.NewZipf(rng, 1.1, 1, uint64(cfg.Nodes-1))
 	}
 	// Expand weights into a flat table; total weight is small (flag
 	// strings), so O(total) memory beats per-draw weighted selection.
 	kinds := make([]api.Kind, 0, len(cfg.Mix))
-	for _, k := range api.Kinds() { // fixed order for determinism
+	for _, k := range mixKinds() { // fixed order for determinism
 		for i := 0; i < cfg.Mix[k]; i++ {
 			kinds = append(kinds, k)
 		}
@@ -298,9 +327,27 @@ func (g *gen) graph() string {
 	return g.graphs[g.rng.Intn(len(g.graphs))]
 }
 
-// next generates one request of the weighted mix.
-func (g *gen) next() api.Request {
-	req := api.Request{Kind: g.kinds[g.rng.Intn(len(g.kinds))], Graph: g.graph()}
+// kind draws the next kind of the weighted mix.
+func (g *gen) kind() api.Kind {
+	return g.kinds[g.rng.Intn(len(g.kinds))]
+}
+
+// update generates one edge mutation: reweight a random edge {u, v} to
+// a weight in [1, UpdateMaxW] (insert-or-reweight, never delete, so a
+// long run cannot disconnect the graph under test).
+func (g *gen) update() (string, []api.EdgeUpdate) {
+	u := g.node()
+	v := g.node()
+	for v == u && g.nodes > 1 {
+		v = g.node()
+	}
+	return g.graph(), []api.EdgeUpdate{{U: u, V: v, W: 1 + g.rng.Int63n(g.maxW)}}
+}
+
+// reqOf generates one query request of the given kind (never
+// api.KindUpdate - updates are not queries; see update).
+func (g *gen) reqOf(kind api.Kind) api.Request {
+	req := api.Request{Kind: kind, Graph: g.graph()}
 	switch req.Kind {
 	case api.KindSSSP:
 		req.SSSP = &api.SSSPParams{Source: g.node()}
@@ -328,6 +375,16 @@ func (g *gen) next() api.Request {
 func Run(ctx context.Context, target Target, cfg Config) (*Report, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
+	}
+	// Write traffic needs the mutation surface; reject the mismatch up
+	// front instead of counting a run's worth of synthetic failures.
+	var upd UpdateTarget
+	if cfg.Mix[api.KindUpdate] > 0 {
+		u, ok := target.(UpdateTarget)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix contains update traffic but target %T cannot apply updates", target)
+		}
+		upd = u
 	}
 	// stopCtx only gates *issuing*: when the duration elapses, workers
 	// stop picking up new work but in-flight operations drain on the
@@ -399,7 +456,7 @@ func Run(ctx context.Context, target Target, cfg Config) (*Report, error) {
 				} else if stopCtx.Err() != nil {
 					return
 				}
-				issue(ctx, target, g, &cfg, t)
+				issue(ctx, target, upd, g, &cfg, t)
 			}
 		}()
 	}
@@ -410,14 +467,24 @@ func Run(ctx context.Context, target Target, cfg Config) (*Report, error) {
 	return assemble(tallies, &cfg, elapsed, missed), nil
 }
 
-// issue performs one operation (a single query or one batch) and folds
-// the outcome into t.
-func issue(ctx context.Context, target Target, g *gen, cfg *Config, t *tally) {
+// issue performs one operation (a single query, one batch, or one
+// update) and folds the outcome into t. Update positions drawn in batch
+// mode are issued as their own POST /v1/update operations - each with
+// its own latency sample - and the batch carries the remaining queries.
+func issue(ctx context.Context, target Target, upd UpdateTarget, g *gen, cfg *Config, t *tally) {
 	if cfg.BatchSize > 1 {
-		reqs := make([]api.Request, cfg.BatchSize)
-		for i := range reqs {
-			reqs[i] = g.next()
-			t.byKind[reqs[i].Kind]++
+		reqs := make([]api.Request, 0, cfg.BatchSize)
+		for i := 0; i < cfg.BatchSize; i++ {
+			if k := g.kind(); k == api.KindUpdate {
+				issueUpdate(ctx, upd, g, t)
+			} else {
+				req := g.reqOf(k)
+				t.byKind[k]++
+				reqs = append(reqs, req)
+			}
+		}
+		if len(reqs) == 0 {
+			return
 		}
 		begin := time.Now()
 		resps, err := target.Batch(ctx, reqs)
@@ -439,10 +506,33 @@ func issue(ctx context.Context, target Target, g *gen, cfg *Config, t *tally) {
 		}
 		return
 	}
-	req := g.next()
-	t.byKind[req.Kind]++
+	k := g.kind()
+	if k == api.KindUpdate {
+		issueUpdate(ctx, upd, g, t)
+		return
+	}
+	req := g.reqOf(k)
+	t.byKind[k]++
 	begin := time.Now()
 	_, err := target.Query(ctx, req)
+	lat := time.Since(begin)
+	t.ops++
+	t.requests++
+	t.samples = append(t.samples, lat)
+	if err != nil {
+		t.errs[errCode(err)]++
+	} else {
+		t.ok++
+	}
+}
+
+// issueUpdate performs one synchronous edge update (one graph
+// generation: the latency sample covers staging plus the rebuild).
+func issueUpdate(ctx context.Context, upd UpdateTarget, g *gen, t *tally) {
+	graph, ups := g.update()
+	t.byKind[api.KindUpdate]++
+	begin := time.Now()
+	_, err := upd.Update(ctx, graph, ups)
 	lat := time.Since(begin)
 	t.ops++
 	t.requests++
@@ -522,7 +612,7 @@ func describe(cfg *Config) string {
 		fmt.Fprintf(&b, "closed c=%d", cfg.Concurrency)
 	}
 	parts := make([]string, 0, len(cfg.Mix))
-	for _, k := range api.Kinds() {
+	for _, k := range mixKinds() {
 		if w := cfg.Mix[k]; w > 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", k, w))
 		}
@@ -558,7 +648,7 @@ func (r *Report) Fprint(w io.Writer) {
 		fmt.Fprintln(w)
 	}
 	kinds := make([]string, 0, len(r.ByKind))
-	for _, k := range api.Kinds() {
+	for _, k := range mixKinds() {
 		if n := r.ByKind[k]; n > 0 {
 			kinds = append(kinds, fmt.Sprintf("%s=%d", k, n))
 		}

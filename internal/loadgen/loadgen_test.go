@@ -109,6 +109,114 @@ func TestRunOpenLoop(t *testing.T) {
 	}
 }
 
+// newDynamicDaemon is newDaemon with the graph registered mutable, so
+// update traffic has somewhere to land.
+func newDynamicDaemon(t testing.TB, n int) (*client.Client, *ccsp.DynamicEngine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n) + 5))
+	gr := ccsp.NewGraph(n)
+	for v := 1; v < n; v++ {
+		gr.MustAddEdge(v, rng.Intn(v), rng.Int63n(9)+1)
+	}
+	eng, err := ccsp.NewEngine(context.Background(), gr, ccsp.Options{Epsilon: 0.5, Execution: ccsp.ExecDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := ccsp.NewDynamicEngine(eng)
+	t.Cleanup(dyn.Close)
+	s, err := server.New(server.Config{Deferred: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDynamicGraph("", dyn); err != nil {
+		t.Fatal(err)
+	}
+	s.SetReady()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL), dyn
+}
+
+// TestRunWithUpdates mixes write traffic into a closed loop: updates
+// must be issued, succeed, advance the graph epoch, and count in the
+// by-kind census.
+func TestRunWithUpdates(t *testing.T) {
+	c, dyn := newDynamicDaemon(t, 24)
+	rep, err := Run(context.Background(), c, Config{
+		Nodes:       24,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 4,
+		Mix:         map[api.Kind]int{api.KindDistance: 3, api.KindUpdate: 1},
+		UpdateMaxW:  9,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByKind[api.KindUpdate] == 0 {
+		t.Fatalf("mix with update=1 issued no updates: %v", rep.ByKind)
+	}
+	if rep.OK != rep.Requests {
+		t.Fatalf("ok=%d of %d (errors %v)", rep.OK, rep.Requests, rep.ErrorsByCode)
+	}
+	if dyn.Epoch() == 0 {
+		t.Fatal("updates succeeded but the graph epoch never advanced")
+	}
+}
+
+// TestRunBatchWithUpdates: update positions leave the batch and ride
+// their own operations, so requests < ops*BatchSize but every position
+// is still counted exactly once.
+func TestRunBatchWithUpdates(t *testing.T) {
+	c, _ := newDynamicDaemon(t, 24)
+	rep, err := Run(context.Background(), c, Config{
+		Nodes:       24,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 2,
+		BatchSize:   8,
+		Mix:         map[api.Kind]int{api.KindDistance: 3, api.KindUpdate: 1},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByKind[api.KindUpdate] == 0 {
+		t.Fatal("batch mode dropped the update traffic")
+	}
+	var kinds int64
+	for _, n := range rep.ByKind {
+		kinds += n
+	}
+	if kinds != rep.Requests {
+		t.Fatalf("by-kind counts %d don't sum to requests %d", kinds, rep.Requests)
+	}
+	if rep.OK != rep.Requests {
+		t.Fatalf("ok=%d of %d (errors %v)", rep.OK, rep.Requests, rep.ErrorsByCode)
+	}
+}
+
+// TestRunRejectsUpdateMixOnReadOnlyTarget: a Target without the
+// mutation surface cannot serve an update mix - config error, not a
+// run's worth of failures.
+func TestRunRejectsUpdateMixOnReadOnlyTarget(t *testing.T) {
+	_, err := Run(context.Background(), readOnlyTarget{}, Config{
+		Nodes: 8,
+		Mix:   map[api.Kind]int{api.KindUpdate: 1},
+	})
+	if err == nil {
+		t.Fatal("update mix accepted against a read-only target")
+	}
+}
+
+type readOnlyTarget struct{}
+
+func (readOnlyTarget) Query(context.Context, api.Request) (*api.Response, error) {
+	return nil, nil
+}
+func (readOnlyTarget) Batch(context.Context, []api.Request) ([]api.Response, error) {
+	return nil, nil
+}
+
 // TestRunCountsSheds drives a deliberately saturated daemon and checks
 // that shed requests land in the overloaded bucket, typed - the
 // loadgen side of the admission-control contract.
@@ -150,7 +258,7 @@ func TestGenDeterministic(t *testing.T) {
 	}
 	a, b := newGen(&cfg, 3), newGen(&cfg, 3)
 	for i := 0; i < 200; i++ {
-		ra, rb := a.next(), b.next()
+		ra, rb := a.reqOf(a.kind()), b.reqOf(b.kind())
 		if ra.Kind != rb.Kind || ra.CacheKey() != rb.CacheKey() {
 			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
 		}
@@ -158,7 +266,7 @@ func TestGenDeterministic(t *testing.T) {
 	other := newGen(&cfg, 4)
 	same := true
 	for i := 0; i < 20; i++ {
-		if a.next().CacheKey() != other.next().CacheKey() {
+		if a.reqOf(a.kind()).CacheKey() != other.reqOf(other.kind()).CacheKey() {
 			same = false
 			break
 		}
@@ -195,6 +303,13 @@ func TestParseMix(t *testing.T) {
 		if mix[k] != w {
 			t.Fatalf("mix[%s]=%d want %d", k, mix[k], w)
 		}
+	}
+	upd, err := ParseMix("distance=9,update=1")
+	if err != nil {
+		t.Fatalf("update kind rejected in mix: %v", err)
+	}
+	if upd[api.KindUpdate] != 1 {
+		t.Fatalf("update weight = %d, want 1", upd[api.KindUpdate])
 	}
 	if _, err := ParseMix("bogus=1"); err == nil {
 		t.Fatal("unknown kind accepted")

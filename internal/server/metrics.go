@@ -40,6 +40,8 @@ func (s *Server) initMetrics() {
 		"Deduplicated engine runs executed for batch positions; the gap to ccspd_batch_requests_total is the dedup+cache win.")
 	s.shed = r.Counter("ccspd_shed_total",
 		"Queries rejected by admission control (bounded in-flight limit and wait queue both full).")
+	s.updates = r.Counter("ccspd_updates_total",
+		"Edge-update batches accepted by POST /v1/update (each one graph generation).")
 	s.inflight = r.Gauge("ccspd_inflight",
 		"Queries and batches currently executing on the engines.")
 

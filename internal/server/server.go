@@ -23,6 +23,11 @@
 //	POST /v1/batch    api.BatchRequest: many requests, one engine batch
 //	                  per target graph with per-request errors and
 //	                  shared deduped runs
+//	POST /v1/update   api.UpdateRequest: one batch of edge mutations on
+//	                  a dynamic graph, applied atomically by a
+//	                  background rebuild + hot engine swap (update.go)
+//	GET  /v1/epoch    the serving epoch of one graph (?graph=ID), for
+//	                  freshness assertions and async-update polling
 //	GET  /healthz     liveness + default graph shape (503 until ready)
 //	GET  /readyz      readiness: 200 + the served graph list only once
 //	                  every snapshot is loaded/preprocessed (the cluster
@@ -117,11 +122,23 @@ type Config struct {
 	QueueWait time.Duration
 }
 
-// engineEntry is one registered graph: its engine plus the per-graph
-// facts planning needs without re-deriving them per request.
+// engineEntry is one registered graph: either a static engine (eng) or
+// a dynamic one (dyn) accepting POST /v1/update mutations. Exactly one
+// of the two is set.
 type engineEntry struct {
-	eng        *ccsp.Engine
-	unweighted bool
+	eng *ccsp.Engine
+	dyn *ccsp.DynamicEngine
+}
+
+// current resolves the engine serving this graph right now. For a
+// dynamic graph this is one atomic load; callers take the engine once
+// per request so planning, cache keying and execution all see a single
+// (engine, epoch) pair even if a swap lands mid-request.
+func (e *engineEntry) current() *ccsp.Engine {
+	if e.dyn != nil {
+		return e.dyn.Engine()
+	}
+	return e.eng
 }
 
 // Server holds the engine registry and per-process serving state.
@@ -148,6 +165,7 @@ type Server struct {
 	batchReqs *telemetry.Counter // total positions across those bodies
 	batchRuns *telemetry.Counter // deduped engine runs those positions cost
 	shed      *telemetry.Counter // queries rejected by admission control
+	updates   *telemetry.Counter // update batches accepted by /v1/update
 	inflight  *telemetry.Gauge   // queries/batches currently executing
 }
 
@@ -197,19 +215,44 @@ func (s *Server) AddGraph(name string, eng *ccsp.Engine) error {
 	if err := api.ValidateGraphID(name); err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
+	return s.register(name, &engineEntry{eng: eng})
+}
+
+// AddDynamicGraph registers a mutable graph: queries resolve the
+// wrapper's current engine per request, and POST /v1/update routes its
+// mutations here. Like AddGraph, safe to call while serving.
+func (s *Server) AddDynamicGraph(name string, dyn *ccsp.DynamicEngine) error {
+	if dyn == nil {
+		return fmt.Errorf("server: nil dynamic engine for graph %q", name)
+	}
+	if err := api.ValidateGraphID(name); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return s.register(name, &engineEntry{dyn: dyn})
+}
+
+// register installs a validated entry and its per-graph epoch gauge.
+func (s *Server) register(name string, entry *engineEntry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.engines[name]; dup {
 		return fmt.Errorf("server: graph %q registered twice", name)
 	}
-	s.engines[name] = &engineEntry{eng: eng, unweighted: eng.Graph().Unweighted()}
+	s.engines[name] = entry
+	// The gauge captures the entry, not the server: reading it takes no
+	// server lock, so a /metrics scrape can never contend with (or
+	// deadlock against) the registry mutation paths.
+	s.reg.GaugeFunc("ccspd_graph_epoch",
+		"Serving epoch of each registered graph (0 = never mutated).",
+		func() float64 { return float64(entry.current().Epoch()) },
+		telemetry.L("graph", name))
 	return nil
 }
 
 // addEntry is AddGraph without validation, for the constructor's default
 // engine (registered before any concurrent access exists).
 func (s *Server) addEntry(name string, eng *ccsp.Engine) {
-	s.engines[name] = &engineEntry{eng: eng, unweighted: eng.Graph().Unweighted()}
+	s.register(name, &engineEntry{eng: eng}) //nolint:errcheck // no duplicates at construction
 }
 
 // SetReady marks the server ready: every snapshot is loaded and queries
@@ -277,6 +320,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
 	mux.Handle("/v1/query", s.instrument("query", s.handleQuery))
 	mux.Handle("/v1/batch", s.instrument("batch", s.handleBatch))
+	mux.Handle("/v1/update", s.instrument("update", s.handleUpdate))
+	mux.Handle("/v1/epoch", s.instrument("epoch", s.handleEpoch))
 	mux.Handle("/v1/stats", s.instrument("stats", s.handleStats))
 	// Prometheus text exposition: this server's registry plus the
 	// process-global one (engine and cluster metrics).
@@ -338,7 +383,13 @@ func (s *Server) plan(req api.Request) (plan, error) {
 	if err != nil {
 		return plan{}, err
 	}
-	eng := entry.eng
+	// One engine snapshot per request: the engine carries its epoch, so
+	// the plan's cache key, validation and execution all describe the
+	// same graph generation even if a dynamic swap lands in between. A
+	// cached answer keyed at epoch E can only ever be served to plans
+	// that snapshotted the same E.
+	eng := entry.current()
+	epoch := eng.Epoch()
 	switch req.Kind {
 	case api.KindDistance:
 		n := eng.Graph().N()
@@ -351,7 +402,7 @@ func (s *Server) plan(req api.Request) (plan, error) {
 			kind:  api.KindDistance,
 			graph: req.Graph,
 			eng:   eng,
-			key:   inner.CacheKey(),
+			key:   inner.CacheKeyAt(epoch),
 			run:   inner,
 			project: func(in api.Response) api.Response {
 				d := in.MSSP.Dist[to][0]
@@ -367,9 +418,9 @@ func (s *Server) plan(req api.Request) (plan, error) {
 	case api.KindAPSP:
 		resolved := api.Request{Kind: api.KindAPSP, Graph: req.Graph,
 			APSP: &api.APSPParams{Variant: eng.ResolveAPSPVariant(req.Variant())}}
-		return plan{kind: api.KindAPSP, graph: req.Graph, eng: eng, key: resolved.CacheKey(), run: resolved}, nil
+		return plan{kind: api.KindAPSP, graph: req.Graph, eng: eng, key: resolved.CacheKeyAt(epoch), run: resolved}, nil
 	default:
-		return plan{kind: req.Kind, graph: req.Graph, eng: eng, key: req.CacheKey(), run: req}, nil
+		return plan{kind: req.Kind, graph: req.Graph, eng: eng, key: req.CacheKeyAt(epoch), run: req}, nil
 	}
 }
 
@@ -477,8 +528,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	h := api.Health{Status: "ok", Graphs: s.namedGraphIDs()}
 	if def := s.defaultEntry(); def != nil {
-		h.Nodes = def.eng.Graph().N()
-		h.Edges = def.eng.Graph().M()
+		gr := def.current().Graph()
+		h.Nodes = gr.N()
+		h.Edges = gr.M()
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -513,6 +565,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"batch_requests":    s.batchReqs.Value(),
 			"batch_engine_runs": s.batchRuns.Value(),
 			"shed":              s.shed.Value(),
+			"updates":           s.updates.Value(),
 			"inflight":          s.inflight.Value(),
 		},
 		"cache": map[string]interface{}{
@@ -553,8 +606,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // engineStats renders one engine's graph/options/preprocess stat blocks.
+// It snapshots the entry's current engine once, so a dynamic graph's
+// stats describe one consistent (graph, epoch) pair.
 func engineStats(entry *engineEntry) (graph, options, preprocess map[string]interface{}) {
-	pre := entry.eng.PreprocessStats()
+	eng := entry.current()
+	pre := eng.PreprocessStats()
 	builds := make([]map[string]interface{}, 0, len(pre.Builds))
 	for _, b := range pre.Builds {
 		builds = append(builds, map[string]interface{}{
@@ -565,16 +621,21 @@ func engineStats(entry *engineEntry) (graph, options, preprocess map[string]inte
 			"rounds": b.Stats.TotalRounds,
 		})
 	}
-	gr := entry.eng.Graph()
+	gr := eng.Graph()
 	graph = map[string]interface{}{
 		"nodes":      gr.N(),
 		"edges":      gr.M(),
 		"max_weight": gr.MaxWeight(),
-		"unweighted": entry.unweighted,
+		"unweighted": gr.Unweighted(),
+		"epoch":      eng.Epoch(),
+		"dynamic":    entry.dyn != nil,
+	}
+	if entry.dyn != nil {
+		graph["pending_updates"] = entry.dyn.Pending()
 	}
 	options = map[string]interface{}{
-		"epsilon": entry.eng.Options().Epsilon,
-		"workers": entry.eng.Options().Workers,
+		"epsilon": eng.Options().Epsilon,
+		"workers": eng.Options().Workers,
 	}
 	preprocess = map[string]interface{}{
 		"builds":       builds,
@@ -602,6 +663,7 @@ func (s *Server) Vars() interface{} {
 		"batches":        s.batches.Value(),
 		"batch_requests": s.batchReqs.Value(),
 		"shed":           s.shed.Value(),
+		"updates":        s.updates.Value(),
 		"inflight":       s.inflight.Value(),
 		"cache_entries":  entries,
 		"cache_hits":     hits,

@@ -10,7 +10,7 @@
 // DESIGN.md §9 for the field-by-field table):
 //
 //	magic   [8]byte  "ccspsnap"
-//	version uint16   little-endian, currently 1
+//	version uint16   little-endian, currently 3
 //	section*         type byte, payload length uint32 LE, payload,
 //	                 CRC32-IEEE (uint32 LE) over type byte + payload
 //	end section      type 0xFF, payload = uvarint count of prior sections
@@ -43,8 +43,9 @@ const Magic = "ccspsnap"
 // Version is the current format version. Bump it on any incompatible
 // layout change; decoders reject snapshots from other versions rather
 // than guessing (the compat policy of DESIGN.md §9). Version 2 added the
-// execution-mode byte to the options and stats encodings.
-const Version = 2
+// execution-mode byte to the options and stats encodings; version 3
+// added the graph epoch to the options encoding.
+const Version = 3
 
 // Section type tags.
 const (
@@ -70,6 +71,12 @@ type Options struct {
 	// 1 = direct). Persisted so a loaded engine keeps answering in the
 	// mode it was saved with.
 	Exec uint8
+	// Epoch is the graph version the engine was serving when saved
+	// (ccsp.Engine.Epoch): 0 for a never-mutated graph, the generation
+	// number of the newest published update batch otherwise. Persisted
+	// so save/load round-trips a mutated engine without resetting its
+	// epoch sequence (version 3).
+	Epoch uint64
 }
 
 // Stats mirrors the public ccsp.Stats; preprocessing stats are persisted
@@ -199,6 +206,7 @@ func encodeOptions(o Options) []byte {
 	w.Int(o.MaxRounds)
 	w.Int(o.Workers)
 	w.Byte(o.Exec)
+	w.Uvarint(o.Epoch)
 	return w.Bytes()
 }
 
@@ -211,6 +219,7 @@ func decodeOptions(payload []byte) (Options, error) {
 		MaxRounds: r.Int(),
 		Workers:   r.Int(),
 		Exec:      r.Byte(),
+		Epoch:     r.Uvarint(),
 	}
 	r.Expect(0)
 	return o, r.Err()

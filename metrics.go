@@ -25,6 +25,14 @@ var (
 		"Engine.Query calls (batch positions included), by execution mode.")
 	metQuerySeconds = execHistograms("ccsp_engine_query_seconds",
 		"Wall-clock duration of Engine.Query calls, by execution mode.")
+	metRebuilds = telemetry.Default.Counter("ccsp_engine_rebuilds_total",
+		"DynamicEngine background rebuilds that published a new epoch.",
+		telemetry.L("result", "ok"))
+	metRebuildErrors = telemetry.Default.Counter("ccsp_engine_rebuilds_total",
+		"DynamicEngine background rebuilds that failed (generation dropped).",
+		telemetry.L("result", "error"))
+	metRebuildSeconds = telemetry.Default.Histogram("ccsp_engine_rebuild_seconds",
+		"Wall-clock duration of successful DynamicEngine rebuilds.", nil)
 )
 
 // execCounters pre-creates one counter child per execution mode,

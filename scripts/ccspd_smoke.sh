@@ -139,6 +139,51 @@ wait "$pid2"
 pid2=""
 echo "direct-mode agreement ok (8 pairs)"
 
+echo "== dynamic update plane: POST /v1/update bumps the epoch and changes answers"
+# Reweight the {1,5} chord from 2 to 100: dist(0,5) must leave the
+# 4-range answer behind, the epoch must tick 0 -> 1, and the mutated
+# daemon must agree with a cold CLI run on the mutated graph - the
+# rebuild-equals-cold-build differential, end to end over HTTP.
+pre=$(curl -fs "http://$addr/v1/distance?from=0&to=5" \
+  | tr -d ' \n' | grep -o '"distance":-\?[0-9]*' | cut -d: -f2)
+curl -fs "http://$addr/v1/epoch" | grep -q '"epoch": 0'
+curl -fs "http://$addr/v1/update" -d '{"updates":[{"u":1,"v":5,"w":100}]}' \
+  | grep -q '"epoch": 1'
+curl -fs "http://$addr/v1/epoch" | grep -q '"epoch": 1'
+post=$(curl -fs "http://$addr/v1/distance?from=0&to=5" \
+  | tr -d ' \n' | grep -o '"distance":-\?[0-9]*' | cut -d: -f2)
+if [ "$pre" = "$post" ]; then
+  echo "dist(0,5) unchanged ($pre) after reweighting its shortest path"
+  exit 1
+fi
+sed 's/^1 5 2$/1 5 100/' "$tmp/g.txt" > "$tmp/g2.txt"
+"$tmp/ccsp" -graph "$tmp/g2.txt" -algo mssp -sources 0 > "$tmp/cli2.out"
+fail=0
+for v in 0 1 2 3 4 5 6 7; do
+  cli=$(awk -v v="$v" '$1 == v { print $2 }' "$tmp/cli2.out")
+  http=$(curl -fs "http://$addr/v1/distance?from=0&to=$v" \
+    | tr -d ' \n' | grep -o '"distance":-\?[0-9]*' | cut -d: -f2)
+  if [ "$cli" != "$http" ]; then
+    echo "UPDATE MISMATCH node $v: cold-cli=$cli mutated-daemon=$http"
+    fail=1
+  fi
+done
+[ "$fail" = 0 ]
+echo "update differential ok (epoch 1, rebuilt == cold build, 8 pairs)"
+
+# The CLI's -update flag drives the same endpoint: delete the {0,7}
+# edge through it and the epoch ticks again.
+"$tmp/ccsp" -server "http://$addr" -update "0,7,-1" > "$tmp/upd.out"
+grep -q 'epoch 2' "$tmp/upd.out"
+curl -fs "http://$addr/v1/epoch" | grep -q '"epoch": 2'
+post2=$(curl -fs "http://$addr/v1/distance?from=0&to=7" \
+  | tr -d ' \n' | grep -o '"distance":-\?[0-9]*' | cut -d: -f2)
+if [ "$post2" = "3" ]; then
+  echo "dist(0,7) still 3 after deleting the direct edge"
+  exit 1
+fi
+echo "ccsp -update ok (epoch 2, deletion visible)"
+
 kill -TERM "$pid"
 wait "$pid"
 pid=""

@@ -29,6 +29,7 @@ func (e *Engine) Save(w io.Writer) error {
 			MaxRounds: e.opts.MaxRounds,
 			Workers:   e.opts.Workers,
 			Exec:      uint8(e.opts.Execution),
+			Epoch:     e.epoch,
 		},
 	}
 	e.pre.mu.Lock()
@@ -87,6 +88,9 @@ func LoadEngine(ctx context.Context, r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Restore the persisted graph version: a DynamicEngine wrapped
+	// around the loaded engine resumes its epoch sequence from here.
+	e.epoch = snap.Opts.Epoch
 	for i, a := range snap.Artifacts {
 		if a.Variant > uint8(artLowDegree) {
 			return nil, fmt.Errorf("ccsp: snapshot artifact %d has unknown variant %d", i, a.Variant)
